@@ -1,0 +1,542 @@
+package repro
+
+// One benchmark group per evaluation artifact of the paper (experiments
+// E1-E5 of DESIGN.md) plus the ablation groups A1-A3. The paper reports no
+// absolute numbers — its host is a 1986 workstation — so these benches
+// document the cost shape of each mechanism: what the eager consistency
+// checking costs per update, how delta versions scale against full copies,
+// what pattern splicing costs per inheritor, and how the SEED-backed
+// specification tool compares against the plain-struct baseline.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/spades"
+	"repro/internal/spades/baseline"
+	"repro/seed"
+)
+
+func mustMem(b *testing.B, sch *seed.Schema) *seed.Database {
+	b.Helper()
+	db, err := seed.NewMemory(sch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// ---- E1: figures 1+2 — object and relationship creation under eager
+// consistency checking ----
+
+func BenchmarkE1_CreateObject(b *testing.B) {
+	db := mustMem(b, seed.Figure2Schema())
+	defer db.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.CreateObject("Data", fmt.Sprintf("Obj%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1_CreateSubObject(b *testing.B) {
+	db := mustMem(b, seed.Figure2Schema())
+	defer db.Close()
+	root, _ := db.CreateObject("Data", "Root")
+	text, _ := db.CreateSubObject(root, "Text")
+	body, _ := db.CreateSubObject(text, "Body")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.CreateValueObject(body, "Keywords", seed.NewString("k")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1_CreateRelationship(b *testing.B) {
+	db := mustMem(b, seed.Figure2Schema())
+	defer db.Close()
+	action, _ := db.CreateObject("Action", "A")
+	ids := make([]seed.ID, b.N)
+	for i := range ids {
+		ids[i], _ = db.CreateObject("Data", fmt.Sprintf("D%d", i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.CreateRelationship("Read", map[string]seed.ID{"from": ids[i], "by": action}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE1_Figure1Build regenerates the complete figure 1 structure per
+// iteration.
+func BenchmarkE1_Figure1Build(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db := mustMem(b, seed.Figure2Schema())
+		alarms, _ := db.CreateObject("Data", "Alarms")
+		handler, _ := db.CreateObject("Action", "AlarmHandler")
+		_, _ = db.CreateRelationship("Read", map[string]seed.ID{"from": alarms, "by": handler})
+		text, _ := db.CreateSubObject(alarms, "Text")
+		body, _ := db.CreateSubObject(text, "Body")
+		_, _ = db.CreateValueObject(text, "Selector", seed.NewString("Representation"))
+		_, _ = db.CreateValueObject(body, "Keywords", seed.NewString("Alarmhandling"))
+		_, _ = db.CreateValueObject(body, "Keywords", seed.NewString("Display"))
+		db.Close()
+	}
+}
+
+// ---- E2: figure 3 — re-classification within generalization hierarchies ----
+
+func BenchmarkE2_Reclassify(b *testing.B) {
+	db := mustMem(b, seed.Figure3Schema())
+	defer db.Close()
+	id, _ := db.CreateObject("Thing", "X")
+	chain := []string{"Data", "OutputData", "Data", "Thing"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Reclassify(id, chain[i%len(chain)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2_RefinementWalk performs the paper's full vague-to-precise
+// walk per iteration: Thing -> Data -> OutputData with Access -> Write.
+func BenchmarkE2_RefinementWalk(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db := mustMem(b, seed.Figure3Schema())
+		alarms, _ := db.CreateObject("Thing", "Alarms")
+		sensor, _ := db.CreateObject("Action", "Sensor")
+		_ = db.Reclassify(alarms, "Data")
+		acc, _ := db.CreateRelationship("Access", map[string]seed.ID{"from": alarms, "by": sensor})
+		_ = db.Reclassify(alarms, "OutputData")
+		_ = db.Reclassify(acc, "Write")
+		_, _ = db.CreateValueObject(acc, "NumberOfWrites", seed.NewInteger(2))
+		db.Close()
+	}
+}
+
+// BenchmarkE2_ReclassifyWithRels measures how re-classification cost grows
+// with the number of relationships that must be re-validated.
+func BenchmarkE2_ReclassifyWithRels(b *testing.B) {
+	for _, rels := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("rels=%d", rels), func(b *testing.B) {
+			db := mustMem(b, seed.Figure3Schema())
+			defer db.Close()
+			id, _ := db.CreateObject("Data", "X")
+			for i := 0; i < rels; i++ {
+				a, _ := db.CreateObject("Action", fmt.Sprintf("A%d", i))
+				_, _ = db.CreateRelationship("Access", map[string]seed.ID{"from": id, "by": a})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := db.Reclassify(id, "OutputData"); err != nil {
+					b.Fatal(err)
+				}
+				if err := db.Reclassify(id, "Data"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- E3: figure 4 — version creation and view construction ----
+
+// populate fills a database with size objects carrying a description each.
+func populate(b *testing.B, db *seed.Database, size int) []seed.ID {
+	b.Helper()
+	ids := make([]seed.ID, size)
+	for i := 0; i < size; i++ {
+		id, err := db.CreateObject("Data", fmt.Sprintf("Obj%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.CreateValueObject(id, "Description", seed.NewString("d")); err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = id
+	}
+	return ids
+}
+
+func BenchmarkE3_SaveVersion(b *testing.B) {
+	for _, size := range []int{100, 1000} {
+		for _, changed := range []int{1, 10, 100} {
+			b.Run(fmt.Sprintf("db=%d/changed=%d", size, changed), func(b *testing.B) {
+				db := mustMem(b, seed.Figure3Schema())
+				defer db.Close()
+				ids := populate(b, db, size)
+				if _, err := db.SaveVersion("base"); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					for j := 0; j < changed; j++ {
+						obj := ids[(i*changed+j)%size]
+						d, err := db.ResolvePath(fmt.Sprintf("Obj%d.Description", (i*changed+j)%size))
+						if err != nil {
+							b.Fatal(err)
+						}
+						_ = obj
+						if err := db.SetValue(d, seed.NewString(fmt.Sprintf("v%d", i))); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StartTimer()
+					if _, err := db.SaveVersion("bench"); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkE3_VersionView(b *testing.B) {
+	for _, versions := range []int{1, 10, 50} {
+		b.Run(fmt.Sprintf("chain=%d", versions), func(b *testing.B) {
+			db := mustMem(b, seed.Figure3Schema())
+			defer db.Close()
+			populate(b, db, 200)
+			var last seed.VersionNumber
+			for i := 0; i < versions; i++ {
+				d, _ := db.ResolvePath(fmt.Sprintf("Obj%d.Description", i%200))
+				_ = db.SetValue(d, seed.NewString(fmt.Sprintf("v%d", i)))
+				num, err := db.SaveVersion("step")
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = num
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.VersionView(last); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE3_SelectVersion(b *testing.B) {
+	db := mustMem(b, seed.Figure3Schema())
+	defer db.Close()
+	populate(b, db, 500)
+	v1, err := db.SaveVersion("base")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, _ := db.ResolvePath("Obj0.Description")
+	_ = db.SetValue(d, seed.NewString("tip"))
+	v2, err := db.SaveVersion("tip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		num := v1
+		if i%2 == 1 {
+			num = v2
+		}
+		if err := db.SelectVersion(num); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E4: figure 5 — pattern splicing and propagation ----
+
+func BenchmarkE4_SplicedView(b *testing.B) {
+	for _, inheritors := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("inheritors=%d", inheritors), func(b *testing.B) {
+			db := mustMem(b, seed.Figure3Schema())
+			defer db.Close()
+			common, _ := db.CreateObject("Data", "Common")
+			po, _ := db.CreatePatternObject("Action", "PO")
+			_, _ = db.CreateRelationship("Access", map[string]seed.ID{"from": common, "by": po})
+			_, _ = db.CreateValueObject(po, "Description", seed.NewString("shared"))
+			fam := db.NewVariantFamily(po)
+			first := seed.NoID
+			for i := 0; i < inheritors; i++ {
+				id, err := fam.AddVariant("Action", fmt.Sprintf("V%d", i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					first = id
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Each mutation invalidates the cached splice; the read
+				// forces a fresh splice over all inheritors.
+				if _, err := db.CreateObject("Data", fmt.Sprintf("bump%d", i)); err != nil {
+					b.Fatal(err)
+				}
+				if got := len(db.View().Children(first, "Description")); got != 1 {
+					b.Fatalf("children = %d", got)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE4_PatternUpdatePropagation(b *testing.B) {
+	for _, inheritors := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("inheritors=%d", inheritors), func(b *testing.B) {
+			db := mustMem(b, seed.Figure3Schema())
+			defer db.Close()
+			po, _ := db.CreatePatternObject("Action", "PO")
+			desc, _ := db.CreateValueObject(po, "Description", seed.NewString("v"))
+			fam := db.NewVariantFamily(po)
+			for i := 0; i < inheritors; i++ {
+				if _, err := fam.AddVariant("Action", fmt.Sprintf("V%d", i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Updating the pattern re-validates every inheritor context.
+				if err := db.SetValue(desc, seed.NewString(fmt.Sprintf("v%d", i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- E5: SPADES on SEED vs. direct data structures ----
+
+func e5Workload() bench.SpadesWorkload {
+	return bench.SpadesWorkload{Actions: 40, Data: 60, Flows: 150, Lookups: 400, Describes: 60}
+}
+
+func BenchmarkE5_SPADES_on_SEED(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db := mustMem(b, seed.Figure3Schema())
+		if _, err := bench.RunSpades(spades.NewProject(db), e5Workload()); err != nil {
+			b.Fatal(err)
+		}
+		db.Close()
+	}
+}
+
+func BenchmarkE5_SPADES_on_Baseline(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunSpades(baseline.New(), e5Workload()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- A1 ablation: delta versions (the paper's design) vs. full copies ----
+
+func benchSnapshotMode(b *testing.B, mode seed.SnapshotMode) {
+	db, err := seed.NewMemory(seed.Figure3Schema())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	db.SetSnapshotMode(mode)
+	populate(b, db, 1000)
+	if _, err := db.SaveVersion("base"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d, _ := db.ResolvePath(fmt.Sprintf("Obj%d.Description", i%1000))
+		_ = db.SetValue(d, seed.NewString(fmt.Sprintf("v%d", i)))
+		b.StartTimer()
+		if _, err := db.SaveVersion("bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_SnapshotMode_Delta(b *testing.B) {
+	benchSnapshotMode(b, seed.DeltaSnapshots)
+}
+
+func BenchmarkAblation_SnapshotMode_Full(b *testing.B) {
+	benchSnapshotMode(b, seed.FullSnapshots)
+}
+
+// ---- A2 ablation: eager per-update checking vs. deferred full recheck ----
+
+func BenchmarkAblation_Consistency_EagerPerOp(b *testing.B) {
+	// The eager cost is simply the cost of the checked operation; this
+	// bench measures N checked creations.
+	db := mustMem(b, seed.Figure3Schema())
+	defer db.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.CreateObject("Data", fmt.Sprintf("O%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_Consistency_DeferredFullRecheck(b *testing.B) {
+	// The deferred alternative re-validates the whole database; measured
+	// against database size.
+	for _, size := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("db=%d", size), func(b *testing.B) {
+			db := mustMem(b, seed.Figure3Schema())
+			defer db.Close()
+			populate(b, db, size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := db.ValidateAll(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- A3 ablation: spliced pattern reads (computed) vs. cached view ----
+
+func BenchmarkAblation_Pattern_FreshSplice(b *testing.B) {
+	db := mustMem(b, seed.Figure3Schema())
+	defer db.Close()
+	po, _ := db.CreatePatternObject("Action", "PO")
+	_, _ = db.CreateValueObject(po, "Description", seed.NewString("x"))
+	fam := db.NewVariantFamily(po)
+	for i := 0; i < 50; i++ {
+		if _, err := fam.AddVariant("Action", fmt.Sprintf("V%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	desc, _ := db.ResolvePathRaw("PO.Description")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A write invalidates the cache, so every View() splices afresh.
+		if err := db.SetValue(desc, seed.NewString(fmt.Sprintf("x%d", i))); err != nil {
+			b.Fatal(err)
+		}
+		v := db.View()
+		if got := len(v.Children(seed.ID(po), "")); got == 0 {
+			_ = got
+		}
+	}
+}
+
+func BenchmarkAblation_Pattern_CachedView(b *testing.B) {
+	db := mustMem(b, seed.Figure3Schema())
+	defer db.Close()
+	po, _ := db.CreatePatternObject("Action", "PO")
+	_, _ = db.CreateValueObject(po, "Description", seed.NewString("x"))
+	fam := db.NewVariantFamily(po)
+	var first seed.ID
+	for i := 0; i < 50; i++ {
+		id, err := fam.AddVariant("Action", fmt.Sprintf("V%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			first = id
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// No mutations: View() returns the cached splice.
+		v := db.View()
+		if got := len(v.Children(first, "Description")); got != 1 {
+			b.Fatalf("children = %d", got)
+		}
+	}
+}
+
+// ---- Infrastructure benches: storage and query ----
+
+func BenchmarkStorage_JournaledCreate(b *testing.B) {
+	dir := b.TempDir()
+	db, err := seed.Open(dir, seed.Options{Schema: seed.Figure2Schema()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.CreateObject("Data", fmt.Sprintf("O%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuery_ClassSelection(b *testing.B) {
+	db := mustMem(b, seed.Figure3Schema())
+	defer db.Close()
+	populate(b, db, 1000)
+	v := db.View()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids, err := seed.NewQuery().Class("Data", true).Run(v)
+		if err != nil || len(ids) != 1000 {
+			b.Fatalf("%d ids, %v", len(ids), err)
+		}
+	}
+}
+
+func BenchmarkQuery_ValuePredicate(b *testing.B) {
+	db := mustMem(b, seed.Figure3Schema())
+	defer db.Close()
+	populate(b, db, 1000)
+	v := db.View()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids, err := seed.NewQuery().Where("Description", seed.Eq, seed.NewString("d")).Run(v)
+		if err != nil || len(ids) != 1000 {
+			b.Fatalf("%d ids, %v", len(ids), err)
+		}
+	}
+}
+
+var benchSink time.Duration
+
+// BenchmarkE5_SlowdownFactor reports the measured slowdown as a custom
+// metric so the bench output itself documents the paper's shape.
+func BenchmarkE5_SlowdownFactor(b *testing.B) {
+	w := e5Workload()
+	for i := 0; i < b.N; i++ {
+		baseT, err := bench.RunSpades(baseline.New(), w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		db := mustMem(b, seed.Figure3Schema())
+		seedT, err := bench.RunSpades(spades.NewProject(db), w)
+		db.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = seedT
+		b.ReportMetric(float64(seedT)/float64(baseT), "slowdown-x")
+	}
+}

@@ -1,0 +1,60 @@
+// Command seedbench runs the reproduction experiments E1-E5 (one per
+// evaluation artifact of the paper; see DESIGN.md section 5) and prints
+// their reports.
+//
+// Usage:
+//
+//	seedbench            # run everything
+//	seedbench -exp e3    # run one experiment
+//	seedbench -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+var experiments = []struct {
+	id, doc string
+	run     func() *bench.Result
+}{
+	{"e1", "figures 1+2: sample structure under the sample schema", bench.E1},
+	{"e2", "figure 3: generalization, vague data, refinement walk", bench.E2},
+	{"e3", "figure 4: versions, views, delta storage, alternatives", bench.E3},
+	{"e4", "figure 5: variants defined by means of patterns", bench.E4},
+	{"e5", "SPADES on SEED vs. direct data structures", bench.E5},
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (e1..e5 or all)")
+	list := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-4s %s\n", e.id, e.doc)
+		}
+		return
+	}
+
+	failed := false
+	for _, e := range experiments {
+		if *exp != "all" && !strings.EqualFold(*exp, e.id) {
+			continue
+		}
+		r := e.run()
+		fmt.Print(r.String())
+		fmt.Println()
+		if r.Failed {
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "seedbench: some assertions FAILED")
+		os.Exit(1)
+	}
+}

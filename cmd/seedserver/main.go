@@ -1,0 +1,62 @@
+// Command seedserver runs the central SEED server of the two-level
+// multi-user scheme over a file-backed database.
+//
+// Usage:
+//
+//	seedserver -dir /var/lib/seed -addr 127.0.0.1:7544 [-schema schema.sdl]
+//
+// A fresh directory requires -schema (an SDL file); an existing database
+// loads its schema from storage.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/server"
+	"repro/seed"
+)
+
+func main() {
+	dir := flag.String("dir", "seed-data", "database directory")
+	addr := flag.String("addr", "127.0.0.1:7544", "listen address")
+	schemaFile := flag.String("schema", "", "SDL schema file (required for a fresh database)")
+	flag.Parse()
+
+	opts := seed.Options{CompactAfter: 4 << 20}
+	if *schemaFile != "" {
+		text, err := os.ReadFile(*schemaFile)
+		if err != nil {
+			log.Fatalf("reading schema: %v", err)
+		}
+		sch, err := seed.ParseSDL(string(text))
+		if err != nil {
+			log.Fatalf("parsing schema: %v", err)
+		}
+		opts.Schema = sch
+	}
+	db, err := seed.Open(*dir, opts)
+	if err != nil {
+		log.Fatalf("opening database: %v", err)
+	}
+	defer db.Close()
+
+	srv := server.New(db)
+	srv.SetLogger(log.Printf)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("listening: %v", err)
+	}
+	log.Printf("seedserver: serving %s on %s", *dir, bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("seedserver: shutting down")
+	if err := srv.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/seed"
+)
+
+func newShell(t *testing.T) (*shell, func() string) {
+	t.Helper()
+	db, err := seed.NewMemory(seed.Figure3Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := &shell{db: db, out: f}
+	return sh, func() string {
+		data, err := os.ReadFile(f.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+}
+
+func run(t *testing.T, sh *shell, lines ...string) {
+	t.Helper()
+	for _, l := range lines {
+		if err := sh.exec(l); err != nil {
+			t.Fatalf("%q: %v", l, err)
+		}
+	}
+}
+
+func TestShellSession(t *testing.T) {
+	sh, output := newShell(t)
+	run(t, sh,
+		"mk Data Alarms",
+		"mk Action Handler",
+		"sub Alarms Description alarm display matrix",
+		"ln Access from=Alarms by=Handler",
+		"ls Data",
+		"show Alarms.Description",
+		"tree Alarms",
+		"save first version",
+		"versions",
+		"stats",
+		"check",
+		"history Alarms",
+		"schema",
+		"help",
+	)
+	out := output()
+	for _, want := range []string{
+		"Alarms", "alarm display matrix", "1.0", "first version",
+		"objects=3", "Access", "schema Figure3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("shell output missing %q", want)
+		}
+	}
+}
+
+func TestShellReclassifyAndRemove(t *testing.T) {
+	sh, _ := newShell(t)
+	run(t, sh,
+		"mk Thing Vague",
+		"reclass Vague Data",
+		"mk Data Doomed",
+		"rm Doomed",
+	)
+	if _, ok := sh.db.GetObject("Doomed"); ok {
+		t.Error("rm did not delete")
+	}
+	o, _ := sh.db.GetObject("Vague")
+	if o.Class.QualifiedName() != "Data" {
+		t.Errorf("reclass: class = %s", o.Class.QualifiedName())
+	}
+}
+
+func TestShellPatterns(t *testing.T) {
+	sh, output := newShell(t)
+	run(t, sh,
+		"mkpattern Action Template",
+		"sub Template Description shared text",
+		"mk Action Real",
+		"inherit Template Real",
+		"tree Real",
+	)
+	if !strings.Contains(output(), "shared text") {
+		t.Error("inherited description not shown in tree")
+	}
+}
+
+func TestShellErrors(t *testing.T) {
+	sh, _ := newShell(t)
+	for _, bad := range []string{
+		"nonsense",
+		"mk",
+		"mk Nope X",
+		"sub Nothing Description x",
+		"set Nothing 5",
+		"ln",
+		"ln Access from=Missing by=AlsoMissing",
+		"rm Missing",
+		"select notaversion",
+		"show Missing",
+		"tree Missing",
+	} {
+		if err := sh.exec(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestShellVersionSelect(t *testing.T) {
+	sh, _ := newShell(t)
+	run(t, sh,
+		"mk Action A",
+		"save one",
+		"mk Action B",
+		"save two",
+		"select 1.0",
+	)
+	if _, ok := sh.db.GetObject("B"); ok {
+		t.Error("select 1.0 should hide B")
+	}
+	if _, ok := sh.db.GetObject("A"); !ok {
+		t.Error("select 1.0 lost A")
+	}
+}

@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of SEED, the database
+// system for software engineering applications based on the
+// entity-relationship approach (Glinz & Ludewig, ICDE 1986).
+//
+// The public API lives in the seed package; DESIGN.md maps every subsystem
+// and experiment, EXPERIMENTS.md records the reproduced evaluation
+// artifacts, and bench_test.go regenerates one benchmark group per paper
+// figure.
+package repro

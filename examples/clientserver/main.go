@@ -1,0 +1,89 @@
+// Command clientserver demonstrates the two-level multi-user scheme the
+// paper sketches under "Open problems": one central server runs the
+// complete database; clients retrieve freely, take local copies with write
+// locks for updates, and check updated copies back in as a single
+// transaction.
+//
+// Run with:
+//
+//	go run ./examples/clientserver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/client"
+	"repro/internal/server"
+	"repro/seed"
+)
+
+func main() {
+	db, err := seed.NewMemory(seed.Figure3Schema())
+	check(err)
+	defer db.Close()
+
+	// Seed the central database with a small specification.
+	alarms, err := db.CreateObject("Data", "Alarms")
+	check(err)
+	_, err = db.CreateValueObject(alarms, "Description", seed.NewString("alarm store"))
+	check(err)
+	_, err = db.CreateObject("Action", "AlarmHandler")
+	check(err)
+
+	srv := server.New(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	check(err)
+	defer srv.Close()
+	fmt.Printf("server on %s\n", addr)
+
+	// Two engineers connect.
+	anna, err := client.Dial(addr)
+	check(err)
+	defer anna.Close()
+	bert, err := client.Dial(addr)
+	check(err)
+	defer bert.Close()
+
+	// Retrieval needs no locks.
+	names, err := bert.List("Data")
+	check(err)
+	fmt.Printf("bert sees data objects: %v\n", names)
+
+	// Anna checks 'Alarms' out for update: a write lock in the central
+	// database.
+	ws, err := anna.Checkout("Alarms")
+	check(err)
+	fmt.Printf("anna checked out %v\n", ws.Roots())
+
+	// Bert cannot check it out while Anna holds the lock.
+	if _, err := bert.Checkout("Alarms"); err != nil {
+		fmt.Printf("bert's checkout rejected: %v\n", err)
+	}
+
+	// Anna updates her local copy and checks it back in — one transaction.
+	ws.SetValue("Alarms.Description", uint8(seed.KindString), "alarm display matrix")
+	ws.CreateObject("Action", "Sensor")
+	ws.CreateRelationship("Access", map[string]string{"from": "Alarms", "by": "Sensor"})
+	check(ws.Commit())
+	fmt.Println("anna checked in 3 updates in a single transaction")
+
+	// Now Bert can work with the released object.
+	ws2, err := bert.Checkout("Alarms")
+	check(err)
+	check(ws2.Abandon())
+
+	// Versions are kept centrally under server control.
+	num, err := anna.SaveVersion("after anna's session")
+	check(err)
+	fmt.Printf("central version %s saved\n", num)
+	st, err := bert.Stats()
+	check(err)
+	fmt.Printf("central state: %s\n", st)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

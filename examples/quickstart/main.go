@@ -1,0 +1,92 @@
+// Command quickstart builds the exact object-relationship structure of
+// figure 1 of the paper under the schema of figure 2, then shows SEED's
+// two retrieval styles: by name and by qualified path.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/seed"
+)
+
+func main() {
+	// The schema of figure 2: Data and Action classes, Read/Write/Contained
+	// associations. Schemas can also be parsed from SDL text.
+	db, err := seed.NewMemory(seed.Figure2Schema())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// (1) An independent object with name 'Alarms'.
+	alarms, err := db.CreateObject("Data", "Alarms")
+	check(err)
+	handler, err := db.CreateObject("Action", "AlarmHandler")
+	check(err)
+
+	// (2) A relationship 'Read', relating 'AlarmHandler' and 'Alarms' in
+	// roles 'by' and 'from'.
+	_, err = db.CreateRelationship("Read", map[string]seed.ID{
+		"from": alarms,
+		"by":   handler,
+	})
+	check(err)
+
+	// (3) The dependent object 'Alarms.Text' with its Body and Selector.
+	text, err := db.CreateSubObject(alarms, "Text")
+	check(err)
+	body, err := db.CreateSubObject(text, "Body")
+	check(err)
+	_, err = db.CreateValueObject(text, "Selector", seed.NewString("Representation"))
+	check(err)
+
+	// (4) Keywords with positional indices.
+	_, err = db.CreateValueObject(body, "Keywords", seed.NewString("Alarmhandling"))
+	check(err)
+	kw1, err := db.CreateValueObject(body, "Keywords", seed.NewString("Display"))
+	check(err)
+
+	// Composed names: the name of a dependent object is the name of its
+	// parent plus its role in the parent's context.
+	path, _ := db.PathOf(kw1)
+	fmt.Printf("created %s\n", path)
+
+	// Retrieval by name and by path.
+	if o, ok := db.GetObject("Alarms"); ok {
+		fmt.Printf("object %q has class %s\n", o.Name, o.Class.QualifiedName())
+	}
+	sel, err := db.ResolvePath("Alarms.Text[0].Selector")
+	check(err)
+	o, _ := db.View().Object(sel)
+	fmt.Printf("Alarms.Text[0].Selector = %s\n", o.Value.Quote())
+
+	// Consistency is enforced on every update: a 17th Text is rejected
+	// (Data.Text has cardinality 0..16).
+	for i := 0; i < 15; i++ {
+		if _, err := db.CreateSubObject(alarms, "Text"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := db.CreateSubObject(alarms, "Text"); err != nil {
+		fmt.Printf("17th Text rejected: %v\n", err)
+	}
+
+	// Completeness is a report, not an error: 'Alarms' still lacks its
+	// Write relationship (minimum cardinality 1..* of Write.from).
+	for _, f := range db.Completeness() {
+		if f.Item == alarms {
+			fmt.Printf("finding: %v\n", f)
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+// Command schemaevolution demonstrates schema versions: "When the schema
+// is modified, the interpretation of versions that were created before this
+// modification becomes a problem. Therefore, we must generate schema
+// versions, too." Data versions saved under schema 1 stay interpretable
+// under schema 1 after the schema evolves to version 2.
+//
+// Run with:
+//
+//	go run ./examples/schemaevolution
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/seed"
+)
+
+func main() {
+	db, err := seed.NewMemory(seed.Figure3Schema())
+	check(err)
+	defer db.Close()
+
+	// Work under schema version 1.
+	alarms, err := db.CreateObject("Data", "Alarms")
+	check(err)
+	_, err = db.CreateValueObject(alarms, "Description", seed.NewString("alarm store"))
+	check(err)
+	v1, err := db.SaveVersion("under schema v1")
+	check(err)
+	fmt.Printf("saved %s under schema v%d\n", v1, db.SchemaVersion())
+
+	// Evolve: a new top-level class and a new sub-class on Thing.
+	err = db.EvolveSchema(func(s *seed.Schema) error {
+		module, err := s.AddClass("Module")
+		if err != nil {
+			return err
+		}
+		if _, err := module.AddChild("Language", seed.AtMostOne, seed.KindString); err != nil {
+			return err
+		}
+		thing, err := s.Class("Thing")
+		if err != nil {
+			return err
+		}
+		_, err = thing.AddChild("Author", seed.AtMostOne, seed.KindString)
+		return err
+	})
+	check(err)
+	fmt.Printf("schema evolved to v%d\n", db.SchemaVersion())
+
+	// New categories are usable immediately; old data is intact.
+	kernel, err := db.CreateObject("Module", "Kernel")
+	check(err)
+	_, err = db.CreateValueObject(kernel, "Language", seed.NewString("Modula-2"))
+	check(err)
+	_, err = db.CreateValueObject(alarms, "Author", seed.NewString("glinz"))
+	check(err)
+	v2, err := db.SaveVersion("under schema v2")
+	check(err)
+	fmt.Printf("saved %s under schema v%d\n", v2, db.SchemaVersion())
+
+	// Old versions are interpreted under their own schema version.
+	for _, info := range db.Versions() {
+		view, err := db.VersionView(info.Num)
+		check(err)
+		_, hasModule := view.Schema().Class("Module")
+		fmt.Printf("version %s: schema v%d, knows class Module: %v\n",
+			info.Num, view.Schema().Version(), hasModule == nil)
+	}
+
+	// An evolution that would orphan existing data is rejected: you cannot
+	// re-type a populated sub-class.
+	err = db.EvolveSchema(func(s *seed.Schema) error {
+		_, err := s.AddClass("Module") // duplicate name
+		return err
+	})
+	fmt.Printf("conflicting evolution rejected: %v\n", err != nil)
+
+	fmt.Println("\ncurrent schema (SDL):")
+	fmt.Print(seed.RenderSDL(db.Schema()))
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

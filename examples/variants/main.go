@@ -1,0 +1,104 @@
+// Command variants builds the variants family of figure 5 of the paper
+// (experiment E4): a set of system configurations that share most of their
+// structure (the common part) but differ in some hardware-dependent
+// modules. The common part connects to pattern objects via pattern
+// relationships; every variant inherits the patterns and thereby provably
+// has the same relationships to the common part.
+//
+// Run with:
+//
+//	go run ./examples/variants
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/seed"
+)
+
+func main() {
+	db, err := seed.NewMemory(seed.Figure3Schema())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// The common part: configuration data every variant shares.
+	common, err := db.CreateObject("Data", "SharedModules")
+	check(err)
+	_, err = db.CreateValueObject(common, "Description",
+		seed.NewString("software modules common to all configurations"))
+	check(err)
+
+	// Pattern objects PO1 and PO2 with pattern relationships PR1, PR2 to
+	// the common part (relationships touching a pattern become pattern
+	// relationships automatically).
+	po1, err := db.CreatePatternObject("Action", "LoaderTemplate")
+	check(err)
+	po2, err := db.CreatePatternObject("Action", "DriverTemplate")
+	check(err)
+	_, err = db.CreateRelationship("Access", map[string]seed.ID{"from": common, "by": po1})
+	check(err)
+	_, err = db.CreateRelationship("Access", map[string]seed.ID{"from": common, "by": po2})
+	check(err)
+	// The templates carry shared information — e.g. a deadline-like
+	// description every variant must show identically.
+	_, err = db.CreateValueObject(po1, "Description", seed.NewString("loads shared modules at boot"))
+	check(err)
+
+	// Patterns are invisible to retrieval until inherited.
+	if _, ok := db.View().ObjectByName("LoaderTemplate"); !ok {
+		fmt.Println("patterns are invisible to retrieval")
+	}
+
+	// Two variants: configurations for different target hardware.
+	family := db.NewVariantFamily(po1, po2)
+	varA, err := family.AddVariant("Action", "ConfigVAX")
+	check(err)
+	varB, err := family.AddVariant("Action", "ConfigM68k")
+	check(err)
+
+	// Both variants have inherited relationships to the common part.
+	v := db.View()
+	for _, variant := range []seed.ID{varA, varB} {
+		o, _ := v.Object(variant)
+		fmt.Printf("%s:\n", o.Name)
+		for _, rid := range v.RelationshipsOf(variant) {
+			r, _ := v.Relationship(rid)
+			from, _ := v.Object(r.End("from"))
+			src, pat, _, _ := db.Origin(rid)
+			fmt.Printf("  inherited %s to %q (from pattern item %d via pattern %d)\n",
+				r.Assoc.Name(), from.Name, src, pat)
+		}
+		for _, ch := range v.Children(variant, "Description") {
+			c, _ := v.Object(ch)
+			fmt.Printf("  inherited description: %s\n", c.Value.Quote())
+		}
+	}
+
+	// Pattern information cannot be updated in the context of inheritors...
+	rels := v.RelationshipsOf(varA)
+	if err := db.Delete(rels[0]); err != nil {
+		fmt.Printf("update in inheritor context rejected: %v\n", err)
+	}
+	// ...but an update of the pattern automatically propagates to all
+	// inheritors.
+	descID, err := db.ResolvePathRaw("LoaderTemplate.Description")
+	check(err)
+	check(db.SetValue(descID, seed.NewString("loads shared modules at boot (v2)")))
+	v = db.View()
+	for _, variant := range []seed.ID{varA, varB} {
+		o, _ := v.Object(variant)
+		for _, ch := range v.Children(variant, "Description") {
+			c, _ := v.Object(ch)
+			fmt.Printf("%s now shows: %s\n", o.Name, c.Value.Quote())
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,9 @@
+package bench
+
+import (
+	"repro/internal/spades"
+	"repro/internal/spades/baseline"
+)
+
+// newBaseline gives tests access to the comparator tool.
+func newBaseline() spades.Tool { return baseline.New() }

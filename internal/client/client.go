@@ -1,0 +1,229 @@
+// Package client implements the client half of SEED's two-level multi-user
+// extension: retrieval goes to the central server; updates are staged
+// against local copies in a Workspace and sent back in one check-in, which
+// the server applies as a single transaction.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+
+	"repro/internal/wire"
+)
+
+// Client errors.
+var (
+	ErrRemote = errors.New("client: server error")
+)
+
+// Client is one connection to a SEED server.
+type Client struct {
+	conn net.Conn
+	id   string
+}
+
+// Dial connects and performs the hello handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn}
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpHello})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.id = resp.ClientID
+	return c, nil
+}
+
+// ID returns the server-assigned client identity.
+func (c *Client) ID() string { return c.id }
+
+// Close closes the connection; the server drops any remaining locks.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req *wire.Request) (*wire.Response, error) {
+	if err := wire.WriteFrame(c.conn, req); err != nil {
+		return nil, err
+	}
+	var resp wire.Response
+	if err := wire.ReadFrame(c.conn, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("%w: %s", ErrRemote, resp.Err)
+	}
+	return &resp, nil
+}
+
+// Get retrieves object subtrees by name (no locks).
+func (c *Client) Get(names ...string) ([]wire.Snapshot, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpGet, Names: names})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Snapshots, nil
+}
+
+// List lists independent object names, optionally restricted to a class
+// (with specializations).
+func (c *Client) List(class string) ([]string, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpList, Class: class})
+	if err != nil {
+		return nil, err
+	}
+	names := append([]string(nil), resp.Names...)
+	sort.Strings(names)
+	return names, nil
+}
+
+// SaveVersion snapshots the central database.
+func (c *Client) SaveVersion(note string) (string, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpSaveVersion, Note: note})
+	if err != nil {
+		return "", err
+	}
+	return resp.Version, nil
+}
+
+// Versions lists the central database's versions.
+func (c *Client) Versions() ([]wire.VersionInfo, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpVersions})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Versions, nil
+}
+
+// Completeness runs the completeness check on the central database.
+func (c *Client) Completeness() ([]wire.Finding, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpCompleteness})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Findings, nil
+}
+
+// Stats returns a one-line state summary.
+func (c *Client) Stats() (string, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return "", err
+	}
+	return resp.Stats, nil
+}
+
+// Release drops locks without updating.
+func (c *Client) Release(names ...string) error {
+	_, err := c.roundTrip(&wire.Request{Op: wire.OpRelease, Names: names})
+	return err
+}
+
+// Checkout locks the named objects in the central database and returns a
+// workspace holding local copies. Updates staged in the workspace are
+// applied by Commit as a single transaction.
+func (c *Client) Checkout(names ...string) (*Workspace, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpCheckout, Names: names})
+	if err != nil {
+		return nil, err
+	}
+	ws := &Workspace{
+		client: c,
+		roots:  append([]string(nil), names...),
+		copies: make(map[string]wire.Snapshot, len(resp.Snapshots)),
+	}
+	for _, s := range resp.Snapshots {
+		ws.copies[s.Root] = s
+	}
+	return ws, nil
+}
+
+// Workspace holds checked-out local copies and staged updates.
+type Workspace struct {
+	client  *Client
+	roots   []string
+	copies  map[string]wire.Snapshot
+	updates []wire.Update
+	done    bool
+}
+
+// Roots returns the checked-out object names.
+func (w *Workspace) Roots() []string { return append([]string(nil), w.roots...) }
+
+// Copy returns the local copy of a checked-out object subtree.
+func (w *Workspace) Copy(root string) (wire.Snapshot, bool) {
+	s, ok := w.copies[root]
+	return s, ok
+}
+
+// Staged returns the number of staged updates.
+func (w *Workspace) Staged() int { return len(w.updates) }
+
+// CreateObject stages creation of a new independent object.
+func (w *Workspace) CreateObject(class, name string) {
+	w.updates = append(w.updates, wire.Update{Kind: wire.UpdateCreateObject, Class: class, Name: name})
+}
+
+// CreateSub stages creation of a structured sub-object under a path.
+func (w *Workspace) CreateSub(parentPath, role string) {
+	w.updates = append(w.updates, wire.Update{Kind: wire.UpdateCreateSub, Path: parentPath, Role: role})
+}
+
+// CreateValue stages creation of a value sub-object under a path.
+func (w *Workspace) CreateValue(parentPath, role string, kind uint8, value string) {
+	w.updates = append(w.updates, wire.Update{
+		Kind: wire.UpdateCreateSub, Path: parentPath, Role: role,
+		ValueKind: kind, Value: value,
+	})
+}
+
+// SetValue stages a value update at a path.
+func (w *Workspace) SetValue(path string, kind uint8, value string) {
+	w.updates = append(w.updates, wire.Update{Kind: wire.UpdateSetValue, Path: path, ValueKind: kind, Value: value})
+}
+
+// CreateRelationship stages a relationship between paths.
+func (w *Workspace) CreateRelationship(assoc string, ends map[string]string) {
+	w.updates = append(w.updates, wire.Update{Kind: wire.UpdateCreateRel, Assoc: assoc, Ends: ends})
+}
+
+// Delete stages a deletion at a path.
+func (w *Workspace) Delete(path string) {
+	w.updates = append(w.updates, wire.Update{Kind: wire.UpdateDelete, Path: path})
+}
+
+// Reclassify stages a re-classification at a path.
+func (w *Workspace) Reclassify(path, newClass string) {
+	w.updates = append(w.updates, wire.Update{Kind: wire.UpdateReclassify, Path: path, Class: newClass})
+}
+
+// Commit sends the staged updates for application as a single transaction
+// and releases the locks on success. The workspace is spent afterwards.
+func (w *Workspace) Commit() error {
+	if w.done {
+		return errors.New("client: workspace already committed or abandoned")
+	}
+	_, err := w.client.roundTrip(&wire.Request{
+		Op:      wire.OpCheckin,
+		Names:   w.roots,
+		Updates: w.updates,
+	})
+	if err != nil {
+		return err
+	}
+	w.done = true
+	return nil
+}
+
+// Abandon drops the staged updates and releases the locks.
+func (w *Workspace) Abandon() error {
+	if w.done {
+		return nil
+	}
+	w.done = true
+	return w.client.Release(w.roots...)
+}

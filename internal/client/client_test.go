@@ -1,0 +1,140 @@
+package client_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/server"
+	"repro/seed"
+)
+
+func startServer(t *testing.T) (string, *seed.Database) {
+	t.Helper()
+	db, err := seed.NewMemory(seed.Figure3Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr, db
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := client.Dial("127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestWorkspaceLifecycle(t *testing.T) {
+	addr, db := startServer(t)
+	_, _ = db.CreateObject("Data", "Doc")
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ws, err := c.Checkout("Doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ws.Roots(); len(got) != 1 || got[0] != "Doc" {
+		t.Errorf("roots = %v", got)
+	}
+	if _, ok := ws.Copy("Doc"); !ok {
+		t.Error("copy missing")
+	}
+	if _, ok := ws.Copy("Nope"); ok {
+		t.Error("phantom copy")
+	}
+	ws.CreateValue("Doc", "Description", uint8(seed.KindString), "v")
+	if ws.Staged() != 1 {
+		t.Errorf("staged = %d", ws.Staged())
+	}
+	if err := ws.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// A spent workspace cannot commit again.
+	if err := ws.Commit(); err == nil {
+		t.Error("double commit accepted")
+	}
+	// Abandon after commit is a no-op.
+	if err := ws.Abandon(); err != nil {
+		t.Errorf("abandon after commit: %v", err)
+	}
+}
+
+func TestCheckoutUnknownObject(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Checkout("Missing"); err == nil {
+		t.Error("checkout of unknown object succeeded")
+	}
+	if _, err := c.Get("Missing"); err == nil {
+		t.Error("get of unknown object succeeded")
+	}
+}
+
+func TestWorkspaceStagingKinds(t *testing.T) {
+	addr, db := startServer(t)
+	_, _ = db.CreateObject("Data", "Doc")
+	c, _ := client.Dial(addr)
+	defer c.Close()
+	ws, err := c.Checkout("Doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws.CreateObject("Action", "Worker")
+	ws.CreateSub("Doc", "Text")
+	ws.CreateValue("Doc", "Description", uint8(seed.KindString), "described")
+	ws.CreateRelationship("Access", map[string]string{"from": "Doc", "by": "Worker"})
+	ws.Reclassify("Doc", "OutputData")
+	if err := ws.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	o, ok := db.GetObject("Doc")
+	if !ok || o.Class.QualifiedName() != "OutputData" {
+		t.Errorf("Doc after batch: %v %v", o.Class, ok)
+	}
+	if len(db.View().RelationshipsOf(o.ID)) != 1 {
+		t.Error("relationship missing")
+	}
+	// Delete through a second workspace.
+	ws2, err := c.Checkout("Worker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws2.Delete("Worker")
+	if err := ws2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.GetObject("Worker"); ok {
+		t.Error("delete not applied")
+	}
+}
+
+func TestRemoteErrorText(t *testing.T) {
+	addr, db := startServer(t)
+	_, _ = db.CreateObject("Data", "Doc")
+	c1, _ := client.Dial(addr)
+	defer c1.Close()
+	c2, _ := client.Dial(addr)
+	defer c2.Close()
+	if _, err := c1.Checkout("Doc"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c2.Checkout("Doc")
+	if err == nil || !strings.Contains(err.Error(), "checked out") {
+		t.Errorf("lock error text: %v", err)
+	}
+}

@@ -1,0 +1,185 @@
+package consistency
+
+import (
+	"fmt"
+
+	"repro/internal/item"
+	"repro/internal/schema"
+)
+
+// Rule identifies the completeness rule behind a finding.
+type Rule string
+
+// The completeness rules derivable from the completeness information of the
+// schema (minimum cardinalities and covering conditions), plus the vague-
+// value rule for value objects that exist but have not been given a value.
+const (
+	RuleMinChildren      Rule = "min-sub-objects"
+	RuleMinParticipation Rule = "min-participation"
+	RuleCovering         Rule = "covering"
+	RuleUndefinedValue   Rule = "undefined-value"
+)
+
+// Finding is one detected incompleteness. Findings are information, not
+// errors: incomplete data is legitimate during development, and the formal
+// detection of incompleteness is provided by explicit operations.
+type Finding struct {
+	Item   item.ID
+	Kind   item.Kind
+	Rule   Rule
+	Detail string
+}
+
+// String renders a finding for reports.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s %d: [%s] %s", f.Kind, f.Item, f.Rule, f.Detail)
+}
+
+// CheckCompleteness evaluates every completeness rule over the visible state
+// and returns all findings, ordered by item ID. Run it over a
+// pattern-spliced view so that inherited items count toward the completeness
+// of their inheritors.
+func CheckCompleteness(v item.View) []Finding {
+	var out []Finding
+	for _, id := range v.Objects() {
+		out = append(out, checkObjectCompleteness(v, id)...)
+	}
+	for _, id := range v.Relationships() {
+		out = append(out, checkRelationshipCompleteness(v, id)...)
+	}
+	return out
+}
+
+// CheckItemCompleteness evaluates the completeness rules for a single item.
+func CheckItemCompleteness(v item.View, id item.ID) []Finding {
+	if _, ok := v.Object(id); ok {
+		return checkObjectCompleteness(v, id)
+	}
+	if _, ok := v.Relationship(id); ok {
+		return checkRelationshipCompleteness(v, id)
+	}
+	return nil
+}
+
+func checkObjectCompleteness(v item.View, id item.ID) []Finding {
+	o, ok := v.Object(id)
+	if !ok || o.Pattern {
+		return nil // patterns are exempt until inherited
+	}
+	var out []Finding
+
+	// Covering: the object must finally be specialized.
+	if o.Class.Covering() && len(o.Class.Specializations()) > 0 {
+		out = append(out, Finding{
+			Item: id, Kind: item.KindObject, Rule: RuleCovering,
+			Detail: fmt.Sprintf("object of covering class %q must be specialized into one of %s",
+				o.Class.QualifiedName(), specNames(o.Class)),
+		})
+	}
+
+	// Undefined value.
+	if o.Class.HasValue() && !o.Value.IsDefined() {
+		out = append(out, Finding{
+			Item: id, Kind: item.KindObject, Rule: RuleUndefinedValue,
+			Detail: fmt.Sprintf("%s value of %q is undefined", o.Class.ValueKind(), o.Class.QualifiedName()),
+		})
+	}
+
+	// Minimum sub-object cardinalities, including classes inherited via
+	// generalization.
+	for _, ch := range o.Class.AllChildren() {
+		min := ch.Cardinality().Min
+		if min == 0 {
+			continue
+		}
+		if n := CountChildren(v, id, ch.Name()); n < min {
+			out = append(out, Finding{
+				Item: id, Kind: item.KindObject, Rule: RuleMinChildren,
+				Detail: fmt.Sprintf("%d sub-objects in role %q, schema requires %s",
+					n, ch.Name(), ch.Cardinality()),
+			})
+		}
+	}
+
+	// Minimum participation cardinalities: for every association role whose
+	// class admits this object and whose minimum is positive, the object
+	// must participate at least Min times in the association's family.
+	for _, a := range v.Schema().Associations() {
+		for _, role := range a.Roles() {
+			if role.Card.Min == 0 || !o.Class.IsA(role.Class()) {
+				continue
+			}
+			if n := CountParticipation(v, id, a, role.Name); n < role.Card.Min {
+				out = append(out, Finding{
+					Item: id, Kind: item.KindObject, Rule: RuleMinParticipation,
+					Detail: fmt.Sprintf("object participates %d times in %q role %q, schema requires %s",
+						n, a.Name(), role.Name, role.Card),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func checkRelationshipCompleteness(v item.View, id item.ID) []Finding {
+	r, ok := v.Relationship(id)
+	if !ok || r.Pattern || r.Inherits {
+		return nil
+	}
+	var out []Finding
+
+	// Covering associations.
+	if r.Assoc.Covering() && len(r.Assoc.Specializations()) > 0 {
+		out = append(out, Finding{
+			Item: id, Kind: item.KindRelationship, Rule: RuleCovering,
+			Detail: fmt.Sprintf("relationship of covering association %q must be specialized into one of %s",
+				r.Assoc.Name(), assocSpecNames(r.Assoc)),
+		})
+	}
+
+	// Minimum attribute cardinalities along the generalization chain
+	// (nearest declaration wins, mirroring ResolveChild).
+	seen := make(map[string]bool)
+	for _, anc := range r.Assoc.GeneralizationChain() {
+		for _, ch := range anc.Children() {
+			if seen[ch.Name()] {
+				continue
+			}
+			seen[ch.Name()] = true
+			min := ch.Cardinality().Min
+			if min == 0 {
+				continue
+			}
+			if n := CountChildren(v, id, ch.Name()); n < min {
+				out = append(out, Finding{
+					Item: id, Kind: item.KindRelationship, Rule: RuleMinChildren,
+					Detail: fmt.Sprintf("%d attributes in role %q, schema requires %s",
+						n, ch.Name(), ch.Cardinality()),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func specNames(c *schema.Class) string {
+	s := "{"
+	for i, sp := range c.Specializations() {
+		if i > 0 {
+			s += ", "
+		}
+		s += sp.QualifiedName()
+	}
+	return s + "}"
+}
+
+func assocSpecNames(a *schema.Association) string {
+	s := "{"
+	for i, sp := range a.Specializations() {
+		if i > 0 {
+			s += ", "
+		}
+		s += sp.Name()
+	}
+	return s + "}"
+}

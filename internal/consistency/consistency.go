@@ -1,0 +1,333 @@
+// Package consistency implements the two halves of SEED's split integrity
+// concept (paper, section "Incomplete data"):
+//
+//   - Consistency rules — class and association membership, maximum
+//     cardinalities, and ACYCLIC conditions — are derivable from the
+//     consistency information of the schema and are enforced by the engine
+//     whenever an update operation is executed. (The fourth consistency
+//     category, attached procedures, is executed by the engine itself
+//     because procedures are registered there.)
+//   - Completeness rules — minimum cardinalities and covering conditions
+//     for generalizations — are only evaluated by explicit operations and
+//     produce findings rather than errors, because incomplete information
+//     is legitimate during specification and design.
+//
+// All rules are expressed against the item.View interface, so the same
+// checker validates the live state, version views, and pattern-spliced
+// views. Pattern items do not count against cardinalities and are not
+// checked themselves ("patterns ... are not checked for consistency unless
+// they are inherited by a 'normal' data item"); the pattern package
+// re-checks inheritor contexts through a spliced view, where inherited
+// items appear as normal ones.
+package consistency
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/item"
+	"repro/internal/schema"
+)
+
+// Consistency violations.
+var (
+	ErrMembership  = errors.New("consistency: membership violation")
+	ErrMaxCard     = errors.New("consistency: maximum cardinality exceeded")
+	ErrCycle       = errors.New("consistency: ACYCLIC condition violated")
+	ErrDangling    = errors.New("consistency: relationship end does not exist")
+	ErrRoles       = errors.New("consistency: role set mismatch")
+	ErrValueKind   = errors.New("consistency: value kind mismatch")
+	ErrPatternRef  = errors.New("consistency: normal item references a pattern")
+	ErrInheritLink = errors.New("consistency: malformed inherits-relationship")
+)
+
+// CountChildren counts the live, non-pattern sub-objects of parent in role.
+func CountChildren(v item.View, parent item.ID, role string) int {
+	n := 0
+	for _, id := range v.Children(parent, role) {
+		if o, ok := v.Object(id); ok && !o.Pattern {
+			n++
+		}
+	}
+	return n
+}
+
+// CountParticipation counts the live, non-pattern relationships of assoc or
+// any of its specializations in which obj fills the given role. This is the
+// family counting rule that lets a Read or a Write satisfy a constraint on
+// Access.
+func CountParticipation(v item.View, obj item.ID, assoc *schema.Association, role string) int {
+	n := 0
+	for _, rid := range v.RelationshipsOf(obj) {
+		r, ok := v.Relationship(rid)
+		if !ok || r.Pattern || r.Inherits || r.Assoc == nil {
+			continue
+		}
+		if r.Assoc.IsA(assoc) && r.End(role) == obj {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckObject validates every consistency rule that applies to one object in
+// the given state: membership (its class must admit it in its position),
+// value kind, and — for dependent objects — the maximum cardinality of its
+// role within the parent. Pattern objects are only checked structurally.
+func CheckObject(v item.View, id item.ID) error {
+	o, ok := v.Object(id)
+	if !ok {
+		return fmt.Errorf("%w: object %d not visible", ErrMembership, id)
+	}
+	if o.Class == nil {
+		return fmt.Errorf("%w: object %d has no class", ErrMembership, id)
+	}
+	// Structural membership.
+	if o.Independent() {
+		if !o.Class.Top() {
+			return fmt.Errorf("%w: independent object %q of dependent class %q",
+				ErrMembership, o.Name, o.Class.QualifiedName())
+		}
+	} else {
+		expected, err := parentChildClass(v, o)
+		if err != nil {
+			return err
+		}
+		if expected != o.Class {
+			return fmt.Errorf("%w: sub-object %d in role %q has class %q, schema requires %q",
+				ErrMembership, id, o.Role, o.Class.QualifiedName(), expected.QualifiedName())
+		}
+	}
+	// Value kind.
+	if o.Value.IsDefined() {
+		if !o.Class.HasValue() {
+			return fmt.Errorf("%w: class %q carries no value", ErrValueKind, o.Class.QualifiedName())
+		}
+		if o.Value.Kind() != o.Class.ValueKind() {
+			return fmt.Errorf("%w: %v value for %v class %q",
+				ErrValueKind, o.Value.Kind(), o.Class.ValueKind(), o.Class.QualifiedName())
+		}
+	}
+	if o.Pattern {
+		return nil // cardinalities are not enforced for patterns
+	}
+	// Maximum cardinality of the role within the parent.
+	if !o.Independent() {
+		card := o.Class.Cardinality()
+		if n := CountChildren(v, o.Parent, o.Role); !card.AllowsCount(n) {
+			return fmt.Errorf("%w: %d sub-objects in role %q, schema allows %s",
+				ErrMaxCard, n, o.Role, card)
+		}
+	}
+	return nil
+}
+
+// parentChildClass resolves the schema class required for o's role within
+// its parent item (which may be an object or a relationship).
+func parentChildClass(v item.View, o item.Object) (*schema.Class, error) {
+	if po, ok := v.Object(o.Parent); ok {
+		c, err := po.Class.ResolveChild(o.Role)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMembership, err)
+		}
+		return c, nil
+	}
+	if pr, ok := v.Relationship(o.Parent); ok {
+		if pr.Inherits {
+			return nil, fmt.Errorf("%w: inherits-relationship cannot own sub-objects", ErrInheritLink)
+		}
+		c, err := pr.Assoc.ResolveChild(o.Role)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMembership, err)
+		}
+		return c, nil
+	}
+	return nil, fmt.Errorf("%w: parent %d of sub-object %d not visible", ErrDangling, o.Parent, o.ID)
+}
+
+// CheckRelationship validates one relationship: its role set must match the
+// association, every end must exist and be class-admissible, no normal
+// relationship may reference a pattern object, maximum participation
+// cardinalities must hold along the generalization chain, and ACYCLIC
+// associations must remain cycle-free.
+func CheckRelationship(v item.View, id item.ID) error {
+	r, ok := v.Relationship(id)
+	if !ok {
+		return fmt.Errorf("%w: relationship %d not visible", ErrMembership, id)
+	}
+	if r.Inherits {
+		return checkInherits(v, r)
+	}
+	if r.Assoc == nil {
+		return fmt.Errorf("%w: relationship %d has no association", ErrMembership, id)
+	}
+	// The relationship must fill exactly the roles of its association
+	// (role names may be inherited from the general association).
+	required := resolvedRoles(r.Assoc)
+	if len(r.Ends) != len(required) {
+		return fmt.Errorf("%w: %q needs roles %v, got %d ends",
+			ErrRoles, r.Assoc.Name(), roleNames(required), len(r.Ends))
+	}
+	for _, end := range r.Ends {
+		role, ok := required[end.Role]
+		if !ok {
+			return fmt.Errorf("%w: %q has no role %q", ErrRoles, r.Assoc.Name(), end.Role)
+		}
+		o, exists := v.Object(end.Object)
+		if !exists {
+			return fmt.Errorf("%w: role %q of relationship %d", ErrDangling, end.Role, id)
+		}
+		if !role.Accepts(o.Class) {
+			return fmt.Errorf("%w: role %q of %q requires %q, object %d has class %q",
+				ErrMembership, end.Role, r.Assoc.Name(),
+				role.Class().QualifiedName(), end.Object, o.Class.QualifiedName())
+		}
+		if o.Pattern && !r.Pattern {
+			return fmt.Errorf("%w: relationship %d end %q", ErrPatternRef, id, end.Role)
+		}
+	}
+	if r.Pattern {
+		return nil // cardinalities and cycles are not enforced for patterns
+	}
+	// Maximum participation cardinalities, counted per generalization level:
+	// a Write counts against the maxima of Write and of Access.
+	for _, anc := range r.Assoc.GeneralizationChain() {
+		for _, role := range anc.Roles() {
+			obj := r.End(role.Name)
+			if obj == item.NoID {
+				continue
+			}
+			if n := CountParticipation(v, obj, anc, role.Name); !role.Card.AllowsCount(n) {
+				return fmt.Errorf("%w: object %d participates %d times in %q role %q, schema allows %s",
+					ErrMaxCard, obj, n, anc.Name(), role.Name, role.Card)
+			}
+		}
+	}
+	// ACYCLIC along the generalization chain.
+	for _, anc := range r.Assoc.GeneralizationChain() {
+		if anc.Acyclic() {
+			if err := CheckAcyclic(v, anc); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkInherits validates the special inherits-relationship: it links a
+// pattern item to a normal (non-pattern) inheritor.
+func checkInherits(v item.View, r item.Relationship) error {
+	if len(r.Ends) != 2 {
+		return fmt.Errorf("%w: %d ends", ErrInheritLink, len(r.Ends))
+	}
+	pat := r.End(item.InheritsPatternRole)
+	inh := r.End(item.InheritsInheritorRole)
+	if pat == item.NoID || inh == item.NoID {
+		return fmt.Errorf("%w: missing pattern or inheritor end", ErrInheritLink)
+	}
+	po, ok := v.Object(pat)
+	if !ok {
+		return fmt.Errorf("%w: pattern end", ErrDangling)
+	}
+	io, ok := v.Object(inh)
+	if !ok {
+		return fmt.Errorf("%w: inheritor end", ErrDangling)
+	}
+	if !po.Pattern {
+		return fmt.Errorf("%w: pattern end %d is not marked as a pattern", ErrInheritLink, pat)
+	}
+	if io.Pattern {
+		return fmt.Errorf("%w: inheritor %d must be a normal data item", ErrInheritLink, inh)
+	}
+	// The inheritor views the pattern's sub-objects and relationships as its
+	// own, so its class must be the pattern's class or a specialization.
+	if !io.Class.IsA(po.Class) {
+		return fmt.Errorf("%w: inheritor class %q is not a %q",
+			ErrInheritLink, io.Class.QualifiedName(), po.Class.QualifiedName())
+	}
+	return nil
+}
+
+// resolvedRoles collects the effective role set of an association: its own
+// roles plus inherited role names from general associations (nearest
+// definition wins).
+func resolvedRoles(a *schema.Association) map[string]*schema.Role {
+	out := make(map[string]*schema.Role)
+	for x := a; x != nil; x = x.Super() {
+		for _, r := range x.Roles() {
+			if _, seen := out[r.Name]; !seen {
+				out[r.Name] = r
+			}
+		}
+	}
+	return out
+}
+
+func roleNames(m map[string]*schema.Role) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	return out
+}
+
+// CheckAcyclic verifies that the non-pattern relationships of assoc's family
+// contain no directed cycle. The edge direction runs from the association's
+// first declared role to its second (for 'Contained': contained -> container,
+// so a cycle means some action transitively contains itself).
+func CheckAcyclic(v item.View, assoc *schema.Association) error {
+	roles := assoc.Roles()
+	if len(roles) != 2 {
+		return nil // validated impossible at schema freeze
+	}
+	fromRole, toRole := roles[0].Name, roles[1].Name
+	// Build adjacency over the family's live relationships.
+	adj := make(map[item.ID][]item.ID)
+	for _, rid := range v.Relationships() {
+		r, ok := v.Relationship(rid)
+		if !ok || r.Pattern || r.Inherits || r.Assoc == nil || !r.Assoc.IsA(assoc) {
+			continue
+		}
+		a, b := r.End(fromRole), r.End(toRole)
+		if a != item.NoID && b != item.NoID {
+			adj[a] = append(adj[a], b)
+		}
+	}
+	// Iterative three-colour DFS.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	colour := make(map[item.ID]int, len(adj))
+	for start := range adj {
+		if colour[start] != white {
+			continue
+		}
+		type frame struct {
+			node item.ID
+			next int
+		}
+		stack := []frame{{node: start}}
+		colour[start] = grey
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(adj[f.node]) {
+				n := adj[f.node][f.next]
+				f.next++
+				switch colour[n] {
+				case grey:
+					return fmt.Errorf("%w: association %q cycles through object %d",
+						ErrCycle, assoc.Name(), n)
+				case white:
+					colour[n] = grey
+					stack = append(stack, frame{node: n})
+				}
+				continue
+			}
+			colour[f.node] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return nil
+}

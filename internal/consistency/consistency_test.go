@@ -1,0 +1,197 @@
+package consistency_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/item"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func engine(t *testing.T, sch *schema.Schema) *core.Engine {
+	t.Helper()
+	en, err := core.NewEngine(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return en
+}
+
+func TestCountParticipationFamily(t *testing.T) {
+	en := engine(t, schema.Figure3())
+	alarms, _ := en.CreateObject("OutputData", "Alarms")
+	input, _ := en.CreateObject("InputData", "In")
+	s1, _ := en.CreateObject("Action", "S1")
+	s2, _ := en.CreateObject("Action", "S2")
+	_, _ = en.CreateRelationship("Write", map[string]item.ID{"from": alarms, "by": s1})
+	_, _ = en.CreateRelationship("Access", map[string]item.ID{"from": alarms, "by": s2})
+	_, _ = en.CreateRelationship("Read", map[string]item.ID{"from": input, "by": s1})
+
+	v := en.View()
+	sch := v.Schema()
+	access := sch.MustAssociation("Access")
+	write := sch.MustAssociation("Write")
+	read := sch.MustAssociation("Read")
+
+	// Family counting: a Write and an Access both count as Access.
+	if n := consistency.CountParticipation(v, alarms, access, "from"); n != 2 {
+		t.Errorf("Access participation = %d, want 2", n)
+	}
+	if n := consistency.CountParticipation(v, alarms, write, "from"); n != 1 {
+		t.Errorf("Write participation = %d, want 1", n)
+	}
+	if n := consistency.CountParticipation(v, alarms, read, "from"); n != 0 {
+		t.Errorf("Read participation = %d, want 0", n)
+	}
+	// s1 accesses via Write and Read.
+	if n := consistency.CountParticipation(v, s1, access, "by"); n != 2 {
+		t.Errorf("s1 access = %d, want 2", n)
+	}
+}
+
+func TestCompletenessFamilySatisfaction(t *testing.T) {
+	// The paper: "the cardinality 0..* of 'Read by' and 'Write by' allows
+	// either a write or a read access to satisfy this condition" (the
+	// 1..* of Access by).
+	en := engine(t, schema.Figure3())
+	alarms, _ := en.CreateObject("OutputData", "Alarms")
+	s, _ := en.CreateObject("Action", "S")
+	_, _ = en.CreateRelationship("Write", map[string]item.ID{"from": alarms, "by": s})
+	v := en.View()
+	for _, f := range consistency.CheckCompleteness(v) {
+		if f.Item == s && f.Rule == consistency.RuleMinParticipation {
+			t.Errorf("Action's Access 1..* should be satisfied by a Write: %v", f)
+		}
+	}
+}
+
+func TestAcyclicLargeChainAndCycle(t *testing.T) {
+	en := engine(t, schema.Figure2())
+	const n = 200
+	ids := make([]item.ID, n)
+	for i := range ids {
+		ids[i], _ = en.CreateObject("Action", fmt.Sprintf("A%d", i))
+	}
+	// A long chain is fine.
+	for i := 0; i+1 < n; i++ {
+		if _, err := en.CreateRelationship("Contained", map[string]item.ID{
+			"contained": ids[i], "container": ids[i+1],
+		}); err != nil {
+			t.Fatalf("chain link %d: %v", i, err)
+		}
+	}
+	// Closing the cycle at the far end is rejected.
+	if _, err := en.CreateRelationship("Contained", map[string]item.ID{
+		"contained": ids[n-1], "container": ids[0],
+	}); !errors.Is(err, consistency.ErrCycle) {
+		t.Fatalf("long cycle: %v", err)
+	}
+	// Diamonds (shared containers) are not cycles.
+	x, _ := en.CreateObject("Action", "X")
+	if _, err := en.CreateRelationship("Contained", map[string]item.ID{
+		"contained": x, "container": ids[5],
+	}); err != nil {
+		t.Errorf("diamond rejected: %v", err)
+	}
+}
+
+func TestCheckObjectErrors(t *testing.T) {
+	en := engine(t, schema.Figure3())
+	v := en.View()
+	if err := consistency.CheckObject(v, 999); !errors.Is(err, consistency.ErrMembership) {
+		t.Errorf("unknown object: %v", err)
+	}
+	if err := consistency.CheckRelationship(v, 999); !errors.Is(err, consistency.ErrMembership) {
+		t.Errorf("unknown relationship: %v", err)
+	}
+}
+
+func TestPatternsExemptFromCounts(t *testing.T) {
+	en := engine(t, schema.Figure3())
+	alarms, _ := en.CreateObject("Data", "Alarms")
+	// A pattern action with an Access relationship to Alarms: the pattern
+	// relationship must not count toward Alarms' participation.
+	pat, _ := en.CreatePatternObject("Action", "PO")
+	_, _ = en.CreateRelationship("Access", map[string]item.ID{"from": alarms, "by": pat})
+	v := en.View()
+	access := v.Schema().MustAssociation("Access")
+	if n := consistency.CountParticipation(v, alarms, access, "from"); n != 0 {
+		t.Errorf("pattern relationship counted: %d", n)
+	}
+	// And pattern children do not count toward sub-object maxima.
+	pat2, _ := en.CreatePatternObject("Data", "PD")
+	_, _ = en.CreateSubObject(pat2, "Text")
+	if n := consistency.CountChildren(v, pat2, "Text"); n != 0 {
+		t.Errorf("pattern children counted: %d", n)
+	}
+}
+
+func TestCompletenessOrderingAndDetail(t *testing.T) {
+	en := engine(t, schema.Figure3())
+	a, _ := en.CreateObject("Thing", "A")
+	b, _ := en.CreateObject("Thing", "B")
+	fs := consistency.CheckCompleteness(en.View())
+	if len(fs) == 0 {
+		t.Fatal("no findings")
+	}
+	// Findings are ordered by item.
+	last := item.NoID
+	for _, f := range fs {
+		if f.Item < last {
+			t.Fatalf("findings unordered: %v", fs)
+		}
+		last = f.Item
+		if f.String() == "" || f.Detail == "" {
+			t.Error("empty finding rendering")
+		}
+	}
+	_ = a
+	_ = b
+}
+
+func TestRelationshipAttributeCompleteness(t *testing.T) {
+	en := engine(t, schema.Figure3())
+	alarms, _ := en.CreateObject("OutputData", "Alarms")
+	s, _ := en.CreateObject("Action", "S")
+	w, _ := en.CreateRelationship("Write", map[string]item.ID{"from": alarms, "by": s})
+	// Write.NumberOfWrites is 1..1 and missing.
+	found := false
+	for _, f := range consistency.CheckItemCompleteness(en.View(), w) {
+		if f.Rule == consistency.RuleMinChildren && f.Kind == item.KindRelationship {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing NumberOfWrites not reported")
+	}
+	_, _ = en.CreateValueObject(w, "NumberOfWrites", value.NewInteger(1))
+	for _, f := range consistency.CheckItemCompleteness(en.View(), w) {
+		if f.Rule == consistency.RuleMinChildren {
+			t.Errorf("finding after fix: %v", f)
+		}
+	}
+}
+
+func TestCoveringOnlyOnceSpecialized(t *testing.T) {
+	en := engine(t, schema.Figure3())
+	a, _ := en.CreateObject("Thing", "A")
+	hasCovering := func(id item.ID) bool {
+		for _, f := range consistency.CheckItemCompleteness(en.View(), id) {
+			if f.Rule == consistency.RuleCovering {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasCovering(a) {
+		t.Error("Thing instance not flagged")
+	}
+	_ = en.Reclassify(a, "Data")
+	if hasCovering(a) {
+		t.Error("specialized instance still flagged (Data is not covering)")
+	}
+}

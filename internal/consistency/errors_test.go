@@ -1,0 +1,132 @@
+package consistency_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/item"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// These tests drive the rarely-hit error branches of the checker directly
+// through engine operations.
+
+func TestValueOnValuelessClass(t *testing.T) {
+	en := engine(t, schema.Figure3())
+	a, _ := en.CreateObject("Data", "A")
+	text, _ := en.CreateSubObject(a, "Text")
+	if err := en.SetValue(text, value.NewString("x")); !errors.Is(err, core.ErrNotValueObject) {
+		t.Errorf("value on structured class: %v", err)
+	}
+}
+
+func TestRelationshipToDeletedEnd(t *testing.T) {
+	en := engine(t, schema.Figure3())
+	a, _ := en.CreateObject("Data", "A")
+	h, _ := en.CreateObject("Action", "H")
+	_ = en.Delete(h)
+	if _, err := en.CreateRelationship("Access", map[string]item.ID{"from": a, "by": h}); !errors.Is(err, consistency.ErrDangling) {
+		t.Errorf("relationship to deleted end: %v", err)
+	}
+}
+
+func TestInheritsMalformedEnds(t *testing.T) {
+	en := engine(t, schema.Figure3())
+	normal, _ := en.CreateObject("Data", "N")
+	other, _ := en.CreateObject("Data", "O")
+	// Inherit with a non-pattern "pattern" end is rejected by the inherits
+	// check.
+	if _, err := en.Inherit(normal, other); !errors.Is(err, consistency.ErrInheritLink) {
+		t.Errorf("inherit from normal item: %v", err)
+	}
+	// Inheritor must be a specialization-compatible class.
+	pat, _ := en.CreatePatternObject("Data", "P")
+	act, _ := en.CreateObject("Action", "A")
+	if _, err := en.Inherit(pat, act); !errors.Is(err, consistency.ErrInheritLink) {
+		t.Errorf("class-incompatible inherit: %v", err)
+	}
+	// Inheriting into a more general class is also rejected (an is-a
+	// relationship is required, not just family membership).
+	thing, _ := en.CreateObject("Thing", "T")
+	if _, err := en.Inherit(pat, thing); !errors.Is(err, consistency.ErrInheritLink) {
+		t.Errorf("generalizing inherit: %v", err)
+	}
+	// The specializing direction works.
+	out, _ := en.CreateObject("OutputData", "OD")
+	if _, err := en.Inherit(pat, out); err != nil {
+		t.Errorf("specializing inherit: %v", err)
+	}
+}
+
+func TestAttributeUnderInheritsRejected(t *testing.T) {
+	en := engine(t, schema.Figure3())
+	pat, _ := en.CreatePatternObject("Data", "P")
+	inh, _ := en.CreateObject("Data", "I")
+	link, _ := en.Inherit(pat, inh)
+	if _, err := en.CreateSubObject(link, "Anything"); !errors.Is(err, core.ErrPatternConflict) {
+		t.Errorf("sub-object under inherits-relationship: %v", err)
+	}
+}
+
+func TestMaxCardinalityAcrossGeneralization(t *testing.T) {
+	// Build a schema where the general association has a tight maximum:
+	// Gen.x is 0..1, Spec.x is 0..*. Two Spec relationships for one object
+	// violate the Gen maximum via family counting.
+	s := schema.New("T")
+	a, _ := s.AddClass("A")
+	b, _ := s.AddClass("B")
+	gen, _ := s.AddAssociation("Gen")
+	_, _ = gen.AddRole("x", a, schema.AtMostOne)
+	_, _ = gen.AddRole("y", b, schema.Any)
+	spec, _ := s.AddAssociation("Spec")
+	_, _ = spec.AddRole("x", a, schema.Any)
+	_, _ = spec.AddRole("y", b, schema.Any)
+	_ = spec.Specialize(gen)
+	if err := s.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	en := engine(t, s)
+	ao, _ := en.CreateObject("A", "AO")
+	b1, _ := en.CreateObject("B", "B1")
+	b2, _ := en.CreateObject("B", "B2")
+	if _, err := en.CreateRelationship("Spec", map[string]item.ID{"x": ao, "y": b1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := en.CreateRelationship("Spec", map[string]item.ID{"x": ao, "y": b2}); !errors.Is(err, consistency.ErrMaxCard) {
+		t.Fatalf("general maximum not enforced through the family: %v", err)
+	}
+}
+
+func TestNaryAssociation(t *testing.T) {
+	// SEED associations are not limited to two roles.
+	s := schema.New("T")
+	a, _ := s.AddClass("A")
+	b, _ := s.AddClass("B")
+	c, _ := s.AddClass("C")
+	tri, _ := s.AddAssociation("Tri")
+	_, _ = tri.AddRole("x", a, schema.Any)
+	_, _ = tri.AddRole("y", b, schema.Any)
+	_, _ = tri.AddRole("z", c, schema.AtMostOne)
+	if err := s.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	en := engine(t, s)
+	ao, _ := en.CreateObject("A", "AO")
+	bo, _ := en.CreateObject("B", "BO")
+	co, _ := en.CreateObject("C", "CO")
+	if _, err := en.CreateRelationship("Tri", map[string]item.ID{"x": ao, "y": bo, "z": co}); err != nil {
+		t.Fatal(err)
+	}
+	// Missing one of three roles.
+	if _, err := en.CreateRelationship("Tri", map[string]item.ID{"x": ao, "y": bo}); !errors.Is(err, consistency.ErrRoles) {
+		t.Errorf("missing third role: %v", err)
+	}
+	// The z maximum binds.
+	b2, _ := en.CreateObject("B", "B2")
+	if _, err := en.CreateRelationship("Tri", map[string]item.ID{"x": ao, "y": b2, "z": co}); !errors.Is(err, consistency.ErrMaxCard) {
+		t.Errorf("z maximum not enforced: %v", err)
+	}
+}

@@ -1,0 +1,400 @@
+// Package core implements the SEED engine: the operational interface for
+// creating, updating, re-classifying, and deleting objects and
+// relationships, with eager enforcement of every consistency rule on every
+// update ("Whenever an update operation is executed, SEED checks all
+// consistency rules ... Thus SEED permanently ensures database
+// consistency").
+//
+// The engine maintains the current database state. Saved versions, version
+// views, and pattern splicing live in internal/version and internal/pattern
+// and observe the engine through the item.View interface; the seed package
+// wires everything together into a database with persistence.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/consistency"
+	"repro/internal/item"
+	"repro/internal/schema"
+)
+
+// Engine errors.
+var (
+	ErrUnknownItem     = errors.New("core: unknown item")
+	ErrDeleted         = errors.New("core: item is deleted")
+	ErrDuplicateName   = errors.New("core: duplicate object name")
+	ErrNotIndependent  = errors.New("core: operation requires an independent object")
+	ErrNotValueObject  = errors.New("core: object carries no value")
+	ErrBadReclassify   = errors.New("core: invalid re-classification")
+	ErrPatternConflict = errors.New("core: invalid pattern operation")
+	ErrHasInheritors   = errors.New("core: pattern still has inheritors")
+	ErrProcMissing     = errors.New("core: attached procedure not registered")
+	ErrTxState         = errors.New("core: invalid transaction state")
+	ErrSchemaMismatch  = errors.New("core: schema element from foreign schema")
+)
+
+// Op classifies a mutation for attached procedures.
+type Op uint8
+
+// The mutation kinds reported to attached procedures.
+const (
+	OpCreate Op = iota + 1
+	OpUpdate
+	OpDelete
+	OpReclassify
+)
+
+// String names the op.
+func (op Op) String() string {
+	switch op {
+	case OpCreate:
+		return "create"
+	case OpUpdate:
+		return "update"
+	case OpDelete:
+		return "delete"
+	case OpReclassify:
+		return "reclassify"
+	}
+	return "op"
+}
+
+// Event describes one mutation to an attached procedure.
+type Event struct {
+	Op   Op
+	Item item.ID
+	Kind item.Kind
+	View item.View
+}
+
+// Procedure is an attached procedure: registered by name on the engine,
+// referenced by name from schema elements, and executed when an item of the
+// corresponding schema element is updated. A non-nil error vetoes the
+// update (attached procedures express complex integrity constraints).
+type Procedure func(Event) error
+
+// Engine is the current database state plus the operational interface.
+// It is not safe for concurrent use; SEED is a single-user system and the
+// server layer serializes access.
+type Engine struct {
+	sch *schema.Schema
+
+	objects map[item.ID]*item.Object
+	rels    map[item.ID]*item.Relationship
+	nextID  item.ID
+
+	byName   map[string]item.ID               // live independent objects
+	children map[item.ID]map[string][]item.ID // live sub-objects by parent and role, index order
+	relsOf   map[item.ID][]item.ID            // live relationships per end object, ID order
+	indexCtr map[item.ID]map[string]int       // next sub-object index per parent and role
+
+	dirty map[item.ID]bool // items changed since the last version freeze
+
+	inheritsLive int // live inherits-relationships (fast path when zero)
+
+	procs   map[string]Procedure
+	journal func(payload []byte) error // persistence sink; nil while replaying or in-memory
+
+	replaying bool
+
+	undo    []func()
+	txOpen  bool
+	txMark  int
+	pending [][]byte
+}
+
+// NewEngine creates an empty engine over a frozen schema.
+func NewEngine(sch *schema.Schema) (*Engine, error) {
+	if !sch.Frozen() {
+		return nil, schema.ErrNotFrozen
+	}
+	return &Engine{
+		sch:      sch,
+		objects:  make(map[item.ID]*item.Object),
+		rels:     make(map[item.ID]*item.Relationship),
+		nextID:   1,
+		byName:   make(map[string]item.ID),
+		children: make(map[item.ID]map[string][]item.ID),
+		relsOf:   make(map[item.ID][]item.ID),
+		indexCtr: make(map[item.ID]map[string]int),
+		dirty:    make(map[item.ID]bool),
+		procs:    make(map[string]Procedure),
+	}, nil
+}
+
+// Schema returns the engine's current schema.
+func (en *Engine) Schema() *schema.Schema { return en.sch }
+
+// SetSchema replaces the schema after an evolution step. The caller (the
+// seed database) is responsible for re-validating existing data under the
+// new schema and for re-binding item class pointers via RebindSchema.
+func (en *Engine) SetSchema(sch *schema.Schema) error {
+	if !sch.Frozen() {
+		return schema.ErrNotFrozen
+	}
+	en.sch = sch
+	return nil
+}
+
+// RebindSchema re-resolves every item's class or association pointer against
+// the current schema. It fails if an item's class no longer exists, which
+// makes removing a populated class an invalid schema evolution.
+func (en *Engine) RebindSchema() error {
+	for _, o := range en.objects {
+		c, err := en.sch.Class(o.Class.QualifiedName())
+		if err != nil {
+			return fmt.Errorf("core: object %d: %w", o.ID, err)
+		}
+		o.Class = c
+	}
+	for _, r := range en.rels {
+		if r.Inherits {
+			continue
+		}
+		a, err := en.sch.Association(r.Assoc.Name())
+		if err != nil {
+			return fmt.Errorf("core: relationship %d: %w", r.ID, err)
+		}
+		r.Assoc = a
+	}
+	return nil
+}
+
+// RegisterProcedure registers an attached procedure implementation under a
+// name that schema elements reference.
+func (en *Engine) RegisterProcedure(name string, p Procedure) {
+	en.procs[name] = p
+}
+
+// SetJournal installs the persistence sink receiving one encoded record per
+// committed mutation.
+func (en *Engine) SetJournal(fn func(payload []byte) error) { en.journal = fn }
+
+// NextID returns the next item ID the engine would allocate (used by
+// snapshots to preserve monotonic allocation).
+func (en *Engine) NextID() item.ID { return en.nextID }
+
+// allocID hands out the next item ID.
+func (en *Engine) allocID() item.ID {
+	id := en.nextID
+	en.nextID++
+	return id
+}
+
+// View returns the engine's raw view: the live state with deleted items
+// hidden and pattern items visible. User-facing retrieval goes through
+// pattern.Spliced(engine.View()).
+func (en *Engine) View() item.View { return rawView{en} }
+
+// rawView adapts the engine maps to item.View.
+type rawView struct{ en *Engine }
+
+func (v rawView) Schema() *schema.Schema { return v.en.sch }
+
+func (v rawView) Object(id item.ID) (item.Object, bool) {
+	o, ok := v.en.objects[id]
+	if !ok || o.Deleted {
+		return item.Object{}, false
+	}
+	return *o, true
+}
+
+func (v rawView) Relationship(id item.ID) (item.Relationship, bool) {
+	r, ok := v.en.rels[id]
+	if !ok || r.Deleted {
+		return item.Relationship{}, false
+	}
+	return r.Clone(), true
+}
+
+func (v rawView) ObjectByName(name string) (item.ID, bool) {
+	id, ok := v.en.byName[name]
+	return id, ok
+}
+
+func (v rawView) Children(parent item.ID, role string) []item.ID {
+	byRole, ok := v.en.children[parent]
+	if !ok {
+		return nil
+	}
+	if role != "" {
+		return append([]item.ID(nil), byRole[role]...)
+	}
+	roles := make([]string, 0, len(byRole))
+	for r := range byRole {
+		roles = append(roles, r)
+	}
+	sort.Strings(roles)
+	var out []item.ID
+	for _, r := range roles {
+		out = append(out, byRole[r]...)
+	}
+	return out
+}
+
+func (v rawView) RelationshipsOf(obj item.ID) []item.ID {
+	return append([]item.ID(nil), v.en.relsOf[obj]...)
+}
+
+func (v rawView) Objects() []item.ID {
+	out := make([]item.ID, 0, len(v.en.objects))
+	for id, o := range v.en.objects {
+		if !o.Deleted {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (v rawView) Relationships() []item.ID {
+	out := make([]item.ID, 0, len(v.en.rels))
+	for id, r := range v.en.rels {
+		if !r.Deleted {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Object returns a copy of an object's state, including deleted objects
+// (deleted items remain addressable for version management).
+func (en *Engine) Object(id item.ID) (item.Object, error) {
+	o, ok := en.objects[id]
+	if !ok {
+		return item.Object{}, fmt.Errorf("%w: object %d", ErrUnknownItem, id)
+	}
+	return *o, nil
+}
+
+// Relationship returns a copy of a relationship's state, including deleted
+// relationships.
+func (en *Engine) Relationship(id item.ID) (item.Relationship, error) {
+	r, ok := en.rels[id]
+	if !ok {
+		return item.Relationship{}, fmt.Errorf("%w: relationship %d", ErrUnknownItem, id)
+	}
+	return r.Clone(), nil
+}
+
+// Contains reports whether the engine knows the item (live or deleted).
+func (en *Engine) Contains(id item.ID) bool {
+	if _, ok := en.objects[id]; ok {
+		return true
+	}
+	_, ok := en.rels[id]
+	return ok
+}
+
+// KindOf reports the kind of a known item.
+func (en *Engine) KindOf(id item.ID) (item.Kind, bool) {
+	if _, ok := en.objects[id]; ok {
+		return item.KindObject, true
+	}
+	if _, ok := en.rels[id]; ok {
+		return item.KindRelationship, true
+	}
+	return 0, false
+}
+
+// liveObject fetches a live object pointer for mutation.
+func (en *Engine) liveObject(id item.ID) (*item.Object, error) {
+	o, ok := en.objects[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: object %d", ErrUnknownItem, id)
+	}
+	if o.Deleted {
+		return nil, fmt.Errorf("%w: object %d", ErrDeleted, id)
+	}
+	return o, nil
+}
+
+// liveRel fetches a live relationship pointer for mutation.
+func (en *Engine) liveRel(id item.ID) (*item.Relationship, error) {
+	r, ok := en.rels[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: relationship %d", ErrUnknownItem, id)
+	}
+	if r.Deleted {
+		return nil, fmt.Errorf("%w: relationship %d", ErrDeleted, id)
+	}
+	return r, nil
+}
+
+// runProcedures executes the attached procedures of the schema elements a
+// mutation touched: the procedures of the mutated item's own class or
+// association (including generalization ancestors — a 'Data' update also
+// triggers 'Thing' procedures), and the procedures of every containment
+// ancestor, because updating a sub-object updates the composed object it
+// belongs to. Each procedure sees the item of its own schema element.
+func (en *Engine) runProcedures(ev Event) error {
+	if en.replaying {
+		return nil // records were validated when first written
+	}
+	type target struct {
+		names []string
+		ev    Event
+	}
+	var targets []target
+	cur, op := ev.Item, ev.Op
+	for cur != item.NoID {
+		var names []string
+		var kind item.Kind
+		next := item.NoID
+		if o, ok := en.objects[cur]; ok {
+			kind = item.KindObject
+			for _, c := range o.Class.GeneralizationChain() {
+				names = append(names, c.Procedures()...)
+			}
+			next = o.Parent
+		} else if r, ok := en.rels[cur]; ok {
+			kind = item.KindRelationship
+			if r.Inherits {
+				break
+			}
+			for _, a := range r.Assoc.GeneralizationChain() {
+				names = append(names, a.Procedures()...)
+			}
+		} else {
+			break
+		}
+		if len(names) > 0 {
+			targets = append(targets, target{names: names, ev: Event{Op: op, Item: cur, Kind: kind, View: ev.View}})
+		}
+		cur, op = next, OpUpdate // ancestors observe an update
+	}
+	for _, t := range targets {
+		for _, name := range t.names {
+			p, ok := en.procs[name]
+			if !ok {
+				return fmt.Errorf("%w: %q", ErrProcMissing, name)
+			}
+			if err := p(t.ev); err != nil {
+				return fmt.Errorf("core: attached procedure %q vetoed %s of %s %d: %w",
+					name, t.ev.Op, t.ev.Kind, t.ev.Item, err)
+			}
+		}
+	}
+	return nil
+}
+
+// validateObjectWithContext re-checks an object after a mutation, together
+// with the pattern contexts it participates in.
+func (en *Engine) validateObject(id item.ID) error {
+	if err := consistency.CheckObject(en.View(), id); err != nil {
+		return err
+	}
+	return en.validatePatternContexts(id)
+}
+
+// validateRel re-checks a relationship after a mutation.
+func (en *Engine) validateRel(id item.ID) error {
+	if err := consistency.CheckRelationship(en.View(), id); err != nil {
+		return err
+	}
+	return en.validatePatternContexts(id)
+}

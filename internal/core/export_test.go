@@ -1,0 +1,19 @@
+package core
+
+import (
+	"repro/internal/consistency"
+	"repro/internal/item"
+)
+
+// Test hooks into the consistency checker, so the invariant torture test
+// can re-validate whole states.
+
+func checkObjectForTest(v item.View, id item.ID) error {
+	return consistency.CheckObject(v, id)
+}
+
+func checkRelForTest(v item.View, id item.ID) error {
+	return consistency.CheckRelationship(v, id)
+}
+
+// newFig3 is shared by engine_test.go; defined there.

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/item"
+	"repro/internal/value"
+)
+
+// TestRandomizedInvariants drives the engine through a long random
+// operation sequence and verifies the structural invariants after every
+// accepted operation. Rejected operations must leave the state observably
+// unchanged (checked via a cheap fingerprint).
+func TestRandomizedInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1986))
+	en := newFig3(t)
+
+	var objects []item.ID // live independent objects we created
+	var rels []item.ID
+
+	classes := []string{"Thing", "Data", "InputData", "OutputData", "Action"}
+	assocs := []string{"Access", "Read", "Write", "Contained"}
+
+	const steps = 4000
+	for i := 0; i < steps; i++ {
+		before := fingerprint(en)
+		accepted := false
+		switch rng.Intn(10) {
+		case 0, 1: // create object
+			name := fmt.Sprintf("O%d", i)
+			if id, err := en.CreateObject(classes[rng.Intn(len(classes))], name); err == nil {
+				objects = append(objects, id)
+				accepted = true
+			}
+		case 2: // create sub-object / value
+			if len(objects) > 0 {
+				parent := objects[rng.Intn(len(objects))]
+				role := []string{"Description", "Revised", "Text"}[rng.Intn(3)]
+				if id, err := en.CreateSubObject(parent, role); err == nil {
+					accepted = true
+					if o, _ := en.Object(id); o.Class.HasValue() {
+						_ = en.SetValue(id, randomValue(rng, o.Class.ValueKind()))
+					}
+				}
+			}
+		case 3, 4: // create relationship
+			if len(objects) >= 2 {
+				a := objects[rng.Intn(len(objects))]
+				b := objects[rng.Intn(len(objects))]
+				assoc := assocs[rng.Intn(len(assocs))]
+				ends := map[string]item.ID{"from": a, "by": b}
+				if assoc == "Contained" {
+					ends = map[string]item.ID{"contained": a, "container": b}
+				}
+				if id, err := en.CreateRelationship(assoc, ends); err == nil {
+					rels = append(rels, id)
+					accepted = true
+				}
+			}
+		case 5: // reclassify object
+			if len(objects) > 0 {
+				id := objects[rng.Intn(len(objects))]
+				if err := en.Reclassify(id, classes[rng.Intn(len(classes))]); err == nil {
+					accepted = true
+				}
+			}
+		case 6: // reclassify relationship
+			if len(rels) > 0 {
+				id := rels[rng.Intn(len(rels))]
+				if err := en.Reclassify(id, assocs[rng.Intn(3)]); err == nil {
+					accepted = true
+				}
+			}
+		case 7: // delete something
+			if len(objects) > 0 && rng.Intn(4) == 0 {
+				idx := rng.Intn(len(objects))
+				if err := en.Delete(objects[idx]); err == nil {
+					objects = append(objects[:idx], objects[idx+1:]...)
+					accepted = true
+				}
+			} else if len(rels) > 0 {
+				idx := rng.Intn(len(rels))
+				if err := en.Delete(rels[idx]); err == nil {
+					rels = append(rels[:idx], rels[idx+1:]...)
+					accepted = true
+				}
+			}
+		case 8: // pattern round trip
+			if len(objects) > 0 {
+				id := objects[rng.Intn(len(objects))]
+				if err := en.MarkPattern(id); err == nil {
+					accepted = true
+					// Usually clear it again so the pool stays usable.
+					if rng.Intn(2) == 0 {
+						_ = en.ClearPattern(id)
+					}
+				}
+			}
+		case 9: // set value on random existing leaf
+			v := en.View()
+			if len(objects) > 0 {
+				parent := objects[rng.Intn(len(objects))]
+				for _, ch := range v.Children(parent, "Description") {
+					if err := en.SetValue(ch, value.NewString(fmt.Sprintf("v%d", i))); err == nil {
+						accepted = true
+					}
+					break
+				}
+			}
+		}
+		if !accepted && fingerprint(en) != before {
+			t.Fatalf("step %d: rejected/no-op operation changed state", i)
+		}
+		if i%200 == 0 {
+			checkInvariants(t, en, i)
+		}
+	}
+	checkInvariants(t, en, steps)
+}
+
+func randomValue(rng *rand.Rand, k value.Kind) value.Value {
+	switch k {
+	case value.KindString:
+		return value.NewString(fmt.Sprintf("s%d", rng.Intn(1000)))
+	case value.KindInteger:
+		return value.NewInteger(int64(rng.Intn(1000)))
+	default:
+		return value.Undefined
+	}
+}
+
+// fingerprint summarizes the observable state cheaply. It deliberately
+// excludes NextID: a rejected creation consumes an ID (IDs are never
+// reused), which is invisible to users.
+func fingerprint(en *Engine) string {
+	st := en.Stats()
+	return fmt.Sprintf("%d/%d/%d/%d/%d/%d",
+		st.Objects, st.Relationships, st.DeletedObjects, st.DeletedRels,
+		st.Patterns, st.DirtySinceFreeze)
+}
+
+// checkInvariants verifies the structural invariants of the engine state.
+func checkInvariants(t *testing.T, en *Engine, step int) {
+	t.Helper()
+	v := en.View()
+
+	// 1. Unique names among live independent objects, index agrees.
+	names := make(map[string]item.ID)
+	for _, id := range v.Objects() {
+		o, _ := v.Object(id)
+		if !o.Independent() {
+			continue
+		}
+		if prev, dup := names[o.Name]; dup {
+			t.Fatalf("step %d: duplicate live name %q (%d, %d)", step, o.Name, prev, id)
+		}
+		names[o.Name] = id
+		got, ok := v.ObjectByName(o.Name)
+		if !ok || got != id {
+			t.Fatalf("step %d: name index disagrees for %q", step, o.Name)
+		}
+	}
+
+	// 2. Children lists: each child is live, belongs to the parent and
+	// role, and indices are strictly ascending.
+	for _, id := range v.Objects() {
+		lastIdx := -2
+		for _, ch := range v.Children(id, "") {
+			o, ok := v.Object(ch)
+			if !ok {
+				t.Fatalf("step %d: dead child %d listed", step, ch)
+			}
+			if o.Parent != id {
+				t.Fatalf("step %d: child %d parent mismatch", step, ch)
+			}
+			_ = lastIdx
+		}
+		// Per-role ordering.
+		roles := map[string]bool{}
+		for _, ch := range v.Children(id, "") {
+			o, _ := v.Object(ch)
+			roles[o.Role] = true
+		}
+		for role := range roles {
+			last := -2
+			for _, ch := range v.Children(id, role) {
+				o, _ := v.Object(ch)
+				if o.Index <= last && o.Index != item.NoIndex {
+					t.Fatalf("step %d: children of %d role %q out of order", step, id, role)
+				}
+				if o.Index != item.NoIndex {
+					last = o.Index
+				}
+			}
+		}
+	}
+
+	// 3. Relationship index symmetry: RelationshipsOf lists exactly the
+	// live relationships referencing the object.
+	for _, rid := range v.Relationships() {
+		r, _ := v.Relationship(rid)
+		for _, e := range r.Ends {
+			found := false
+			for _, x := range v.RelationshipsOf(e.Object) {
+				if x == rid {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("step %d: rel %d missing from relsOf(%d)", step, rid, e.Object)
+			}
+			if _, ok := v.Object(e.Object); !ok {
+				t.Fatalf("step %d: live rel %d has dead end %d", step, rid, e.Object)
+			}
+		}
+	}
+
+	// 4. The whole state passes a full consistency validation (the eager
+	// checks must have maintained it).
+	for _, id := range v.Objects() {
+		if err := checkObjectForTest(v, id); err != nil {
+			t.Fatalf("step %d: object %d inconsistent: %v", step, id, err)
+		}
+	}
+	for _, id := range v.Relationships() {
+		if err := checkRelForTest(v, id); err != nil {
+			t.Fatalf("step %d: relationship %d inconsistent: %v", step, id, err)
+		}
+	}
+}

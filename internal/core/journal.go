@@ -1,0 +1,381 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/item"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Journal records: one compact binary record per committed mutation. The
+// seed database appends them to the write-ahead log and replays them on
+// open. Records are only written after full validation, so replay applies
+// them without re-checking.
+
+// Record type tags for engine mutations. Tags 16 and above are reserved for
+// the database layer (version and schema operations).
+const (
+	RecCreateObject byte = 1
+	RecCreateSub    byte = 2
+	RecSetValue     byte = 3
+	RecCreateRel    byte = 4
+	RecInherit      byte = 5
+	RecDelete       byte = 6
+	RecReclassify   byte = 7
+	RecSetPattern   byte = 8
+
+	// RecDataMax is the highest record tag owned by the engine.
+	RecDataMax byte = 15
+)
+
+// ErrBadRecord reports a malformed or unknown journal record.
+var ErrBadRecord = errors.New("core: malformed journal record")
+
+func (en *Engine) encCreateObject(o *item.Object) []byte {
+	if en.journal == nil {
+		return nil
+	}
+	e := storage.NewEncoder(nil)
+	e.Byte(RecCreateObject)
+	e.Uint64(uint64(o.ID))
+	e.String(o.Class.QualifiedName())
+	e.String(o.Name)
+	e.Bool(o.Pattern)
+	return e.Bytes()
+}
+
+func (en *Engine) encCreateSub(o *item.Object) []byte {
+	if en.journal == nil {
+		return nil
+	}
+	e := storage.NewEncoder(nil)
+	e.Byte(RecCreateSub)
+	e.Uint64(uint64(o.ID))
+	e.Uint64(uint64(o.Parent))
+	e.String(o.Role)
+	e.Int(o.Index)
+	return e.Bytes()
+}
+
+func (en *Engine) encSetValue(id item.ID, v value.Value) []byte {
+	if en.journal == nil {
+		return nil
+	}
+	e := storage.NewEncoder(nil)
+	e.Byte(RecSetValue)
+	e.Uint64(uint64(id))
+	item.EncodeValue(e, v)
+	return e.Bytes()
+}
+
+func (en *Engine) encCreateRel(r *item.Relationship) []byte {
+	if en.journal == nil {
+		return nil
+	}
+	e := storage.NewEncoder(nil)
+	e.Byte(RecCreateRel)
+	e.Uint64(uint64(r.ID))
+	e.String(r.Assoc.Name())
+	e.Int(len(r.Ends))
+	for _, end := range r.Ends {
+		e.String(end.Role)
+		e.Uint64(uint64(end.Object))
+	}
+	return e.Bytes()
+}
+
+func (en *Engine) encInherit(r *item.Relationship) []byte {
+	if en.journal == nil {
+		return nil
+	}
+	e := storage.NewEncoder(nil)
+	e.Byte(RecInherit)
+	e.Uint64(uint64(r.ID))
+	e.Uint64(uint64(r.End(item.InheritsPatternRole)))
+	e.Uint64(uint64(r.End(item.InheritsInheritorRole)))
+	return e.Bytes()
+}
+
+func (en *Engine) encDelete(id item.ID) []byte {
+	if en.journal == nil {
+		return nil
+	}
+	e := storage.NewEncoder(nil)
+	e.Byte(RecDelete)
+	e.Uint64(uint64(id))
+	return e.Bytes()
+}
+
+func (en *Engine) encReclassify(id item.ID, newName string) []byte {
+	if en.journal == nil {
+		return nil
+	}
+	e := storage.NewEncoder(nil)
+	e.Byte(RecReclassify)
+	e.Uint64(uint64(id))
+	e.String(newName)
+	return e.Bytes()
+}
+
+func (en *Engine) encSetPattern(id item.ID, pat bool) []byte {
+	if en.journal == nil {
+		return nil
+	}
+	e := storage.NewEncoder(nil)
+	e.Byte(RecSetPattern)
+	e.Uint64(uint64(id))
+	e.Bool(pat)
+	return e.Bytes()
+}
+
+// BeginReplay switches the engine into replay mode: mutations apply without
+// validation, without attached procedures, and without journaling.
+func (en *Engine) BeginReplay() { en.replaying = true }
+
+// EndReplay leaves replay mode.
+func (en *Engine) EndReplay() { en.replaying = false }
+
+// Replaying reports whether the engine is in replay mode.
+func (en *Engine) Replaying() bool { return en.replaying }
+
+// ApplyRecord applies one engine journal record during recovery. The engine
+// must be in replay mode.
+func (en *Engine) ApplyRecord(payload []byte) error {
+	if !en.replaying {
+		return fmt.Errorf("%w: ApplyRecord outside replay mode", ErrTxState)
+	}
+	if len(payload) == 0 {
+		return ErrBadRecord
+	}
+	d := storage.NewDecoder(payload[1:])
+	switch payload[0] {
+	case RecCreateObject:
+		id, err := d.Uint64()
+		if err != nil {
+			return err
+		}
+		clsName, err := d.String()
+		if err != nil {
+			return err
+		}
+		name, err := d.String()
+		if err != nil {
+			return err
+		}
+		pat, err := d.Bool()
+		if err != nil {
+			return err
+		}
+		cls, err := en.sch.Class(clsName)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadRecord, err)
+		}
+		o := &item.Object{ID: item.ID(id), Class: cls, Name: name, Index: item.NoIndex, Pattern: pat}
+		en.insertObjectRaw(o)
+		en.bumpID(o.ID)
+		return nil
+
+	case RecCreateSub:
+		id, err := d.Uint64()
+		if err != nil {
+			return err
+		}
+		parent, err := d.Uint64()
+		if err != nil {
+			return err
+		}
+		role, err := d.String()
+		if err != nil {
+			return err
+		}
+		index, err := d.Int()
+		if err != nil {
+			return err
+		}
+		cls, parentPattern, err := en.resolveSubObjectClass(item.ID(parent), role)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadRecord, err)
+		}
+		o := &item.Object{
+			ID: item.ID(id), Class: cls, Parent: item.ID(parent),
+			Role: role, Index: index, Pattern: parentPattern,
+		}
+		en.insertObjectRaw(o)
+		en.bumpID(o.ID)
+		en.bumpIndex(o.Parent, role, index)
+		return nil
+
+	case RecSetValue:
+		id, err := d.Uint64()
+		if err != nil {
+			return err
+		}
+		v, err := item.DecodeValue(d)
+		if err != nil {
+			return err
+		}
+		o, ok := en.objects[item.ID(id)]
+		if !ok {
+			return fmt.Errorf("%w: set value on unknown object %d", ErrBadRecord, id)
+		}
+		o.Value = v
+		en.markDirty(o.ID)
+		return nil
+
+	case RecCreateRel:
+		id, err := d.Uint64()
+		if err != nil {
+			return err
+		}
+		assocName, err := d.String()
+		if err != nil {
+			return err
+		}
+		n, err := d.Int()
+		if err != nil {
+			return err
+		}
+		if n < 0 || n > 64 {
+			return fmt.Errorf("%w: %d ends", ErrBadRecord, n)
+		}
+		assoc, err := en.sch.Association(assocName)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadRecord, err)
+		}
+		r := &item.Relationship{ID: item.ID(id), Assoc: assoc}
+		for i := 0; i < n; i++ {
+			role, err := d.String()
+			if err != nil {
+				return err
+			}
+			obj, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			r.Ends = append(r.Ends, item.End{Role: role, Object: item.ID(obj)})
+		}
+		r.SortEnds()
+		for _, end := range r.Ends {
+			if o, ok := en.objects[end.Object]; ok && !o.Deleted && o.Pattern {
+				r.Pattern = true
+				break
+			}
+		}
+		en.insertRelRaw(r)
+		en.bumpID(r.ID)
+		return nil
+
+	case RecInherit:
+		id, err := d.Uint64()
+		if err != nil {
+			return err
+		}
+		pat, err := d.Uint64()
+		if err != nil {
+			return err
+		}
+		inh, err := d.Uint64()
+		if err != nil {
+			return err
+		}
+		r := &item.Relationship{
+			ID:       item.ID(id),
+			Inherits: true,
+			Ends: []item.End{
+				{Role: item.InheritsInheritorRole, Object: item.ID(inh)},
+				{Role: item.InheritsPatternRole, Object: item.ID(pat)},
+			},
+		}
+		r.SortEnds()
+		en.insertRelRaw(r)
+		en.bumpID(r.ID)
+		return nil
+
+	case RecDelete:
+		id, err := d.Uint64()
+		if err != nil {
+			return err
+		}
+		for _, vid := range en.deletionSet(item.ID(id)) {
+			en.deleteRaw(vid)
+		}
+		return nil
+
+	case RecReclassify:
+		id, err := d.Uint64()
+		if err != nil {
+			return err
+		}
+		newName, err := d.String()
+		if err != nil {
+			return err
+		}
+		if o, ok := en.objects[item.ID(id)]; ok {
+			cls, err := en.sch.Class(newName)
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrBadRecord, err)
+			}
+			o.Class = cls
+			en.markDirty(o.ID)
+			return nil
+		}
+		if r, ok := en.rels[item.ID(id)]; ok {
+			assoc, err := en.sch.Association(newName)
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrBadRecord, err)
+			}
+			r.Assoc = assoc
+			en.markDirty(r.ID)
+			return nil
+		}
+		return fmt.Errorf("%w: reclassify unknown item %d", ErrBadRecord, id)
+
+	case RecSetPattern:
+		id, err := d.Uint64()
+		if err != nil {
+			return err
+		}
+		pat, err := d.Bool()
+		if err != nil {
+			return err
+		}
+		if o, ok := en.objects[item.ID(id)]; ok {
+			o.Pattern = pat
+			en.markDirty(o.ID)
+			en.setPatternSubtree(item.ID(id), pat)
+			return nil
+		}
+		if r, ok := en.rels[item.ID(id)]; ok {
+			r.Pattern = pat
+			en.markDirty(r.ID)
+			en.setPatternSubtree(item.ID(id), pat)
+			return nil
+		}
+		return fmt.Errorf("%w: set pattern on unknown item %d", ErrBadRecord, id)
+	}
+	return fmt.Errorf("%w: tag %d", ErrBadRecord, payload[0])
+}
+
+// bumpID keeps ID allocation monotonic across replay.
+func (en *Engine) bumpID(id item.ID) {
+	if id >= en.nextID {
+		en.nextID = id + 1
+	}
+}
+
+// bumpIndex keeps sub-object index allocation monotonic across replay.
+func (en *Engine) bumpIndex(parent item.ID, role string, index int) {
+	if index == item.NoIndex {
+		return
+	}
+	byRole := en.indexCtr[parent]
+	if byRole == nil {
+		byRole = make(map[string]int)
+		en.indexCtr[parent] = byRole
+	}
+	if index >= byRole[role] {
+		byRole[role] = index + 1
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/item"
+)
+
+// Raw state primitives: each applies one physical change to the engine maps
+// and pushes the inverse onto the undo stack. Public operations compose
+// these, validate the result, and roll back on failure.
+
+// mark returns the current undo stack depth.
+func (en *Engine) mark() int { return len(en.undo) }
+
+// push records an undo step. During replay nothing is recorded: replayed
+// records were validated when first written and are never rolled back.
+func (en *Engine) push(fn func()) {
+	if en.replaying {
+		return
+	}
+	en.undo = append(en.undo, fn)
+}
+
+// rollbackTo undoes every step back to a mark.
+func (en *Engine) rollbackTo(mark int) {
+	for i := len(en.undo) - 1; i >= mark; i-- {
+		en.undo[i]()
+	}
+	en.undo = en.undo[:mark]
+}
+
+// markDirty remembers that an item changed since the last version freeze.
+func (en *Engine) markDirty(id item.ID) {
+	if en.dirty[id] {
+		return
+	}
+	en.dirty[id] = true
+	en.push(func() { delete(en.dirty, id) })
+}
+
+// insertObjectRaw adds a new object to all maps.
+func (en *Engine) insertObjectRaw(o *item.Object) {
+	en.objects[o.ID] = o
+	if o.Independent() {
+		en.byName[o.Name] = o.ID
+	} else {
+		en.linkChild(o)
+	}
+	en.markDirty(o.ID)
+	en.push(func() {
+		if o.Independent() {
+			delete(en.byName, o.Name)
+		} else {
+			en.unlinkChild(o)
+		}
+		delete(en.objects, o.ID)
+	})
+}
+
+// insertRelRaw adds a new relationship to all maps.
+func (en *Engine) insertRelRaw(r *item.Relationship) {
+	en.rels[r.ID] = r
+	for _, e := range r.Ends {
+		en.linkRel(e.Object, r.ID)
+	}
+	if r.Inherits {
+		en.inheritsLive++
+	}
+	en.markDirty(r.ID)
+	en.push(func() {
+		for _, e := range r.Ends {
+			en.unlinkRel(e.Object, r.ID)
+		}
+		if r.Inherits {
+			en.inheritsLive--
+		}
+		delete(en.rels, r.ID)
+	})
+}
+
+// deleteRaw marks one item deleted and removes it from the live indexes.
+func (en *Engine) deleteRaw(id item.ID) {
+	if o, ok := en.objects[id]; ok && !o.Deleted {
+		obj := o
+		obj.Deleted = true
+		if obj.Independent() {
+			delete(en.byName, obj.Name)
+		} else {
+			en.unlinkChild(obj)
+		}
+		en.markDirty(id)
+		en.push(func() {
+			obj.Deleted = false
+			if obj.Independent() {
+				en.byName[obj.Name] = obj.ID
+			} else {
+				en.linkChild(obj)
+			}
+		})
+		return
+	}
+	if r, ok := en.rels[id]; ok && !r.Deleted {
+		rel := r
+		rel.Deleted = true
+		for _, e := range rel.Ends {
+			en.unlinkRel(e.Object, rel.ID)
+		}
+		if rel.Inherits {
+			en.inheritsLive--
+		}
+		en.markDirty(id)
+		en.push(func() {
+			rel.Deleted = false
+			for _, e := range rel.Ends {
+				en.linkRel(e.Object, rel.ID)
+			}
+			if rel.Inherits {
+				en.inheritsLive++
+			}
+		})
+	}
+}
+
+// linkChild inserts a dependent object into its parent's role list, keeping
+// index order.
+func (en *Engine) linkChild(o *item.Object) {
+	byRole := en.children[o.Parent]
+	if byRole == nil {
+		byRole = make(map[string][]item.ID)
+		en.children[o.Parent] = byRole
+	}
+	ids := byRole[o.Role]
+	pos := sort.Search(len(ids), func(i int) bool {
+		return en.objects[ids[i]].Index >= o.Index
+	})
+	ids = append(ids, 0)
+	copy(ids[pos+1:], ids[pos:])
+	ids[pos] = o.ID
+	byRole[o.Role] = ids
+}
+
+// unlinkChild removes a dependent object from its parent's role list.
+func (en *Engine) unlinkChild(o *item.Object) {
+	byRole := en.children[o.Parent]
+	ids := byRole[o.Role]
+	for i, id := range ids {
+		if id == o.ID {
+			byRole[o.Role] = append(ids[:i:i], ids[i+1:]...)
+			return
+		}
+	}
+}
+
+// linkRel inserts a relationship into an object's relationship list, keeping
+// ID order. A relationship with the same object in several roles is linked
+// once.
+func (en *Engine) linkRel(obj, rel item.ID) {
+	ids := en.relsOf[obj]
+	pos := sort.Search(len(ids), func(i int) bool { return ids[i] >= rel })
+	if pos < len(ids) && ids[pos] == rel {
+		return
+	}
+	ids = append(ids, 0)
+	copy(ids[pos+1:], ids[pos:])
+	ids[pos] = rel
+	en.relsOf[obj] = ids
+}
+
+// unlinkRel removes a relationship from an object's relationship list.
+func (en *Engine) unlinkRel(obj, rel item.ID) {
+	ids := en.relsOf[obj]
+	for i, id := range ids {
+		if id == rel {
+			en.relsOf[obj] = append(ids[:i:i], ids[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/item"
+)
+
+// State capture and restoration: the version manager freezes changed item
+// states when a version is created, and restores a materialized view when a
+// historical version is selected as the basis of an alternative.
+
+// DirtyIDs returns the items changed since the last version freeze, in
+// ascending ID order.
+func (en *Engine) DirtyIDs() []item.ID {
+	out := make([]item.ID, 0, len(en.dirty))
+	for id := range en.dirty {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DirtyCount returns the number of items changed since the last freeze.
+func (en *Engine) DirtyCount() int { return len(en.dirty) }
+
+// ClearDirty forgets all change marks (called after a version freeze).
+func (en *Engine) ClearDirty() { en.dirty = make(map[item.ID]bool) }
+
+// MarkAllDirty marks every known item changed. Used by the full-copy
+// snapshot mode of the ablation study (A1 in DESIGN.md) to emulate systems
+// that save the complete database per version.
+func (en *Engine) MarkAllDirty() {
+	for id := range en.objects {
+		en.dirty[id] = true
+	}
+	for id := range en.rels {
+		en.dirty[id] = true
+	}
+}
+
+// CaptureAll returns copies of every item state, including deleted items,
+// in ascending ID order — the full database snapshot.
+func (en *Engine) CaptureAll() ([]item.Object, []item.Relationship) {
+	objs := make([]item.Object, 0, len(en.objects))
+	for _, o := range en.objects {
+		objs = append(objs, *o)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].ID < objs[j].ID })
+	rels := make([]item.Relationship, 0, len(en.rels))
+	for _, r := range en.rels {
+		rels = append(rels, r.Clone())
+	}
+	sort.Slice(rels, func(i, j int) bool { return rels[i].ID < rels[j].ID })
+	return objs, rels
+}
+
+// Restore replaces the whole engine state with the given item states
+// (typically a materialized version view). ID allocation continues from the
+// engine's high-water mark so that items created after the restore never
+// collide with items frozen in other versions. The dirty set is cleared;
+// the caller establishes the new version base.
+func (en *Engine) Restore(objs []item.Object, rels []item.Relationship) {
+	en.objects = make(map[item.ID]*item.Object, len(objs))
+	en.rels = make(map[item.ID]*item.Relationship, len(rels))
+	en.byName = make(map[string]item.ID)
+	en.children = make(map[item.ID]map[string][]item.ID)
+	en.relsOf = make(map[item.ID][]item.ID)
+	en.indexCtr = make(map[item.ID]map[string]int)
+	en.dirty = make(map[item.ID]bool)
+	en.undo = en.undo[:0]
+
+	for i := range objs {
+		o := objs[i] // copy
+		en.objects[o.ID] = &o
+		en.bumpID(o.ID)
+		if !o.Independent() && o.Index != item.NoIndex {
+			en.bumpIndex(o.Parent, o.Role, o.Index)
+		}
+	}
+	// Link live objects into the name and containment indexes. Iterate in
+	// ID order so sibling lists come out index-sorted deterministically.
+	ids := make([]item.ID, 0, len(en.objects))
+	for id := range en.objects {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		o := en.objects[id]
+		if o.Deleted {
+			continue
+		}
+		if o.Independent() {
+			en.byName[o.Name] = o.ID
+		} else {
+			en.linkChild(o)
+		}
+	}
+	for i := range rels {
+		r := rels[i].Clone()
+		en.rels[r.ID] = &r
+		en.bumpID(r.ID)
+		if !r.Deleted {
+			for _, e := range r.Ends {
+				en.linkRel(e.Object, r.ID)
+			}
+		}
+	}
+}
+
+// PurgeDeleted physically removes marked-deleted items for which keep
+// returns false. Deletion marks exist so that version creation can record
+// deletions cheaply; once every version that needs an item's state holds
+// it (or no version ever saw the item), the tombstone can go. Returns the
+// number of purged items. Must not run inside a transaction.
+func (en *Engine) PurgeDeleted(keep func(item.ID) bool) (int, error) {
+	if en.txOpen {
+		return 0, fmt.Errorf("%w: purge inside transaction", ErrTxState)
+	}
+	purged := 0
+	for id, o := range en.objects {
+		if o.Deleted && !keep(id) {
+			delete(en.objects, id)
+			delete(en.dirty, id)
+			delete(en.children, id)
+			delete(en.relsOf, id)
+			delete(en.indexCtr, id)
+			purged++
+		}
+	}
+	for id, r := range en.rels {
+		if r.Deleted && !keep(id) {
+			delete(en.rels, id)
+			delete(en.dirty, id)
+			delete(en.children, id)
+			purged++
+		}
+	}
+	en.undo = en.undo[:0]
+	return purged, nil
+}
+
+// RestoreDirty re-installs change marks (used when loading a snapshot that
+// was taken with unsaved changes).
+func (en *Engine) RestoreDirty(ids []item.ID) {
+	for _, id := range ids {
+		en.dirty[id] = true
+	}
+}
+
+// ForceNextID raises the ID allocation high-water mark.
+func (en *Engine) ForceNextID(id item.ID) { en.bumpID(id - 1) }
+
+// Stats summarizes the engine state for reports and the shell.
+type Stats struct {
+	Objects          int // live objects
+	Relationships    int // live relationships
+	DeletedObjects   int
+	DeletedRels      int
+	Patterns         int // live pattern items
+	DirtySinceFreeze int
+}
+
+// Stats computes current state statistics.
+func (en *Engine) Stats() Stats {
+	var s Stats
+	for _, o := range en.objects {
+		switch {
+		case o.Deleted:
+			s.DeletedObjects++
+		default:
+			s.Objects++
+			if o.Pattern {
+				s.Patterns++
+			}
+		}
+	}
+	for _, r := range en.rels {
+		switch {
+		case r.Deleted:
+			s.DeletedRels++
+		default:
+			s.Relationships++
+			if r.Pattern {
+				s.Patterns++
+			}
+		}
+	}
+	s.DirtySinceFreeze = len(en.dirty)
+	return s
+}

@@ -1,0 +1,77 @@
+package core
+
+import "fmt"
+
+// Transactions group several operations into one atomic unit: the paper's
+// client/server sketch requires the server to put a whole updated copy back
+// "in a single transaction". Consistency is still checked eagerly per
+// operation — SEED never holds inconsistent intermediate states — so a
+// transaction is an undo scope plus deferred journaling, not a deferred
+// validation scope.
+
+// Begin opens a transaction. Transactions do not nest.
+func (en *Engine) Begin() error {
+	if en.txOpen {
+		return fmt.Errorf("%w: transaction already open", ErrTxState)
+	}
+	en.txOpen = true
+	en.txMark = len(en.undo)
+	en.pending = en.pending[:0]
+	return nil
+}
+
+// InTx reports whether a transaction is open.
+func (en *Engine) InTx() bool { return en.txOpen }
+
+// Commit makes the transaction's operations permanent and flushes their
+// journal records.
+func (en *Engine) Commit() error {
+	if !en.txOpen {
+		return fmt.Errorf("%w: no transaction open", ErrTxState)
+	}
+	en.txOpen = false
+	if en.journal != nil {
+		for _, rec := range en.pending {
+			if err := en.journal(rec); err != nil {
+				return fmt.Errorf("core: journaling committed transaction: %w", err)
+			}
+		}
+	}
+	en.pending = en.pending[:0]
+	en.undo = en.undo[:0] // committed work can no longer be undone
+	return nil
+}
+
+// Rollback undoes every operation of the open transaction and discards
+// their journal records.
+func (en *Engine) Rollback() error {
+	if !en.txOpen {
+		return fmt.Errorf("%w: no transaction open", ErrTxState)
+	}
+	en.rollbackTo(en.txMark)
+	en.txOpen = false
+	en.pending = en.pending[:0]
+	return nil
+}
+
+// commitRecord finalizes a validated operation: inside a transaction the
+// record is buffered; otherwise it is journaled immediately and the undo
+// stack is cleared (auto-commit).
+func (en *Engine) commitRecord(record []byte) error {
+	if en.txOpen {
+		if record != nil {
+			en.pending = append(en.pending, record)
+		}
+		return nil
+	}
+	if en.journal != nil && record != nil {
+		if err := en.journal(record); err != nil {
+			// The operation is already applied; undo it so that memory and
+			// disk stay in agreement.
+			en.rollbackTo(0)
+			return fmt.Errorf("core: journaling operation: %w", err)
+		}
+	}
+	en.undo = en.undo[:0]
+	return nil
+}

@@ -1,0 +1,240 @@
+package ident
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidName(t *testing.T) {
+	valid := []string{"Alarms", "AlarmHandler", "by", "from", "a", "X9", "Data_Text", "b2b"}
+	for _, s := range valid {
+		if !ValidName(s) {
+			t.Errorf("ValidName(%q) = false, want true", s)
+		}
+	}
+	invalid := []string{"", "9x", "_x", "a.b", "a b", "a-b", "a[0]", "ä", "a!"}
+	for _, s := range invalid {
+		if ValidName(s) {
+			t.Errorf("ValidName(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestCheckName(t *testing.T) {
+	if err := CheckName("Alarms"); err != nil {
+		t.Fatalf("CheckName(Alarms) = %v", err)
+	}
+	if err := CheckName(""); err != ErrEmptyName {
+		t.Fatalf("CheckName(\"\") = %v, want ErrEmptyName", err)
+	}
+	if err := CheckName("9x"); err == nil {
+		t.Fatal("CheckName(9x) = nil, want error")
+	}
+}
+
+func TestParsePath(t *testing.T) {
+	p, err := ParsePath("Alarms.Text.Body.Keywords[1]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 4 {
+		t.Fatalf("len = %d, want 4", len(p))
+	}
+	if p[0].Name != "Alarms" || p[0].HasIndex() {
+		t.Errorf("first component = %+v", p[0])
+	}
+	if p[3].Name != "Keywords" || p[3].Index != 1 {
+		t.Errorf("last component = %+v", p[3])
+	}
+	if got := p.String(); got != "Alarms.Text.Body.Keywords[1]" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestParsePathErrors(t *testing.T) {
+	bad := []string{"", ".", "a..b", "a.", ".a", "a[", "a[x]", "a[-1]", "a[0", "9a", "a[0]b"}
+	for _, s := range bad {
+		if _, err := ParsePath(s); err == nil {
+			t.Errorf("ParsePath(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestPathRelations(t *testing.T) {
+	p := MustParsePath("Alarms.Text.Selector")
+	if p.IsRoot() {
+		t.Error("IsRoot on 3-component path")
+	}
+	if got := p.Parent().String(); got != "Alarms.Text" {
+		t.Errorf("Parent = %q", got)
+	}
+	if got := p.Base(); got.Name != "Selector" {
+		t.Errorf("Base = %+v", got)
+	}
+	root := MustParsePath("Alarms")
+	if !root.IsRoot() {
+		t.Error("IsRoot = false on root path")
+	}
+	if root.Parent() != nil {
+		t.Error("Parent of root != nil")
+	}
+	if !p.HasPrefix(root) {
+		t.Error("HasPrefix(root) = false")
+	}
+	if !p.HasPrefix(p) {
+		t.Error("HasPrefix(self) = false")
+	}
+	if root.HasPrefix(p) {
+		t.Error("root.HasPrefix(longer) = true")
+	}
+	c := root.Child("Text", NoIndex).Child("Body", NoIndex).Child("Keywords", 0)
+	if got := c.String(); got != "Alarms.Text.Body.Keywords[0]" {
+		t.Errorf("Child chain = %q", got)
+	}
+	if !c.Parent().Equal(MustParsePath("Alarms.Text.Body")) {
+		t.Error("Parent of child chain mismatch")
+	}
+}
+
+func TestPathCloneIndependence(t *testing.T) {
+	p := MustParsePath("A.B.C")
+	q := p.Clone()
+	q[0].Name = "X"
+	if p[0].Name != "A" {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestPathRoundTrip(t *testing.T) {
+	f := func(names []uint8, idx uint8) bool {
+		if len(names) == 0 {
+			return true
+		}
+		p := Path{}
+		for i, n := range names {
+			name := string(rune('A' + n%26))
+			index := NoIndex
+			if i%2 == 1 {
+				index = int(idx) % 8
+			}
+			p = p.Child(name, index)
+		}
+		q, err := ParsePath(p.String())
+		return err == nil && q.Equal(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseVersion(t *testing.T) {
+	v, err := ParseVersion("2.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(VersionNumber{2, 0, 1}) {
+		t.Fatalf("ParseVersion = %v", v)
+	}
+	if got := v.String(); got != "2.0.1" {
+		t.Errorf("String = %q", got)
+	}
+	bad := []string{"", ".", "1.", ".1", "a", "1.a", "-1", "1.-2", "01", "1.00"}
+	for _, s := range bad {
+		if _, err := ParseVersion(s); err == nil {
+			t.Errorf("ParseVersion(%q) succeeded", s)
+		}
+	}
+}
+
+func TestVersionCompare(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"1.0", "1.0", 0},
+		{"1.0", "2.0", -1},
+		{"2.0", "1.0", 1},
+		{"1.0", "1.0.1", -1},
+		{"1.0.1", "1.0.2", -1},
+		{"1.0.2", "1.1", -1},
+		{"2.0", "1.0.5", 1},
+	}
+	for _, c := range cases {
+		a, b := MustParseVersion(c.a), MustParseVersion(c.b)
+		if got := a.Compare(b); got != c.want {
+			t.Errorf("Compare(%s, %s) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := a.Less(b); got != (c.want < 0) {
+			t.Errorf("Less(%s, %s) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestVersionPrefix(t *testing.T) {
+	if !MustParseVersion("2.0.1").HasPrefix(MustParseVersion("2.0")) {
+		t.Error("2.0.1 should have prefix 2.0")
+	}
+	if MustParseVersion("2.0").HasPrefix(MustParseVersion("2.0.1")) {
+		t.Error("2.0 should not have prefix 2.0.1")
+	}
+	if !MustParseVersion("1.0").HasPrefix(MustParseVersion("1.0")) {
+		t.Error("reflexive prefix failed")
+	}
+}
+
+func TestVersionSuccessors(t *testing.T) {
+	var zero VersionNumber
+	if got := zero.NextOnLine().String(); got != "1.0" {
+		t.Errorf("first version = %q, want 1.0", got)
+	}
+	if got := MustParseVersion("1.0").NextOnLine().String(); got != "2.0" {
+		t.Errorf("NextOnLine(1.0) = %q, want 2.0", got)
+	}
+	if got := MustParseVersion("2.0").NextOnLine().String(); got != "3.0" {
+		t.Errorf("NextOnLine(2.0) = %q, want 3.0", got)
+	}
+	if got := MustParseVersion("1.0.1.0").NextOnLine().String(); got != "1.0.1.1" {
+		t.Errorf("NextOnLine(1.0.1.0) = %q, want 1.0.1.1", got)
+	}
+	if got := MustParseVersion("1.0").Branch(1).String(); got != "1.0.1.0" {
+		t.Errorf("Branch(1.0, 1) = %q, want 1.0.1.0", got)
+	}
+	if got := MustParseVersion("1.0").Branch(2).String(); got != "1.0.2.0" {
+		t.Errorf("Branch(1.0, 2) = %q, want 1.0.2.0", got)
+	}
+	// Branch numbers and line successors never collide: the successor of
+	// the first alternative's head is 1.0.1.1, while a second alternative
+	// starts at 1.0.2.0.
+	alt1 := MustParseVersion("1.0").Branch(1)
+	if alt1.NextOnLine().Equal(MustParseVersion("1.0").Branch(2)) {
+		t.Error("branch/line collision")
+	}
+}
+
+func TestVersionCompareProperties(t *testing.T) {
+	gen := func(raw []uint8) VersionNumber {
+		v := VersionNumber{}
+		for _, r := range raw {
+			v = append(v, int(r%5))
+		}
+		if len(v) == 0 {
+			v = VersionNumber{1, 0}
+		}
+		return v
+	}
+	antisym := func(a, b []uint8) bool {
+		va, vb := gen(a), gen(b)
+		return va.Compare(vb) == -vb.Compare(va)
+	}
+	if err := quick.Check(antisym, nil); err != nil {
+		t.Error(err)
+	}
+	roundtrip := func(a []uint8) bool {
+		v := gen(a)
+		w, err := ParseVersion(v.String())
+		return err == nil && w.Equal(v)
+	}
+	if err := quick.Check(roundtrip, nil); err != nil {
+		t.Error(err)
+	}
+}

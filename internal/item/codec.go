@@ -1,0 +1,186 @@
+package item
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Binary encoding of item states. Classes and associations are referenced by
+// qualified name; the decoder resolves them against the schema version in
+// effect for the state being decoded, which is exactly why the paper
+// requires schema versions for interpreting old data versions.
+
+// ErrDecode reports a malformed item encoding.
+var ErrDecode = errors.New("item: malformed encoding")
+
+// EncodeValue appends a typed value.
+func EncodeValue(e *storage.Encoder, v value.Value) {
+	e.Byte(byte(v.Kind()))
+	switch v.Kind() {
+	case value.KindString:
+		e.String(v.Str())
+	case value.KindInteger:
+		e.Int64(v.Int())
+	case value.KindReal:
+		e.Float64(v.Real())
+	case value.KindBoolean:
+		e.Bool(v.Bool())
+	case value.KindDate:
+		e.Time(v.Date())
+	}
+}
+
+// DecodeValue reads a typed value.
+func DecodeValue(d *storage.Decoder) (value.Value, error) {
+	kb, err := d.Byte()
+	if err != nil {
+		return value.Undefined, err
+	}
+	k := value.Kind(kb)
+	switch k {
+	case value.KindNone:
+		return value.Undefined, nil
+	case value.KindString:
+		s, err := d.String()
+		return value.NewString(s), err
+	case value.KindInteger:
+		i, err := d.Int64()
+		return value.NewInteger(i), err
+	case value.KindReal:
+		f, err := d.Float64()
+		return value.NewReal(f), err
+	case value.KindBoolean:
+		b, err := d.Bool()
+		return value.NewBoolean(b), err
+	case value.KindDate:
+		t, err := d.Time()
+		return value.NewDate(t), err
+	}
+	return value.Undefined, fmt.Errorf("%w: value kind %d", ErrDecode, kb)
+}
+
+// EncodeObject appends a full object state.
+func EncodeObject(e *storage.Encoder, o *Object) {
+	e.Uint64(uint64(o.ID))
+	e.String(o.Class.QualifiedName())
+	e.String(o.Name)
+	e.Uint64(uint64(o.Parent))
+	e.String(o.Role)
+	e.Int(o.Index)
+	EncodeValue(e, o.Value)
+	e.Bool(o.Pattern)
+	e.Bool(o.Deleted)
+}
+
+// DecodeObject reads an object state, resolving the class against s.
+func DecodeObject(d *storage.Decoder, s *schema.Schema) (Object, error) {
+	var o Object
+	id, err := d.Uint64()
+	if err != nil {
+		return o, err
+	}
+	o.ID = ID(id)
+	cls, err := d.String()
+	if err != nil {
+		return o, err
+	}
+	o.Class, err = s.Class(cls)
+	if err != nil {
+		return o, fmt.Errorf("%w: %v", ErrDecode, err)
+	}
+	if o.Name, err = d.String(); err != nil {
+		return o, err
+	}
+	parent, err := d.Uint64()
+	if err != nil {
+		return o, err
+	}
+	o.Parent = ID(parent)
+	if o.Role, err = d.String(); err != nil {
+		return o, err
+	}
+	if o.Index, err = d.Int(); err != nil {
+		return o, err
+	}
+	if o.Value, err = DecodeValue(d); err != nil {
+		return o, err
+	}
+	if o.Pattern, err = d.Bool(); err != nil {
+		return o, err
+	}
+	if o.Deleted, err = d.Bool(); err != nil {
+		return o, err
+	}
+	return o, nil
+}
+
+// EncodeRelationship appends a full relationship state.
+func EncodeRelationship(e *storage.Encoder, r *Relationship) {
+	e.Uint64(uint64(r.ID))
+	e.Bool(r.Inherits)
+	if r.Inherits {
+		e.String("")
+	} else {
+		e.String(r.Assoc.Name())
+	}
+	e.Int(len(r.Ends))
+	for _, end := range r.Ends {
+		e.String(end.Role)
+		e.Uint64(uint64(end.Object))
+	}
+	e.Bool(r.Pattern)
+	e.Bool(r.Deleted)
+}
+
+// DecodeRelationship reads a relationship state, resolving the association
+// against s.
+func DecodeRelationship(d *storage.Decoder, s *schema.Schema) (Relationship, error) {
+	var r Relationship
+	id, err := d.Uint64()
+	if err != nil {
+		return r, err
+	}
+	r.ID = ID(id)
+	if r.Inherits, err = d.Bool(); err != nil {
+		return r, err
+	}
+	name, err := d.String()
+	if err != nil {
+		return r, err
+	}
+	if !r.Inherits {
+		r.Assoc, err = s.Association(name)
+		if err != nil {
+			return r, fmt.Errorf("%w: %v", ErrDecode, err)
+		}
+	}
+	n, err := d.Int()
+	if err != nil {
+		return r, err
+	}
+	if n < 0 || n > 64 {
+		return r, fmt.Errorf("%w: %d ends", ErrDecode, n)
+	}
+	r.Ends = make([]End, n)
+	for i := range r.Ends {
+		if r.Ends[i].Role, err = d.String(); err != nil {
+			return r, err
+		}
+		obj, err := d.Uint64()
+		if err != nil {
+			return r, err
+		}
+		r.Ends[i].Object = ID(obj)
+	}
+	if r.Pattern, err = d.Bool(); err != nil {
+		return r, err
+	}
+	if r.Deleted, err = d.Bool(); err != nil {
+		return r, err
+	}
+	return r, nil
+}

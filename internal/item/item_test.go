@@ -1,0 +1,218 @@
+package item_test
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ident"
+	"repro/internal/item"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+func TestKindString(t *testing.T) {
+	if item.KindObject.String() != "object" || item.KindRelationship.String() != "relationship" {
+		t.Error("kind names")
+	}
+	if item.Kind(0).String() != "item" {
+		t.Error("zero kind name")
+	}
+}
+
+func TestObjectComponent(t *testing.T) {
+	o := item.Object{Name: "Alarms"}
+	if c := o.Component(); c.Name != "Alarms" || c.HasIndex() {
+		t.Errorf("independent component = %v", c)
+	}
+	d := item.Object{Parent: 1, Role: "Keywords", Index: 2}
+	if c := d.Component(); c.String() != "Keywords[2]" {
+		t.Errorf("dependent component = %v", c)
+	}
+}
+
+func TestRelationshipEnds(t *testing.T) {
+	r := item.Relationship{Ends: []item.End{{Role: "from", Object: 7}, {Role: "by", Object: 9}}}
+	r.SortEnds()
+	if r.Ends[0].Role != "by" {
+		t.Error("SortEnds did not sort")
+	}
+	if r.End("from") != 7 || r.End("nope") != item.NoID {
+		t.Error("End lookup")
+	}
+	if !r.HasEnd(9) || r.HasEnd(8) {
+		t.Error("HasEnd")
+	}
+	role, ok := r.RoleOf(9)
+	if !ok || role != "by" {
+		t.Errorf("RoleOf = %q %v", role, ok)
+	}
+	c := r.Clone()
+	c.Ends[0].Object = 99
+	if r.Ends[0].Object == 99 {
+		t.Error("Clone shares ends")
+	}
+}
+
+func TestCodecObjectRoundTrip(t *testing.T) {
+	sch := schema.Figure3()
+	cases := []item.Object{
+		{ID: 1, Class: sch.MustClass("Data"), Name: "Alarms", Index: item.NoIndex},
+		{ID: 2, Class: sch.MustClass("Data.Text"), Parent: 1, Role: "Text", Index: 3, Pattern: true},
+		{ID: 3, Class: sch.MustClass("Thing.Revised"), Parent: 1, Role: "Revised",
+			Index: item.NoIndex, Value: value.NewDate(time.Date(1986, 2, 5, 0, 0, 0, 0, time.UTC)), Deleted: true},
+		{ID: 4, Class: sch.MustClass("Write.NumberOfWrites"), Parent: 9, Role: "NumberOfWrites",
+			Index: item.NoIndex, Value: value.NewInteger(-5)},
+	}
+	for _, o := range cases {
+		e := storage.NewEncoder(nil)
+		item.EncodeObject(e, &o)
+		got, err := item.DecodeObject(storage.NewDecoder(e.Bytes()), sch)
+		if err != nil {
+			t.Fatalf("decode %v: %v", o.ID, err)
+		}
+		if got.ID != o.ID || got.Class != o.Class || got.Name != o.Name ||
+			got.Parent != o.Parent || got.Role != o.Role || got.Index != o.Index ||
+			!got.Value.Equal(o.Value) || got.Pattern != o.Pattern || got.Deleted != o.Deleted {
+			t.Errorf("round trip changed: %+v -> %+v", o, got)
+		}
+	}
+}
+
+func TestCodecRelationshipRoundTrip(t *testing.T) {
+	sch := schema.Figure3()
+	r := item.Relationship{
+		ID:    7,
+		Assoc: sch.MustAssociation("Write"),
+		Ends:  []item.End{{Role: "by", Object: 2}, {Role: "from", Object: 1}},
+	}
+	e := storage.NewEncoder(nil)
+	item.EncodeRelationship(e, &r)
+	got, err := item.DecodeRelationship(storage.NewDecoder(e.Bytes()), sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Assoc != r.Assoc || len(got.Ends) != 2 || got.End("from") != 1 {
+		t.Errorf("round trip changed: %+v", got)
+	}
+	// Inherits-relationships survive without an association.
+	ir := item.Relationship{
+		ID: 8, Inherits: true,
+		Ends: []item.End{
+			{Role: item.InheritsInheritorRole, Object: 4},
+			{Role: item.InheritsPatternRole, Object: 3},
+		},
+	}
+	e.Reset()
+	item.EncodeRelationship(e, &ir)
+	got, err = item.DecodeRelationship(storage.NewDecoder(e.Bytes()), sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Inherits || got.Assoc != nil || got.End(item.InheritsPatternRole) != 3 {
+		t.Errorf("inherits round trip: %+v", got)
+	}
+}
+
+func TestCodecValueQuick(t *testing.T) {
+	f := func(i int64, s string, b bool, fl float64) bool {
+		for _, v := range []value.Value{
+			value.NewInteger(i), value.NewString(s), value.NewBoolean(b),
+			value.NewReal(fl), value.Undefined,
+		} {
+			e := storage.NewEncoder(nil)
+			item.EncodeValue(e, v)
+			got, err := item.DecodeValue(storage.NewDecoder(e.Bytes()))
+			if err != nil {
+				return false
+			}
+			if v.Kind() == value.KindReal && fl != fl {
+				continue // NaN compares unequal by design
+			}
+			if !got.Equal(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	sch := schema.Figure3()
+	// Truncated buffer.
+	if _, err := item.DecodeObject(storage.NewDecoder([]byte{1}), sch); err == nil {
+		t.Error("truncated object decoded")
+	}
+	// Unknown class.
+	e := storage.NewEncoder(nil)
+	o := item.Object{ID: 1, Class: sch.MustClass("Data"), Name: "X", Index: item.NoIndex}
+	item.EncodeObject(e, &o)
+	other := schema.Figure2() // has Data, but lacks e.g. Thing
+	o2 := item.Object{ID: 2, Class: sch.MustClass("Thing"), Name: "Y", Index: item.NoIndex}
+	e2 := storage.NewEncoder(nil)
+	item.EncodeObject(e2, &o2)
+	if _, err := item.DecodeObject(storage.NewDecoder(e2.Bytes()), other); err == nil {
+		t.Error("object with unknown class decoded")
+	}
+}
+
+func TestPathOfAndResolve(t *testing.T) {
+	en, err := core.NewEngine(schema.Figure2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarms, _ := en.CreateObject("Data", "Alarms")
+	text, _ := en.CreateSubObject(alarms, "Text")
+	body, _ := en.CreateSubObject(text, "Body")
+	kw0, _ := en.CreateValueObject(body, "Keywords", value.NewString("a"))
+	kw1, _ := en.CreateValueObject(body, "Keywords", value.NewString("b"))
+	v := en.View()
+
+	p, ok := item.PathOf(v, kw1)
+	if !ok || p.String() != "Alarms.Text[0].Body.Keywords[1]" {
+		t.Fatalf("PathOf = %v %v", p, ok)
+	}
+	for _, tc := range []struct {
+		path string
+		want item.ID
+	}{
+		{"Alarms", alarms},
+		{"Alarms.Text[0]", text},
+		{"Alarms.Text[0].Body", body},
+		{"Alarms.Text[0].Body.Keywords[0]", kw0},
+		{"Alarms.Text[0].Body.Keywords[1]", kw1},
+	} {
+		got, ok := item.Resolve(v, ident.MustParsePath(tc.path))
+		if !ok || got != tc.want {
+			t.Errorf("Resolve(%s) = %d %v, want %d", tc.path, got, ok, tc.want)
+		}
+	}
+	for _, bad := range []string{"Nope", "Alarms.Nope", "Alarms.Text[5]", "Alarms.Text[0].Body.Keywords[9]", "Alarms.Text"} {
+		if _, ok := item.Resolve(v, ident.MustParsePath(bad)); ok {
+			t.Errorf("Resolve(%s) succeeded", bad)
+		}
+	}
+	// Unindexed resolution works for max-1 roles (Body has 1..1).
+	if id, ok := item.Resolve(v, ident.MustParsePath("Alarms.Text[0].Body")); !ok || id != body {
+		t.Error("unindexed role resolution failed")
+	}
+}
+
+// Relationship attributes root their paths at the relationship, so PathOf
+// stops there.
+func TestPathOfRelationshipAttribute(t *testing.T) {
+	en, _ := core.NewEngine(schema.Figure3())
+	alarms, _ := en.CreateObject("OutputData", "Alarms")
+	sensor, _ := en.CreateObject("Action", "Sensor")
+	w, _ := en.CreateRelationship("Write", map[string]item.ID{"from": alarms, "by": sensor})
+	n, _ := en.CreateValueObject(w, "NumberOfWrites", value.NewInteger(2))
+	p, ok := item.PathOf(en.View(), n)
+	if !ok || p.String() != "NumberOfWrites" {
+		t.Errorf("attribute path = %v %v", p, ok)
+	}
+}

@@ -1,0 +1,354 @@
+// Package pattern implements SEED's pattern concept and, on top of it,
+// variants (paper, section "Patterns and Variants").
+//
+// Any data item can be marked as a pattern. Patterns are invisible to
+// retrieval and are not checked for consistency unless they are inherited
+// by a normal data item through the special inherits-relationship. All
+// retrieval operations view patterns as if they were inserted in the
+// context of the inheritors: this package builds that view by splicing
+// virtual copies of the pattern's sub-objects and relationships into each
+// inheritor's context. Pattern information cannot be updated in the context
+// of the inheritors — virtual items are read-only projections — but only in
+// the pattern itself, and any update of a pattern automatically propagates
+// to all inheritors, because the spliced view is computed from the pattern's
+// current state.
+package pattern
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/consistency"
+	"repro/internal/item"
+	"repro/internal/schema"
+)
+
+// VirtualBase is the first ID used for virtual (spliced) items. Real item
+// IDs are allocated from 1 upward and never reach this range.
+const VirtualBase item.ID = 1 << 62
+
+// ErrInheritedData reports an update addressed to inherited (virtual)
+// information, which is only updatable in the pattern itself.
+var ErrInheritedData = errors.New("pattern: inherited information is updatable only in the pattern itself")
+
+// IsVirtualID reports whether an item ID denotes a spliced projection.
+func IsVirtualID(id item.ID) bool { return id >= VirtualBase }
+
+// InheritorsOf lists the normal items inheriting the given pattern, in
+// ascending ID order.
+func InheritorsOf(v item.View, patternID item.ID) []item.ID {
+	var out []item.ID
+	for _, rid := range v.RelationshipsOf(patternID) {
+		r, ok := v.Relationship(rid)
+		if ok && r.Inherits && r.End(item.InheritsPatternRole) == patternID {
+			out = append(out, r.End(item.InheritsInheritorRole))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PatternsOf lists the patterns an item inherits, in ascending ID order.
+func PatternsOf(v item.View, inheritorID item.ID) []item.ID {
+	var out []item.ID
+	for _, rid := range v.RelationshipsOf(inheritorID) {
+		r, ok := v.Relationship(rid)
+		if ok && r.Inherits && r.End(item.InheritsInheritorRole) == inheritorID {
+			out = append(out, r.End(item.InheritsPatternRole))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Origin records where a virtual item comes from.
+type Origin struct {
+	Source    item.ID // the pattern-side item this projects
+	Pattern   item.ID // the inherited pattern root
+	Inheritor item.ID // the context the projection appears in
+}
+
+// Spliced is the user-facing view: pattern items and inherits-relationships
+// are hidden; for every inherits link the pattern's sub-objects and
+// relationships appear as virtual items in the inheritor's context.
+type Spliced struct {
+	base item.View
+
+	vObjects  map[item.ID]item.Object
+	vRels     map[item.ID]item.Relationship
+	vChildren map[item.ID]map[string][]item.ID
+	vRelsOf   map[item.ID][]item.ID
+	origins   map[item.ID]Origin
+	nextVID   item.ID
+}
+
+// NewSpliced builds the spliced view over a base (raw) view. The splice is
+// computed eagerly; build a fresh view after mutations.
+func NewSpliced(base item.View) *Spliced {
+	s := &Spliced{
+		base:      base,
+		vObjects:  make(map[item.ID]item.Object),
+		vRels:     make(map[item.ID]item.Relationship),
+		vChildren: make(map[item.ID]map[string][]item.ID),
+		vRelsOf:   make(map[item.ID][]item.ID),
+		origins:   make(map[item.ID]Origin),
+		nextVID:   VirtualBase,
+	}
+	// Deterministic order: inherits relationships in ascending ID order.
+	for _, rid := range base.Relationships() {
+		r, ok := base.Relationship(rid)
+		if !ok || !r.Inherits {
+			continue
+		}
+		pat := r.End(item.InheritsPatternRole)
+		inh := r.End(item.InheritsInheritorRole)
+		if pat == item.NoID || inh == item.NoID {
+			continue
+		}
+		s.splice(pat, inh)
+	}
+	return s
+}
+
+// splice projects one pattern into one inheritor context.
+func (s *Spliced) splice(pat, inh item.ID) {
+	// Sub-objects: the pattern's subtree re-rooted at the inheritor.
+	s.spliceChildren(pat, inh, pat, inh)
+	// Relationships of the pattern root: re-point the pattern end at the
+	// inheritor. Relationships whose other ends are still patterns stay
+	// invisible (they surface in contexts where those ends are inherited).
+	for _, rid := range s.base.RelationshipsOf(pat) {
+		r, ok := s.base.Relationship(rid)
+		if !ok || r.Inherits {
+			continue
+		}
+		clone := r.Clone()
+		hidden := false
+		for i, e := range clone.Ends {
+			if e.Object == pat {
+				clone.Ends[i].Object = inh
+				continue
+			}
+			if o, ok := s.base.Object(e.Object); ok && o.Pattern {
+				hidden = true
+			}
+		}
+		if hidden {
+			continue
+		}
+		vid := s.alloc()
+		clone.ID = vid
+		clone.Pattern = false
+		s.vRels[vid] = clone
+		s.origins[vid] = Origin{Source: rid, Pattern: pat, Inheritor: inh}
+		for _, e := range clone.Ends {
+			s.vRelsOf[e.Object] = append(s.vRelsOf[e.Object], vid)
+		}
+		// Attribute sub-objects of the pattern relationship.
+		s.spliceChildren(rid, vid, pat, inh)
+	}
+}
+
+// spliceChildren copies the sub-objects of src (a pattern-side item) under
+// dst (the corresponding item in the inheritor context).
+func (s *Spliced) spliceChildren(src, dst, pat, inh item.ID) {
+	for _, role := range s.rolesOf(src) {
+		for _, cid := range s.base.Children(src, role) {
+			c, ok := s.base.Object(cid)
+			if !ok {
+				continue
+			}
+			vid := s.alloc()
+			vc := c
+			vc.ID = vid
+			vc.Parent = dst
+			vc.Pattern = false
+			s.vObjects[vid] = vc
+			s.origins[vid] = Origin{Source: cid, Pattern: pat, Inheritor: inh}
+			byRole := s.vChildren[dst]
+			if byRole == nil {
+				byRole = make(map[string][]item.ID)
+				s.vChildren[dst] = byRole
+			}
+			byRole[role] = append(byRole[role], vid)
+			s.spliceChildren(cid, vid, pat, inh)
+		}
+	}
+}
+
+func (s *Spliced) rolesOf(parent item.ID) []string {
+	seen := make(map[string]bool)
+	var roles []string
+	for _, cid := range s.base.Children(parent, "") {
+		if c, ok := s.base.Object(cid); ok && !seen[c.Role] {
+			seen[c.Role] = true
+			roles = append(roles, c.Role)
+		}
+	}
+	sort.Strings(roles)
+	return roles
+}
+
+func (s *Spliced) alloc() item.ID {
+	id := s.nextVID
+	s.nextVID++
+	return id
+}
+
+// Origin reports the provenance of a virtual item.
+func (s *Spliced) Origin(id item.ID) (Origin, bool) {
+	o, ok := s.origins[id]
+	return o, ok
+}
+
+// Schema returns the base schema.
+func (s *Spliced) Schema() *schema.Schema { return s.base.Schema() }
+
+// Object implements item.View: virtual objects resolve to their projection,
+// pattern objects are hidden.
+func (s *Spliced) Object(id item.ID) (item.Object, bool) {
+	if IsVirtualID(id) {
+		o, ok := s.vObjects[id]
+		return o, ok
+	}
+	o, ok := s.base.Object(id)
+	if !ok || o.Pattern {
+		return item.Object{}, false
+	}
+	return o, true
+}
+
+// Relationship implements item.View: pattern relationships and
+// inherits-relationships are hidden, virtual relationships resolve.
+func (s *Spliced) Relationship(id item.ID) (item.Relationship, bool) {
+	if IsVirtualID(id) {
+		r, ok := s.vRels[id]
+		if !ok {
+			return item.Relationship{}, false
+		}
+		return r.Clone(), true
+	}
+	r, ok := s.base.Relationship(id)
+	if !ok || r.Pattern || r.Inherits {
+		return item.Relationship{}, false
+	}
+	return r, true
+}
+
+// ObjectByName hides patterns from name retrieval.
+func (s *Spliced) ObjectByName(name string) (item.ID, bool) {
+	id, ok := s.base.ObjectByName(name)
+	if !ok {
+		return item.NoID, false
+	}
+	if o, exists := s.base.Object(id); !exists || o.Pattern {
+		return item.NoID, false
+	}
+	return id, true
+}
+
+// Children merges real and spliced sub-objects; real ones come first.
+func (s *Spliced) Children(parent item.ID, role string) []item.ID {
+	var out []item.ID
+	if !IsVirtualID(parent) {
+		out = append(out, s.base.Children(parent, role)...)
+	}
+	if byRole, ok := s.vChildren[parent]; ok {
+		if role != "" {
+			out = append(out, byRole[role]...)
+		} else {
+			roles := make([]string, 0, len(byRole))
+			for r := range byRole {
+				roles = append(roles, r)
+			}
+			sort.Strings(roles)
+			for _, r := range roles {
+				out = append(out, byRole[r]...)
+			}
+		}
+	}
+	return out
+}
+
+// RelationshipsOf merges real (non-pattern) and spliced relationships.
+func (s *Spliced) RelationshipsOf(obj item.ID) []item.ID {
+	var out []item.ID
+	if !IsVirtualID(obj) {
+		for _, rid := range s.base.RelationshipsOf(obj) {
+			if r, ok := s.base.Relationship(rid); ok && !r.Pattern && !r.Inherits {
+				out = append(out, rid)
+			}
+		}
+	}
+	out = append(out, s.vRelsOf[obj]...)
+	return out
+}
+
+// Objects lists real non-pattern objects followed by virtual objects.
+func (s *Spliced) Objects() []item.ID {
+	var out []item.ID
+	for _, id := range s.base.Objects() {
+		if o, ok := s.base.Object(id); ok && !o.Pattern {
+			out = append(out, id)
+		}
+	}
+	vids := make([]item.ID, 0, len(s.vObjects))
+	for id := range s.vObjects {
+		vids = append(vids, id)
+	}
+	sort.Slice(vids, func(i, j int) bool { return vids[i] < vids[j] })
+	return append(out, vids...)
+}
+
+// Relationships lists real non-pattern, non-inherits relationships followed
+// by virtual relationships.
+func (s *Spliced) Relationships() []item.ID {
+	var out []item.ID
+	for _, id := range s.base.Relationships() {
+		if r, ok := s.base.Relationship(id); ok && !r.Pattern && !r.Inherits {
+			out = append(out, id)
+		}
+	}
+	vids := make([]item.ID, 0, len(s.vRels))
+	for id := range s.vRels {
+		vids = append(vids, id)
+	}
+	sort.Slice(vids, func(i, j int) bool { return vids[i] < vids[j] })
+	return append(out, vids...)
+}
+
+// ValidateInheritor checks the consistency of one inheritor's spliced
+// context: the inheritor itself (its cardinalities now include inherited
+// sub-objects) and every virtual item projected into it. This implements
+// "patterns ... are not checked for consistency unless they are inherited
+// by a normal data item".
+func (s *Spliced) ValidateInheritor(inh item.ID) error {
+	if _, ok := s.Object(inh); ok {
+		if err := consistency.CheckObject(s, inh); err != nil {
+			return fmt.Errorf("pattern: inheritor %d: %w", inh, err)
+		}
+	}
+	// Deterministic order over virtual items of this inheritor.
+	vids := make([]item.ID, 0)
+	for id, org := range s.origins {
+		if org.Inheritor == inh {
+			vids = append(vids, id)
+		}
+	}
+	sort.Slice(vids, func(i, j int) bool { return vids[i] < vids[j] })
+	for _, vid := range vids {
+		if _, ok := s.vObjects[vid]; ok {
+			if err := consistency.CheckObject(s, vid); err != nil {
+				return fmt.Errorf("pattern: inherited object %d (from %d): %w",
+					vid, s.origins[vid].Source, err)
+			}
+			continue
+		}
+		if err := consistency.CheckRelationship(s, vid); err != nil {
+			return fmt.Errorf("pattern: inherited relationship %d (from %d): %w",
+				vid, s.origins[vid].Source, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,356 @@
+// Package query implements retrieval over SEED views: selection by class,
+// name, and sub-object values; navigation along association roles; and
+// joins over existing relationships.
+//
+// The paper's prototype supported only simple retrieval by name and left
+// complex queries unimplemented, but it defines the retrieval semantics for
+// incomplete data precisely: "When the database is searched for data that
+// meet certain selection criteria, an undefined object matches nothing.
+// Taking joins or cartesian products is not affected by undefined items.
+// This is due to the fact that entity-relationship based models define
+// these operations on existing relationships only." This package implements
+// those semantics over any item.View — the live user view, a version view,
+// or a pattern-spliced view.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+
+	"repro/internal/item"
+	"repro/internal/value"
+)
+
+// Query errors.
+var (
+	ErrBadQuery = errors.New("query: invalid query")
+)
+
+// CompareOp is a value comparison operator.
+type CompareOp uint8
+
+// The comparison operators. Unordered kinds (BOOLEAN) support only Eq and
+// Ne; undefined values match nothing under every operator.
+const (
+	Eq CompareOp = iota + 1
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+	Contains // substring on STRING values
+)
+
+// String names the operator.
+func (op CompareOp) String() string {
+	switch op {
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case Contains:
+		return "contains"
+	}
+	return "?"
+}
+
+// predicate is one sub-object value condition.
+type predicate struct {
+	roles []string // role path below the candidate object
+	op    CompareOp
+	val   value.Value
+}
+
+// Query selects objects from a view. The zero Query selects every object;
+// restrict it with the builder methods and evaluate with Run.
+type Query struct {
+	className    string
+	includeSpecs bool
+	nameGlob     string
+	preds        []predicate
+	limit        int
+	err          error
+}
+
+// New returns an unrestricted query.
+func New() *Query { return &Query{} }
+
+// Class restricts to objects whose class has the given qualified name;
+// with includeSpecializations, instances of specializations match too (a
+// query for 'Data' then also finds 'OutputData' objects).
+func (q *Query) Class(qualified string, includeSpecializations bool) *Query {
+	q.className = qualified
+	q.includeSpecs = includeSpecializations
+	return q
+}
+
+// NameGlob restricts to independent objects whose name matches a glob
+// pattern ('Alarm*').
+func (q *Query) NameGlob(pattern string) *Query {
+	if _, err := path.Match(pattern, ""); err != nil {
+		q.err = fmt.Errorf("%w: glob %q", ErrBadQuery, pattern)
+	}
+	q.nameGlob = pattern
+	return q
+}
+
+// Where adds a sub-object value condition: some sub-object reached by the
+// role path (e.g. "Text.Selector") must have a value for which `value op
+// given` holds. Objects whose sub-object is missing or undefined match
+// nothing.
+func (q *Query) Where(rolePath string, op CompareOp, v value.Value) *Query {
+	if rolePath == "" {
+		q.err = fmt.Errorf("%w: empty role path", ErrBadQuery)
+		return q
+	}
+	var roles []string
+	start := 0
+	for i := 0; i <= len(rolePath); i++ {
+		if i == len(rolePath) || rolePath[i] == '.' {
+			if i == start {
+				q.err = fmt.Errorf("%w: role path %q", ErrBadQuery, rolePath)
+				return q
+			}
+			roles = append(roles, rolePath[start:i])
+			start = i + 1
+		}
+	}
+	q.preds = append(q.preds, predicate{roles: roles, op: op, val: v})
+	return q
+}
+
+// Limit caps the number of results (0 = unlimited).
+func (q *Query) Limit(n int) *Query {
+	q.limit = n
+	return q
+}
+
+// Run evaluates the query over a view, returning matching object IDs in
+// ascending order.
+func (q *Query) Run(v item.View) ([]item.ID, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	var out []item.ID
+	for _, id := range v.Objects() {
+		o, ok := v.Object(id)
+		if !ok {
+			continue
+		}
+		if !q.matches(v, o) {
+			continue
+		}
+		out = append(out, id)
+		if q.limit > 0 && len(out) >= q.limit {
+			break
+		}
+	}
+	return out, nil
+}
+
+func (q *Query) matches(v item.View, o item.Object) bool {
+	if q.className != "" {
+		if q.includeSpecs {
+			ok := false
+			for c := o.Class; c != nil; c = c.Super() {
+				if c.QualifiedName() == q.className {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		} else if o.Class.QualifiedName() != q.className {
+			return false
+		}
+	}
+	if q.nameGlob != "" {
+		if !o.Independent() {
+			return false
+		}
+		if ok, _ := path.Match(q.nameGlob, o.Name); !ok {
+			return false
+		}
+	}
+	for _, p := range q.preds {
+		if !evalPredicate(v, o.ID, p) {
+			return false
+		}
+	}
+	return true
+}
+
+// evalPredicate reports whether some sub-object chain below obj matches the
+// role path and satisfies the comparison. An undefined value matches
+// nothing.
+func evalPredicate(v item.View, obj item.ID, p predicate) bool {
+	frontier := []item.ID{obj}
+	for _, role := range p.roles {
+		var next []item.ID
+		for _, id := range frontier {
+			next = append(next, v.Children(id, role)...)
+		}
+		if len(next) == 0 {
+			return false // missing sub-object: matches nothing
+		}
+		frontier = next
+	}
+	for _, id := range frontier {
+		o, ok := v.Object(id)
+		if !ok {
+			continue
+		}
+		if compare(o.Value, p.op, p.val) {
+			return true
+		}
+	}
+	return false
+}
+
+// compare evaluates `a op b` with undefined-matches-nothing semantics.
+func compare(a value.Value, op CompareOp, b value.Value) bool {
+	if !a.IsDefined() || !b.IsDefined() {
+		return false
+	}
+	switch op {
+	case Eq:
+		return a.Matches(b)
+	case Ne:
+		return a.Kind() == b.Kind() && !a.Matches(b)
+	case Contains:
+		if a.Kind() != value.KindString || b.Kind() != value.KindString {
+			return false
+		}
+		return contains(a.Str(), b.Str())
+	}
+	c, err := a.Compare(b)
+	if err != nil {
+		return false
+	}
+	switch op {
+	case Lt:
+		return c < 0
+	case Le:
+		return c <= 0
+	case Gt:
+		return c > 0
+	case Ge:
+		return c >= 0
+	}
+	return false
+}
+
+func contains(s, sub string) bool {
+	if len(sub) == 0 {
+		return true
+	}
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// Follow navigates from a set of objects along an association: for every
+// relationship of assoc (or a specialization) in which a source object
+// fills fromRole, the object filling toRole is collected. Results are
+// deduplicated and sorted.
+func Follow(v item.View, from []item.ID, assocName, fromRole, toRole string) ([]item.ID, error) {
+	assoc, err := v.Schema().Association(assocName)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[item.ID]bool)
+	var out []item.ID
+	for _, src := range from {
+		for _, rid := range v.RelationshipsOf(src) {
+			r, ok := v.Relationship(rid)
+			if !ok || r.Inherits || r.Assoc == nil || !r.Assoc.IsA(assoc) {
+				continue
+			}
+			if r.End(fromRole) != src {
+				continue
+			}
+			dst := r.End(toRole)
+			if dst == item.NoID || seen[dst] {
+				continue
+			}
+			seen[dst] = true
+			out = append(out, dst)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Cartesian returns every pair from the two sets. The paper notes that
+// cartesian products are "not affected by undefined items" because they
+// are defined over the given object sets directly; incomplete objects
+// participate like any other.
+func Cartesian(left, right []item.ID) []Pair {
+	out := make([]Pair, 0, len(left)*len(right))
+	for _, l := range left {
+		for _, r := range right {
+			out = append(out, Pair{Left: l, Right: r})
+		}
+	}
+	return out
+}
+
+// Pair is one join result: two objects connected by a relationship.
+type Pair struct {
+	Left, Right item.ID
+	Rel         item.ID
+}
+
+// Join pairs objects from the left and right sets that are connected by a
+// relationship of the association (or a specialization), with left filling
+// leftRole and right filling rightRole. Joins are defined on existing
+// relationships only, so undefined or unrelated items simply do not appear.
+func Join(v item.View, left, right []item.ID, assocName, leftRole, rightRole string) ([]Pair, error) {
+	assoc, err := v.Schema().Association(assocName)
+	if err != nil {
+		return nil, err
+	}
+	rightSet := make(map[item.ID]bool, len(right))
+	for _, id := range right {
+		rightSet[id] = true
+	}
+	var out []Pair
+	for _, l := range left {
+		for _, rid := range v.RelationshipsOf(l) {
+			r, ok := v.Relationship(rid)
+			if !ok || r.Inherits || r.Assoc == nil || !r.Assoc.IsA(assoc) {
+				continue
+			}
+			if r.End(leftRole) != l {
+				continue
+			}
+			if rr := r.End(rightRole); rr != item.NoID && rightSet[rr] {
+				out = append(out, Pair{Left: l, Right: rr, Rel: rid})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Left != out[j].Left {
+			return out[i].Left < out[j].Left
+		}
+		if out[i].Right != out[j].Right {
+			return out[i].Right < out[j].Right
+		}
+		return out[i].Rel < out[j].Rel
+	})
+	return out, nil
+}

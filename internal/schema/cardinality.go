@@ -1,0 +1,97 @@
+package schema
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Unbounded is the Max of a cardinality written "n..*" in the paper's
+// diagrams: there is no upper bound for the number of items.
+const Unbounded = -1
+
+// ErrBadCardinality reports a malformed cardinality.
+var ErrBadCardinality = errors.New("schema: malformed cardinality")
+
+// Cardinality is a min..max occurrence constraint. Following the paper's
+// split consistency concept, Min is completeness information (checked only
+// on demand) while Max is consistency information (enforced on every
+// update).
+type Cardinality struct {
+	Min int
+	Max int // Unbounded for "*"
+}
+
+// Common cardinalities used throughout schemas.
+var (
+	// Any is 0..*: no constraint at all.
+	Any = Cardinality{0, Unbounded}
+	// AtLeastOne is 1..*: required eventually, unlimited.
+	AtLeastOne = Cardinality{1, Unbounded}
+	// AtMostOne is 0..1: optional, single.
+	AtMostOne = Cardinality{0, 1}
+	// ExactlyOne is 1..1: required eventually, single.
+	ExactlyOne = Cardinality{1, 1}
+)
+
+// Card builds a cardinality; pass Unbounded for max to express "*".
+func Card(min, max int) Cardinality { return Cardinality{Min: min, Max: max} }
+
+// ParseCardinality parses the surface form "min..max" where max may be "*".
+func ParseCardinality(s string) (Cardinality, error) {
+	lo, hi, ok := strings.Cut(s, "..")
+	if !ok {
+		return Cardinality{}, fmt.Errorf("%w: %q", ErrBadCardinality, s)
+	}
+	min, err := strconv.Atoi(lo)
+	if err != nil || min < 0 {
+		return Cardinality{}, fmt.Errorf("%w: %q", ErrBadCardinality, s)
+	}
+	c := Cardinality{Min: min}
+	if hi == "*" {
+		c.Max = Unbounded
+	} else {
+		max, err := strconv.Atoi(hi)
+		if err != nil || max < 0 {
+			return Cardinality{}, fmt.Errorf("%w: %q", ErrBadCardinality, s)
+		}
+		c.Max = max
+	}
+	if err := c.Check(); err != nil {
+		return Cardinality{}, err
+	}
+	return c, nil
+}
+
+// Check validates internal consistency of the cardinality.
+func (c Cardinality) Check() error {
+	if c.Min < 0 {
+		return fmt.Errorf("%w: negative min %d", ErrBadCardinality, c.Min)
+	}
+	if c.Max != Unbounded && c.Max < c.Min {
+		return fmt.Errorf("%w: max %d below min %d", ErrBadCardinality, c.Max, c.Min)
+	}
+	return nil
+}
+
+// Unlimited reports whether the cardinality has no upper bound.
+func (c Cardinality) Unlimited() bool { return c.Max == Unbounded }
+
+// AllowsCount reports whether n occurrences satisfy the maximum (the
+// consistency half of the constraint).
+func (c Cardinality) AllowsCount(n int) bool {
+	return c.Unlimited() || n <= c.Max
+}
+
+// SatisfiedBy reports whether n occurrences satisfy the minimum (the
+// completeness half of the constraint).
+func (c Cardinality) SatisfiedBy(n int) bool { return n >= c.Min }
+
+// String renders the paper's surface form, e.g. "0..16" or "1..*".
+func (c Cardinality) String() string {
+	if c.Unlimited() {
+		return strconv.Itoa(c.Min) + "..*"
+	}
+	return strconv.Itoa(c.Min) + ".." + strconv.Itoa(c.Max)
+}

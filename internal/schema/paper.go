@@ -1,0 +1,138 @@
+package schema
+
+import "repro/internal/value"
+
+// This file builds the two schemas the paper uses as running examples.
+// They appear throughout the test suite, the examples, and the benchmark
+// harness (experiments E1 and E2 of DESIGN.md).
+
+// Figure2 builds the sample SEED schema of figure 2: the data model of a
+// primitive specification system where actions, data, and data flow may be
+// represented. The schema is returned frozen.
+//
+//	Data
+//	  Text 0..16
+//	    Body 1..1
+//	      Keywords: STRING 0..*
+//	    Selector: STRING 1..1
+//	  Contents: STRING 0..1
+//	Action
+//	  Description: STRING 0..1
+//	Read  (from: Data 1..*, by: Action 0..*)
+//	Write (from: Data 1..*, by: Action 0..*)
+//	Contained ACYCLIC (contained: Action 0..1, container: Action 0..*)
+func Figure2() *Schema {
+	s := New("Figure2")
+	data := mustClass(s.AddClass("Data"))
+	text := mustClass(data.AddChild("Text", Card(0, 16), value.KindNone))
+	body := mustClass(text.AddChild("Body", ExactlyOne, value.KindNone))
+	mustClass(body.AddChild("Keywords", Any, value.KindString))
+	mustClass(text.AddChild("Selector", ExactlyOne, value.KindString))
+	mustClass(data.AddChild("Contents", AtMostOne, value.KindString))
+
+	action := mustClass(s.AddClass("Action"))
+	mustClass(action.AddChild("Description", AtMostOne, value.KindString))
+
+	read := mustAssoc(s.AddAssociation("Read"))
+	mustRole(read.AddRole("from", data, AtLeastOne))
+	mustRole(read.AddRole("by", action, Any))
+
+	write := mustAssoc(s.AddAssociation("Write"))
+	mustRole(write.AddRole("from", data, AtLeastOne))
+	mustRole(write.AddRole("by", action, Any))
+
+	contained := mustAssoc(s.AddAssociation("Contained"))
+	mustRole(contained.AddRole("contained", action, AtMostOne))
+	mustRole(contained.AddRole("container", action, Any))
+	must(contained.SetAcyclic(true))
+
+	must(s.Freeze())
+	return s
+}
+
+// Figure3 builds the schema of figure 3: figure 2 extended with
+// generalizations of classes and associations so that vague information can
+// be stored and made precise step by step. The schema is returned frozen.
+//
+//	Thing (covering)
+//	  Description: STRING 0..1
+//	  Revised: DATE 1..1
+//	Data specializes Thing
+//	  Text 0..16 { Body 1..1 { Keywords: STRING 0..* }, Selector: STRING 1..1 }
+//	InputData  specializes Data
+//	OutputData specializes Data
+//	Action specializes Thing
+//	Access (covering) (from: Data 1..*, by: Action 1..*)
+//	Read  specializes Access (from: InputData 0..*,  by: Action 0..*)
+//	Write specializes Access (from: OutputData 0..*, by: Action 0..*)
+//	  NumberOfWrites: INTEGER 1..1
+//	  ErrorHandling:  STRING 0..1
+//	Contained ACYCLIC (contained: Action 0..1, container: Action 0..*)
+func Figure3() *Schema {
+	s := New("Figure3")
+	thing := mustClass(s.AddClass("Thing"))
+	mustClass(thing.AddChild("Description", AtMostOne, value.KindString))
+	mustClass(thing.AddChild("Revised", ExactlyOne, value.KindDate))
+	must(thing.SetCovering(true))
+
+	data := mustClass(s.AddClass("Data"))
+	must(data.Specialize(thing))
+	text := mustClass(data.AddChild("Text", Card(0, 16), value.KindNone))
+	body := mustClass(text.AddChild("Body", ExactlyOne, value.KindNone))
+	mustClass(body.AddChild("Keywords", Any, value.KindString))
+	mustClass(text.AddChild("Selector", ExactlyOne, value.KindString))
+
+	input := mustClass(s.AddClass("InputData"))
+	must(input.Specialize(data))
+	output := mustClass(s.AddClass("OutputData"))
+	must(output.Specialize(data))
+
+	action := mustClass(s.AddClass("Action"))
+	must(action.Specialize(thing))
+
+	access := mustAssoc(s.AddAssociation("Access"))
+	mustRole(access.AddRole("from", data, AtLeastOne))
+	mustRole(access.AddRole("by", action, AtLeastOne))
+	must(access.SetCovering(true))
+
+	read := mustAssoc(s.AddAssociation("Read"))
+	mustRole(read.AddRole("from", input, Any))
+	mustRole(read.AddRole("by", action, Any))
+	must(read.Specialize(access))
+
+	write := mustAssoc(s.AddAssociation("Write"))
+	mustRole(write.AddRole("from", output, Any))
+	mustRole(write.AddRole("by", action, Any))
+	must(write.Specialize(access))
+	mustClass(write.AddChild("NumberOfWrites", ExactlyOne, value.KindInteger))
+	mustClass(write.AddChild("ErrorHandling", AtMostOne, value.KindString))
+
+	contained := mustAssoc(s.AddAssociation("Contained"))
+	mustRole(contained.AddRole("contained", action, AtMostOne))
+	mustRole(contained.AddRole("container", action, Any))
+	must(contained.SetAcyclic(true))
+
+	must(s.Freeze())
+	return s
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func mustClass(c *Class, err error) *Class {
+	must(err)
+	return c
+}
+
+func mustAssoc(a *Association, err error) *Association {
+	must(err)
+	return a
+}
+
+func mustRole(r *Role, err error) *Role {
+	must(err)
+	return r
+}

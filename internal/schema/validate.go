@@ -1,0 +1,82 @@
+package schema
+
+import "fmt"
+
+// validate performs whole-schema checks at Freeze time.
+func (s *Schema) validate() error {
+	for _, c := range s.classes {
+		if err := s.validateClass(c); err != nil {
+			return err
+		}
+	}
+	for _, a := range s.assocList {
+		if err := s.validateAssociation(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Schema) validateClass(c *Class) error {
+	if c.HasValue() && len(c.children) > 0 {
+		return fmt.Errorf("%w: %q", ErrValueClass, c.QualifiedName())
+	}
+	if !c.Top() {
+		if err := c.card.Check(); err != nil {
+			return fmt.Errorf("class %q: %w", c.QualifiedName(), err)
+		}
+	}
+	if c.covering && len(c.specs) == 0 {
+		return fmt.Errorf("%w: class %q", ErrCoveringLeaves, c.QualifiedName())
+	}
+	// Generalization cycles are prevented at Specialize time; re-verify the
+	// chain terminates as defence in depth.
+	seen := make(map[*Class]bool)
+	for x := c; x != nil; x = x.super {
+		if seen[x] {
+			return fmt.Errorf("%w: cycle at class %q", ErrBadGeneralize, c.QualifiedName())
+		}
+		seen[x] = true
+	}
+	return nil
+}
+
+func (s *Schema) validateAssociation(a *Association) error {
+	if len(a.roles) < 2 {
+		return fmt.Errorf("%w: association %q needs at least two roles", ErrBadDefinition, a.name)
+	}
+	names := make(map[string]bool, len(a.roles))
+	for _, r := range a.roles {
+		if names[r.Name] {
+			return fmt.Errorf("%w: role %q of %q", ErrDuplicate, r.Name, a.name)
+		}
+		names[r.Name] = true
+		if err := r.Card.Check(); err != nil {
+			return fmt.Errorf("role %q of %q: %w", r.Name, a.name, err)
+		}
+	}
+	if a.covering && len(a.specs) == 0 {
+		return fmt.Errorf("%w: association %q", ErrCoveringLeaves, a.name)
+	}
+	if a.acyclic {
+		// ACYCLIC is meaningful for binary associations whose two role
+		// classes belong to one generalization family, so that a directed
+		// graph over one set of objects arises ('Contained' over 'Action').
+		if len(a.roles) != 2 {
+			return fmt.Errorf("%w: %q has %d roles", ErrAcyclicBinary, a.name, len(a.roles))
+		}
+		r0, r1 := a.roles[0], a.roles[1]
+		if r0.class.Root() != r1.class.Root() {
+			return fmt.Errorf("%w: %q relates %q and %q", ErrAcyclicBinary,
+				a.name, r0.class.QualifiedName(), r1.class.QualifiedName())
+		}
+	}
+	seen := make(map[*Association]bool)
+	for x := a; x != nil; x = x.super {
+		if seen[x] {
+			return fmt.Errorf("%w: cycle at association %q", ErrBadGeneralize, a.name)
+		}
+		seen[x] = true
+	}
+	return nil
+}

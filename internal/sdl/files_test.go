@@ -1,0 +1,35 @@
+package sdl
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// TestShippedSchemaFiles verifies that the SDL files under schemas/ stay in
+// sync with the programmatic constructors in internal/schema.
+func TestShippedSchemaFiles(t *testing.T) {
+	cases := []struct {
+		file  string
+		build func() *schema.Schema
+	}{
+		{"figure2.sdl", schema.Figure2},
+		{"figure3.sdl", schema.Figure3},
+	}
+	for _, c := range cases {
+		path := filepath.Join("..", "..", "schemas", c.file)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", c.file, err)
+		}
+		want := Render(c.build())
+		if string(raw) != want {
+			t.Errorf("%s out of sync with constructor; regenerate with sdl.Render", c.file)
+		}
+		if _, err := Parse(string(raw)); err != nil {
+			t.Errorf("%s does not parse: %v", c.file, err)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package sdl implements the SEED schema definition language: a textual
+// surface form for SEED schemas, used by tools to define schemas and by the
+// database to persist them (schemas are stored as SDL text and re-parsed on
+// open, so the storage format is human-readable).
+//
+// Example (the schema of figure 3 of the paper):
+//
+//	schema Figure3 version 1
+//
+//	class Thing covering {
+//	    Description: STRING 0..1
+//	    Revised: DATE 1..1
+//	}
+//	class Data specializes Thing {
+//	    Text 0..16 {
+//	        Body 1..1 { Keywords: STRING 0..* }
+//	        Selector: STRING 1..1
+//	    }
+//	}
+//	class InputData specializes Data
+//	class OutputData specializes Data
+//	class Action specializes Thing
+//
+//	assoc Access covering (from: Data 1..*, by: Action 1..*)
+//	assoc Read specializes Access (from: InputData 0..*, by: Action 0..*)
+//	assoc Write specializes Access (from: OutputData 0..*, by: Action 0..*) {
+//	    NumberOfWrites: INTEGER 1..1
+//	    ErrorHandling: STRING 0..1
+//	}
+//	assoc Contained acyclic (contained: Action 0..1, container: Action 0..*)
+//
+// Comments run from '#' to end of line.
+package sdl
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSyntax reports a lexical or syntactic error with position information.
+var ErrSyntax = errors.New("sdl: syntax error")
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokLBrace
+	tokRBrace
+	tokLParen
+	tokRParen
+	tokColon
+	tokComma
+	tokDotDot
+	tokStar
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokInt:
+		return "integer"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokColon:
+		return "':'"
+	case tokComma:
+		return "','"
+	case tokDotDot:
+		return "'..'"
+	case tokStar:
+		return "'*'"
+	}
+	return "token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errorf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("%w: %d:%d: %s", ErrSyntax, line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			l.advance()
+		case c == '\n':
+			l.advance()
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance()
+			}
+		default:
+			return l.scan()
+		}
+	}
+	return token{kind: tokEOF, line: l.line, col: l.col}, nil
+}
+
+func (l *lexer) advance() {
+	if l.src[l.pos] == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	l.pos++
+}
+
+func (l *lexer) scan() (token, error) {
+	line, col := l.line, l.col
+	c := l.src[l.pos]
+	switch c {
+	case '{':
+		l.advance()
+		return token{tokLBrace, "{", line, col}, nil
+	case '}':
+		l.advance()
+		return token{tokRBrace, "}", line, col}, nil
+	case '(':
+		l.advance()
+		return token{tokLParen, "(", line, col}, nil
+	case ')':
+		l.advance()
+		return token{tokRParen, ")", line, col}, nil
+	case ':':
+		l.advance()
+		return token{tokColon, ":", line, col}, nil
+	case ',':
+		l.advance()
+		return token{tokComma, ",", line, col}, nil
+	case '*':
+		l.advance()
+		return token{tokStar, "*", line, col}, nil
+	case '.':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '.' {
+			l.advance()
+			l.advance()
+			return token{tokDotDot, "..", line, col}, nil
+		}
+		return token{}, l.errorf(line, col, "unexpected '.'")
+	}
+	if isDigit(c) {
+		start := l.pos
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.advance()
+		}
+		return token{tokInt, l.src[start:l.pos], line, col}, nil
+	}
+	if isLetter(c) {
+		start := l.pos
+		for l.pos < len(l.src) && (isLetter(l.src[l.pos]) || isDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+			l.advance()
+		}
+		return token{tokIdent, l.src[start:l.pos], line, col}, nil
+	}
+	return token{}, l.errorf(line, col, "unexpected character %q", c)
+}
+
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }

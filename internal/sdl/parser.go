@@ -1,0 +1,528 @@
+package sdl
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Parse parses SDL source into a frozen schema. The parser is two-pass:
+// declarations are collected into an AST first, then the schema is built
+// with classes before generalizations before associations, so forward
+// references between declarations work in either direction.
+func Parse(src string) (*schema.Schema, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	ast, err := p.parseSchema()
+	if err != nil {
+		return nil, err
+	}
+	return build(ast)
+}
+
+// MustParse is Parse for known-good sources; it panics on error.
+func MustParse(src string) *schema.Schema {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ---- AST ----
+
+type schemaAST struct {
+	name    string
+	version int
+	classes []*classAST
+	assocs  []*assocAST
+}
+
+type classAST struct {
+	name        string
+	specializes string
+	covering    bool
+	members     []*memberAST
+	procs       []string
+	line        int
+}
+
+type memberAST struct {
+	name     string
+	kindName string // "" for structured sub-objects
+	card     schema.Cardinality
+	members  []*memberAST
+	procs    []string
+	line     int
+}
+
+type assocAST struct {
+	name        string
+	specializes string
+	covering    bool
+	acyclic     bool
+	roles       []roleAST
+	members     []*memberAST
+	procs       []string
+	line        int
+}
+
+type roleAST struct {
+	name      string
+	className string
+	card      schema.Cardinality
+	line      int
+}
+
+// ---- Parser ----
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, p.errorf("expected %v, found %v %q", kind, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if p.tok.kind != tokIdent || p.tok.text != kw {
+		return p.errorf("expected %q, found %q", kw, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.tok.kind == tokIdent && p.tok.text == kw
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("%w: %d:%d: %s", ErrSyntax, p.tok.line, p.tok.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseSchema() (*schemaAST, error) {
+	if err := p.expectKeyword("schema"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	ast := &schemaAST{name: name.text, version: 1}
+	if p.atKeyword("version") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		v, err := p.expect(tokInt)
+		if err != nil {
+			return nil, err
+		}
+		ast.version, _ = strconv.Atoi(v.text)
+		if ast.version < 1 {
+			return nil, p.errorf("schema version must be positive")
+		}
+	}
+	for p.tok.kind != tokEOF {
+		switch {
+		case p.atKeyword("class"):
+			c, err := p.parseClass()
+			if err != nil {
+				return nil, err
+			}
+			ast.classes = append(ast.classes, c)
+		case p.atKeyword("assoc"):
+			a, err := p.parseAssoc()
+			if err != nil {
+				return nil, err
+			}
+			ast.assocs = append(ast.assocs, a)
+		default:
+			return nil, p.errorf("expected 'class' or 'assoc', found %q", p.tok.text)
+		}
+	}
+	return ast, nil
+}
+
+func (p *parser) parseClass() (*classAST, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // consume 'class'
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	c := &classAST{name: name.text, line: line}
+	if p.atKeyword("specializes") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		sup, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		c.specializes = sup.text
+	}
+	if p.atKeyword("covering") {
+		c.covering = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.kind == tokLBrace {
+		members, procs, err := p.parseBody()
+		if err != nil {
+			return nil, err
+		}
+		c.members, c.procs = members, procs
+	}
+	return c, nil
+}
+
+func (p *parser) parseAssoc() (*assocAST, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // consume 'assoc'
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	a := &assocAST{name: name.text, line: line}
+	for {
+		switch {
+		case p.atKeyword("specializes"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			sup, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			a.specializes = sup.text
+			continue
+		case p.atKeyword("covering"):
+			a.covering = true
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		case p.atKeyword("acyclic"):
+			a.acyclic = true
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	for {
+		r, err := p.parseRole()
+		if err != nil {
+			return nil, err
+		}
+		a.roles = append(a.roles, r)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokLBrace {
+		members, procs, err := p.parseBody()
+		if err != nil {
+			return nil, err
+		}
+		a.members, a.procs = members, procs
+	}
+	return a, nil
+}
+
+func (p *parser) parseRole() (roleAST, error) {
+	line := p.tok.line
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return roleAST{}, err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return roleAST{}, err
+	}
+	cls, err := p.expect(tokIdent)
+	if err != nil {
+		return roleAST{}, err
+	}
+	card, err := p.parseCardinality()
+	if err != nil {
+		return roleAST{}, err
+	}
+	return roleAST{name: name.text, className: cls.text, card: card, line: line}, nil
+}
+
+// parseBody parses '{' member* '}' shared by classes, associations, and
+// structured sub-objects.
+func (p *parser) parseBody() ([]*memberAST, []string, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, nil, err
+	}
+	var members []*memberAST
+	var procs []string
+	for p.tok.kind != tokRBrace {
+		if p.atKeyword("proc") {
+			if err := p.advance(); err != nil {
+				return nil, nil, err
+			}
+			name, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, nil, err
+			}
+			procs = append(procs, name.text)
+			continue
+		}
+		m, err := p.parseMember()
+		if err != nil {
+			return nil, nil, err
+		}
+		members = append(members, m)
+	}
+	return members, procs, p.advance() // consume '}'
+}
+
+func (p *parser) parseMember() (*memberAST, error) {
+	line := p.tok.line
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	m := &memberAST{name: name.text, line: line}
+	if p.tok.kind == tokColon {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		kind, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		m.kindName = kind.text
+	}
+	m.card, err = p.parseCardinality()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokLBrace {
+		// Value members may carry a body too — it can only hold attached
+		// procedures; child declarations are rejected by schema validation
+		// (a value class cannot have sub-classes).
+		members, procs, err := p.parseBody()
+		if err != nil {
+			return nil, err
+		}
+		m.members, m.procs = members, procs
+	}
+	return m, nil
+}
+
+func (p *parser) parseCardinality() (schema.Cardinality, error) {
+	min, err := p.expect(tokInt)
+	if err != nil {
+		return schema.Cardinality{}, err
+	}
+	if _, err := p.expect(tokDotDot); err != nil {
+		return schema.Cardinality{}, err
+	}
+	lo, _ := strconv.Atoi(min.text)
+	if p.tok.kind == tokStar {
+		if err := p.advance(); err != nil {
+			return schema.Cardinality{}, err
+		}
+		return schema.Card(lo, schema.Unbounded), nil
+	}
+	max, err := p.expect(tokInt)
+	if err != nil {
+		return schema.Cardinality{}, err
+	}
+	hi, _ := strconv.Atoi(max.text)
+	c := schema.Card(lo, hi)
+	if err := c.Check(); err != nil {
+		return schema.Cardinality{}, p.errorf("%v", err)
+	}
+	return c, nil
+}
+
+// ---- Builder ----
+
+func build(ast *schemaAST) (*schema.Schema, error) {
+	s := schema.New(ast.name)
+	// Pass 1: classes with their containment trees.
+	for _, c := range ast.classes {
+		cls, err := s.AddClass(c.name)
+		if err != nil {
+			return nil, fmt.Errorf("sdl: line %d: %w", c.line, err)
+		}
+		if c.covering {
+			if err := cls.SetCovering(true); err != nil {
+				return nil, err
+			}
+		}
+		for _, proc := range c.procs {
+			if err := cls.AttachProcedure(proc); err != nil {
+				return nil, fmt.Errorf("sdl: line %d: %w", c.line, err)
+			}
+		}
+		if err := buildMembers(cls, c.members); err != nil {
+			return nil, err
+		}
+	}
+	// Pass 2: class generalizations.
+	for _, c := range ast.classes {
+		if c.specializes == "" {
+			continue
+		}
+		cls := s.MustClass(c.name)
+		sup, err := s.Class(c.specializes)
+		if err != nil {
+			return nil, fmt.Errorf("sdl: line %d: %w", c.line, err)
+		}
+		if err := cls.Specialize(sup); err != nil {
+			return nil, fmt.Errorf("sdl: line %d: %w", c.line, err)
+		}
+	}
+	// Pass 3: associations with roles and attributes.
+	for _, a := range ast.assocs {
+		assoc, err := s.AddAssociation(a.name)
+		if err != nil {
+			return nil, fmt.Errorf("sdl: line %d: %w", a.line, err)
+		}
+		if a.covering {
+			if err := assoc.SetCovering(true); err != nil {
+				return nil, err
+			}
+		}
+		if a.acyclic {
+			if err := assoc.SetAcyclic(true); err != nil {
+				return nil, err
+			}
+		}
+		for _, proc := range a.procs {
+			if err := assoc.AttachProcedure(proc); err != nil {
+				return nil, fmt.Errorf("sdl: line %d: %w", a.line, err)
+			}
+		}
+		for _, r := range a.roles {
+			cls, err := s.Class(r.className)
+			if err != nil {
+				return nil, fmt.Errorf("sdl: line %d: %w", r.line, err)
+			}
+			if _, err := assoc.AddRole(r.name, cls, r.card); err != nil {
+				return nil, fmt.Errorf("sdl: line %d: %w", r.line, err)
+			}
+		}
+		for _, m := range a.members {
+			if err := buildAssocMember(assoc, m); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Pass 4: association generalizations.
+	for _, a := range ast.assocs {
+		if a.specializes == "" {
+			continue
+		}
+		assoc := s.MustAssociation(a.name)
+		sup, err := s.Association(a.specializes)
+		if err != nil {
+			return nil, fmt.Errorf("sdl: line %d: %w", a.line, err)
+		}
+		if err := assoc.Specialize(sup); err != nil {
+			return nil, fmt.Errorf("sdl: line %d: %w", a.line, err)
+		}
+	}
+	if err := s.Freeze(); err != nil {
+		return nil, fmt.Errorf("sdl: %w", err)
+	}
+	// The version directive is honoured by evolving the schema version-1
+	// clone forward. Schemas persisted by the database re-parse with their
+	// original version number.
+	for s.Version() < ast.version {
+		next, err := s.Evolve()
+		if err != nil {
+			return nil, err
+		}
+		if err := next.Freeze(); err != nil {
+			return nil, err
+		}
+		s = next
+	}
+	return s, nil
+}
+
+func buildMembers(cls *schema.Class, members []*memberAST) error {
+	for _, m := range members {
+		kind := value.KindNone
+		if m.kindName != "" {
+			k, ok := value.KindFromName(m.kindName)
+			if !ok {
+				return fmt.Errorf("%w: line %d: unknown value kind %q", ErrSyntax, m.line, m.kindName)
+			}
+			kind = k
+		}
+		child, err := cls.AddChild(m.name, m.card, kind)
+		if err != nil {
+			return fmt.Errorf("sdl: line %d: %w", m.line, err)
+		}
+		for _, proc := range m.procs {
+			if err := child.AttachProcedure(proc); err != nil {
+				return fmt.Errorf("sdl: line %d: %w", m.line, err)
+			}
+		}
+		if err := buildMembers(child, m.members); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func buildAssocMember(assoc *schema.Association, m *memberAST) error {
+	kind := value.KindNone
+	if m.kindName != "" {
+		k, ok := value.KindFromName(m.kindName)
+		if !ok {
+			return fmt.Errorf("%w: line %d: unknown value kind %q", ErrSyntax, m.line, m.kindName)
+		}
+		kind = k
+	}
+	child, err := assoc.AddChild(m.name, m.card, kind)
+	if err != nil {
+		return fmt.Errorf("sdl: line %d: %w", m.line, err)
+	}
+	for _, proc := range m.procs {
+		if err := child.AttachProcedure(proc); err != nil {
+			return fmt.Errorf("sdl: line %d: %w", m.line, err)
+		}
+	}
+	return buildMembers(child, m.members)
+}

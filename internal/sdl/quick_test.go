@@ -1,0 +1,137 @@
+package sdl
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// TestRandomSchemaRoundTrip generates random schemas and checks that
+// Render -> Parse -> Render is a fixed point and preserves structure.
+func TestRandomSchemaRoundTrip(t *testing.T) {
+	for seedVal := int64(0); seedVal < 25; seedVal++ {
+		rng := rand.New(rand.NewSource(seedVal))
+		s := randomSchema(t, rng)
+		first := Render(s)
+		re, err := Parse(first)
+		if err != nil {
+			t.Fatalf("seed %d: re-parse failed: %v\n%s", seedVal, err, first)
+		}
+		second := Render(re)
+		if first != second {
+			t.Fatalf("seed %d: render not idempotent:\n--- first\n%s\n--- second\n%s",
+				seedVal, first, second)
+		}
+		if len(re.ClassNames()) != len(s.ClassNames()) {
+			t.Fatalf("seed %d: class count changed", seedVal)
+		}
+	}
+}
+
+// randomSchema builds a valid random schema: a forest of top-level classes
+// with random containment trees and generalization chains, plus random
+// associations with conformant specializations.
+func randomSchema(t *testing.T, rng *rand.Rand) *schema.Schema {
+	t.Helper()
+	s := schema.New(fmt.Sprintf("Rand%d", rng.Intn(1000)))
+	kinds := []value.Kind{value.KindString, value.KindInteger, value.KindReal, value.KindBoolean, value.KindDate}
+	cards := []schema.Cardinality{schema.Any, schema.AtLeastOne, schema.AtMostOne, schema.ExactlyOne, schema.Card(0, 16), schema.Card(2, 7)}
+
+	nTop := 2 + rng.Intn(5)
+	tops := make([]*schema.Class, 0, nTop)
+	for i := 0; i < nTop; i++ {
+		c, err := s.AddClass(fmt.Sprintf("C%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tops = append(tops, c)
+		// Random containment tree, depth <= 3.
+		var grow func(parent *schema.Class, depth, idx int)
+		grow = func(parent *schema.Class, depth, idx int) {
+			if depth > 3 {
+				return
+			}
+			n := rng.Intn(3)
+			for j := 0; j < n; j++ {
+				kind := value.KindNone
+				if rng.Intn(2) == 0 {
+					kind = kinds[rng.Intn(len(kinds))]
+				}
+				ch, err := parent.AddChild(fmt.Sprintf("M%d_%d_%d", depth, idx, j),
+					cards[rng.Intn(len(cards))], kind)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rng.Intn(3) == 0 {
+					_ = ch.AttachProcedure(fmt.Sprintf("proc%d%d", depth, j))
+				}
+				if kind == value.KindNone {
+					grow(ch, depth+1, j)
+				}
+			}
+		}
+		grow(c, 1, i)
+	}
+	// Generalization chains among top-level classes (acyclic by index
+	// order: class i may specialize class j < i).
+	for i := 1; i < nTop; i++ {
+		if rng.Intn(2) == 0 {
+			if err := tops[i].Specialize(tops[rng.Intn(i)]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, c := range tops {
+		if len(c.Specializations()) > 0 && rng.Intn(2) == 0 {
+			_ = c.SetCovering(true)
+		}
+	}
+	// Associations.
+	nAssoc := 1 + rng.Intn(4)
+	var assocs []*schema.Association
+	for i := 0; i < nAssoc; i++ {
+		a, err := s.AddAssociation(fmt.Sprintf("A%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := tops[rng.Intn(nTop)]
+		y := tops[rng.Intn(nTop)]
+		if _, err := a.AddRole("x", x, cards[rng.Intn(len(cards))]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.AddRole("y", y, cards[rng.Intn(len(cards))]); err != nil {
+			t.Fatal(err)
+		}
+		if x.Root() == y.Root() && rng.Intn(3) == 0 {
+			_ = a.SetAcyclic(true)
+		}
+		if rng.Intn(3) == 0 {
+			if _, err := a.AddChild(fmt.Sprintf("Attr%d", i), schema.AtMostOne, kinds[rng.Intn(len(kinds))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Specialize an earlier association when the roles conform.
+		for _, prev := range assocs {
+			px, _ := prev.Role("x")
+			py, _ := prev.Role("y")
+			if x.IsA(px.Class()) && y.IsA(py.Class()) && rng.Intn(2) == 0 {
+				if err := a.Specialize(prev); err == nil {
+					break
+				}
+			}
+		}
+		assocs = append(assocs, a)
+	}
+	for _, a := range assocs {
+		if len(a.Specializations()) > 0 && rng.Intn(2) == 0 {
+			_ = a.SetCovering(true)
+		}
+	}
+	if err := s.Freeze(); err != nil {
+		t.Fatalf("random schema invalid: %v", err)
+	}
+	return s
+}

@@ -1,0 +1,85 @@
+package sdl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// Render produces canonical SDL text for a schema. Render and Parse
+// round-trip: Parse(Render(s)) reconstructs an equivalent schema, which is
+// how the database persists schema versions.
+func Render(s *schema.Schema) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schema %s version %d\n", s.Name(), s.Version())
+	for _, c := range s.TopClasses() {
+		b.WriteByte('\n')
+		renderClass(&b, c)
+	}
+	for _, a := range s.Associations() {
+		b.WriteByte('\n')
+		renderAssoc(&b, a)
+	}
+	return b.String()
+}
+
+func renderClass(b *strings.Builder, c *schema.Class) {
+	fmt.Fprintf(b, "class %s", c.Name())
+	if c.Super() != nil {
+		fmt.Fprintf(b, " specializes %s", c.Super().Name())
+	}
+	if c.Covering() {
+		b.WriteString(" covering")
+	}
+	renderBody(b, c.Children(), c.Procedures(), 0)
+	b.WriteByte('\n')
+}
+
+func renderAssoc(b *strings.Builder, a *schema.Association) {
+	fmt.Fprintf(b, "assoc %s", a.Name())
+	if a.Super() != nil {
+		fmt.Fprintf(b, " specializes %s", a.Super().Name())
+	}
+	if a.Covering() {
+		b.WriteString(" covering")
+	}
+	if a.Acyclic() {
+		b.WriteString(" acyclic")
+	}
+	b.WriteString(" (")
+	for i, r := range a.Roles() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s: %s %s", r.Name, r.Class().QualifiedName(), r.Card)
+	}
+	b.WriteString(")")
+	renderBody(b, a.Children(), a.Procedures(), 0)
+	b.WriteByte('\n')
+}
+
+// renderBody renders '{ members procs }' at the given indent depth, or
+// nothing when the body is empty.
+func renderBody(b *strings.Builder, children []*schema.Class, procs []string, depth int) {
+	if len(children) == 0 && len(procs) == 0 {
+		return
+	}
+	b.WriteString(" {\n")
+	indent := strings.Repeat("    ", depth+1)
+	for _, ch := range children {
+		b.WriteString(indent)
+		b.WriteString(ch.Name())
+		if ch.HasValue() {
+			fmt.Fprintf(b, ": %s", ch.ValueKind())
+		}
+		fmt.Fprintf(b, " %s", ch.Cardinality())
+		renderBody(b, ch.Children(), ch.Procedures(), depth+1)
+		b.WriteByte('\n')
+	}
+	for _, p := range procs {
+		fmt.Fprintf(b, "%sproc %s\n", indent, p)
+	}
+	b.WriteString(strings.Repeat("    ", depth))
+	b.WriteString("}")
+}

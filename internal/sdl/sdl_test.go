@@ -1,0 +1,254 @@
+package sdl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+const figure3Source = `
+# The schema of figure 3 of the paper: generalizations of classes and
+# associations enable vague information.
+schema Figure3 version 1
+
+class Thing covering {
+    Description: STRING 0..1
+    Revised: DATE 1..1
+}
+class Data specializes Thing {
+    Text 0..16 {
+        Body 1..1 { Keywords: STRING 0..* }
+        Selector: STRING 1..1
+    }
+}
+class InputData specializes Data
+class OutputData specializes Data
+class Action specializes Thing
+
+assoc Access covering (from: Data 1..*, by: Action 1..*)
+assoc Read specializes Access (from: InputData 0..*, by: Action 0..*)
+assoc Write specializes Access (from: OutputData 0..*, by: Action 0..*) {
+    NumberOfWrites: INTEGER 1..1
+    ErrorHandling: STRING 0..1
+}
+assoc Contained acyclic (contained: Action 0..1, container: Action 0..*)
+`
+
+func TestParseFigure3(t *testing.T) {
+	s, err := Parse(figure3Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "Figure3" || s.Version() != 1 || !s.Frozen() {
+		t.Fatalf("header: name=%q version=%d frozen=%v", s.Name(), s.Version(), s.Frozen())
+	}
+	data := s.MustClass("Data")
+	thing := s.MustClass("Thing")
+	if !data.IsA(thing) || !thing.Covering() {
+		t.Error("generalization lost in parse")
+	}
+	kw := s.MustClass("Data.Text.Body.Keywords")
+	if kw.ValueKind() != value.KindString || kw.Cardinality() != schema.Any {
+		t.Errorf("Keywords = %v %v", kw.ValueKind(), kw.Cardinality())
+	}
+	write := s.MustAssociation("Write")
+	if !write.IsA(s.MustAssociation("Access")) {
+		t.Error("association generalization lost")
+	}
+	if _, err := write.ResolveChild("NumberOfWrites"); err != nil {
+		t.Error("attribute class lost")
+	}
+	if !s.MustAssociation("Contained").Acyclic() {
+		t.Error("acyclic lost")
+	}
+	wf, _ := write.Role("from")
+	if wf.Class() != s.MustClass("OutputData") || wf.Card != schema.Any {
+		t.Errorf("Write.from = %v %v", wf.Class().QualifiedName(), wf.Card)
+	}
+}
+
+// TestRoundTripPaperSchemas renders the programmatically built paper
+// schemas and re-parses them; structure must survive.
+func TestRoundTripPaperSchemas(t *testing.T) {
+	for _, orig := range []*schema.Schema{schema.Figure2(), schema.Figure3()} {
+		text := Render(orig)
+		re, err := Parse(text)
+		if err != nil {
+			t.Fatalf("re-parse of %s: %v\n%s", orig.Name(), err, text)
+		}
+		if re.Name() != orig.Name() || re.Version() != orig.Version() {
+			t.Errorf("%s header changed: %s v%d", orig.Name(), re.Name(), re.Version())
+		}
+		on, rn := orig.ClassNames(), re.ClassNames()
+		if len(on) != len(rn) {
+			t.Fatalf("%s class count %d -> %d", orig.Name(), len(on), len(rn))
+		}
+		for i := range on {
+			if on[i] != rn[i] {
+				t.Errorf("%s class %q -> %q", orig.Name(), on[i], rn[i])
+			}
+			oc, rc := orig.MustClass(on[i]), re.MustClass(rn[i])
+			if oc.Cardinality() != rc.Cardinality() || oc.ValueKind() != rc.ValueKind() ||
+				oc.Covering() != rc.Covering() {
+				t.Errorf("%s class %q attributes changed", orig.Name(), on[i])
+			}
+		}
+		for _, oa := range orig.Associations() {
+			ra, err := re.Association(oa.Name())
+			if err != nil {
+				t.Fatalf("%s association %q lost", orig.Name(), oa.Name())
+			}
+			if oa.Acyclic() != ra.Acyclic() || oa.Covering() != ra.Covering() {
+				t.Errorf("association %q flags changed", oa.Name())
+			}
+			or, rr := oa.Roles(), ra.Roles()
+			if len(or) != len(rr) {
+				t.Fatalf("association %q role count", oa.Name())
+			}
+			for i := range or {
+				if or[i].Name != rr[i].Name || or[i].Card != rr[i].Card ||
+					or[i].Class().QualifiedName() != rr[i].Class().QualifiedName() {
+					t.Errorf("association %q role %q changed", oa.Name(), or[i].Name)
+				}
+			}
+			osup, rsup := oa.Super(), ra.Super()
+			if (osup == nil) != (rsup == nil) {
+				t.Errorf("association %q generalization changed", oa.Name())
+			}
+		}
+	}
+}
+
+func TestRoundTripIdempotent(t *testing.T) {
+	s := schema.Figure3()
+	first := Render(s)
+	second := Render(MustParse(first))
+	if first != second {
+		t.Errorf("Render not idempotent:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+}
+
+func TestParseVersionDirective(t *testing.T) {
+	s, err := Parse("schema S version 3\nclass A\nclass B\nassoc R (x: A 0..*, y: B 0..*)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Version() != 3 {
+		t.Errorf("version = %d", s.Version())
+	}
+	if !s.Frozen() {
+		t.Error("not frozen")
+	}
+}
+
+func TestParseProcs(t *testing.T) {
+	src := `schema S
+class A {
+    T: STRING 0..1
+    proc guard
+}
+class B
+assoc R (x: A 0..*, y: B 0..*) {
+    proc relGuard
+}
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MustClass("A").Procedures(); len(got) != 1 || got[0] != "guard" {
+		t.Errorf("class procs = %v", got)
+	}
+	if got := s.MustAssociation("R").Procedures(); len(got) != 1 || got[0] != "relGuard" {
+		t.Errorf("assoc procs = %v", got)
+	}
+	// Procs survive the round trip.
+	re := MustParse(Render(s))
+	if got := re.MustClass("A").Procedures(); len(got) != 1 || got[0] != "guard" {
+		t.Errorf("round-tripped class procs = %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"class A",                           // missing schema header
+		"schema",                            // missing name
+		"schema S class",                    // missing class name
+		"schema S class A specializes",      // missing super
+		"schema S class A { T: NOPE 0..1 }", // unknown kind
+		"schema S class A { T: STRING }",    // missing cardinality
+		"schema S class A { T: STRING 2..1 }",
+		"schema S class A { T: STRING 0..1 { X 0..1 } }", // body on value member
+		"schema S assoc R (x: A 0..*)",                   // unknown class A... also unary
+		"schema S class A assoc R (x: A 0..*)",           // unary association
+		"schema S class A class A",                       // duplicate
+		"schema S class A specializes B class B ???",     // bad char
+		"schema S version 0 class A",                     // bad version
+		"schema S class A { T 0..1",                      // unterminated body
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse succeeded on %q", src)
+		}
+	}
+}
+
+func TestParseForwardReferences(t *testing.T) {
+	// Specialization target declared after the specializing class, and a
+	// role referencing a class declared later.
+	src := `schema S
+class Sub specializes Base
+class Base covering
+class Other
+assoc Spec specializes Gen (x: Sub 0..*, y: Other 0..*)
+assoc Gen covering (x: Base 0..*, y: Other 0..*)
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.MustClass("Sub").IsA(s.MustClass("Base")) {
+		t.Error("forward class generalization failed")
+	}
+	if !s.MustAssociation("Spec").IsA(s.MustAssociation("Gen")) {
+		t.Error("forward association generalization failed")
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := Parse("schema S\nclass A { T: STRING 0.1 }"); !errors.Is(err, ErrSyntax) {
+		t.Errorf("single dot: %v", err)
+	}
+	if _, err := Parse("schema S\nclass Ä"); !errors.Is(err, ErrSyntax) {
+		t.Errorf("non-ascii: %v", err)
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := "# leading comment\nschema S # trailing\nclass A # more\nclass B\nassoc R (x: A 0..*, y: B 0..*)\n# tail"
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderContainsSurfaceForms(t *testing.T) {
+	text := Render(schema.Figure3())
+	for _, want := range []string{
+		"schema Figure3 version 1",
+		"class Thing covering",
+		"class Data specializes Thing",
+		"Text 0..16",
+		"Selector: STRING 1..1",
+		"assoc Access covering (from: Data 1..*, by: Action 1..*)",
+		"assoc Contained acyclic (contained: Action 0..1, container: Action 0..*)",
+		"NumberOfWrites: INTEGER 1..1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered SDL missing %q:\n%s", want, text)
+		}
+	}
+}

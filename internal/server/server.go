@@ -1,0 +1,442 @@
+// Package server implements the central-server half of SEED's two-level
+// multi-user sketch (paper, section "Open problems"): the server runs the
+// complete database; clients retrieve freely, but updates require checking
+// out objects — which places write locks in the central database — and are
+// applied at check-in as a single transaction.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/item"
+	"repro/internal/wire"
+	"repro/seed"
+)
+
+// Server errors (returned to clients as response strings).
+var (
+	ErrLocked    = errors.New("server: object is checked out by another client")
+	ErrNotLocked = errors.New("server: object is not checked out by this client")
+)
+
+// Server serves one SEED database to many clients.
+type Server struct {
+	db *seed.Database
+	ln net.Listener
+
+	mu      sync.Mutex
+	locks   map[string]string // object name -> client ID
+	nextCli int
+
+	wg     sync.WaitGroup
+	closed bool
+	logf   func(format string, args ...any)
+}
+
+// New creates a server over a database.
+func New(db *seed.Database) *Server {
+	return &Server{
+		db:    db,
+		locks: make(map[string]string),
+		logf:  func(string, ...any) {},
+	}
+}
+
+// SetLogger installs a log function (e.g. log.Printf).
+func (s *Server) SetLogger(logf func(format string, args ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s.logf = logf
+}
+
+// Listen starts accepting connections on addr ("127.0.0.1:0" for an
+// ephemeral port) and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and waits for connection handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	s.mu.Lock()
+	s.nextCli++
+	clientID := "client-" + strconv.Itoa(s.nextCli)
+	s.mu.Unlock()
+	defer s.releaseAll(clientID)
+
+	for {
+		var req wire.Request
+		if err := wire.ReadFrame(conn, &req); err != nil {
+			return // disconnect
+		}
+		resp := s.handle(clientID, &req)
+		if err := wire.WriteFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// releaseAll drops every lock a disconnecting client still holds.
+func (s *Server) releaseAll(clientID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, owner := range s.locks {
+		if owner == clientID {
+			delete(s.locks, name)
+		}
+	}
+}
+
+func (s *Server) handle(clientID string, req *wire.Request) *wire.Response {
+	switch req.Op {
+	case wire.OpHello:
+		return &wire.Response{ClientID: clientID}
+	case wire.OpGet:
+		return s.handleGet(req)
+	case wire.OpList:
+		return s.handleList(req)
+	case wire.OpCheckout:
+		return s.handleCheckout(clientID, req)
+	case wire.OpCheckin:
+		return s.handleCheckin(clientID, req)
+	case wire.OpRelease:
+		return s.handleRelease(clientID, req)
+	case wire.OpSaveVersion:
+		num, err := s.db.SaveVersion(req.Note)
+		if err != nil {
+			return fail(err)
+		}
+		return &wire.Response{Version: num.String()}
+	case wire.OpVersions:
+		infos := s.db.Versions()
+		out := make([]wire.VersionInfo, 0, len(infos))
+		for _, in := range infos {
+			out = append(out, wire.VersionInfo{
+				Num: in.Num.String(), Note: in.Note,
+				DeltaSize: in.DeltaSize, SchemaVer: in.SchemaVersion,
+			})
+		}
+		return &wire.Response{Versions: out}
+	case wire.OpCompleteness:
+		fs := s.db.Completeness()
+		out := make([]wire.Finding, 0, len(fs))
+		for _, f := range fs {
+			out = append(out, wire.Finding{Item: uint64(f.Item), Rule: string(f.Rule), Detail: f.Detail})
+		}
+		return &wire.Response{Findings: out}
+	case wire.OpStats:
+		st := s.db.Stats()
+		return &wire.Response{Stats: fmt.Sprintf("objects=%d rels=%d versions=%d schema=v%d",
+			st.Core.Objects, st.Core.Relationships, st.Versions, st.SchemaV)}
+	}
+	return fail(fmt.Errorf("server: unknown op %q", req.Op))
+}
+
+func fail(err error) *wire.Response { return &wire.Response{Err: err.Error()} }
+
+func (s *Server) handleGet(req *wire.Request) *wire.Response {
+	var snaps []wire.Snapshot
+	for _, name := range req.Names {
+		snap, err := s.snapshotOf(name)
+		if err != nil {
+			return fail(err)
+		}
+		snaps = append(snaps, snap)
+	}
+	return &wire.Response{Snapshots: snaps}
+}
+
+func (s *Server) handleList(req *wire.Request) *wire.Response {
+	v := s.db.View()
+	q := seed.NewQuery()
+	if req.Class != "" {
+		q = q.Class(req.Class, true)
+	}
+	ids, err := q.Run(v)
+	if err != nil {
+		return fail(err)
+	}
+	var names []string
+	for _, id := range ids {
+		if o, ok := v.Object(id); ok && o.Independent() {
+			names = append(names, o.Name)
+		}
+	}
+	return &wire.Response{Names: names}
+}
+
+func (s *Server) handleCheckout(clientID string, req *wire.Request) *wire.Response {
+	s.mu.Lock()
+	// All-or-nothing locking.
+	for _, name := range req.Names {
+		if owner, locked := s.locks[name]; locked && owner != clientID {
+			s.mu.Unlock()
+			return fail(fmt.Errorf("%w: %q held by %s", ErrLocked, name, owner))
+		}
+	}
+	for _, name := range req.Names {
+		s.locks[name] = clientID
+	}
+	s.mu.Unlock()
+
+	var snaps []wire.Snapshot
+	for _, name := range req.Names {
+		snap, err := s.snapshotOf(name)
+		if err != nil {
+			// Roll the locks back.
+			s.mu.Lock()
+			for _, n := range req.Names {
+				if s.locks[n] == clientID {
+					delete(s.locks, n)
+				}
+			}
+			s.mu.Unlock()
+			return fail(err)
+		}
+		snaps = append(snaps, snap)
+	}
+	s.logf("checkout %v by %s", req.Names, clientID)
+	return &wire.Response{Snapshots: snaps}
+}
+
+func (s *Server) handleRelease(clientID string, req *wire.Request) *wire.Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, name := range req.Names {
+		if s.locks[name] == clientID {
+			delete(s.locks, name)
+		}
+	}
+	return &wire.Response{}
+}
+
+// handleCheckin applies the staged updates as one transaction. Every
+// updated item must be covered by this client's locks (new independent
+// objects need no lock; their names must be free).
+func (s *Server) handleCheckin(clientID string, req *wire.Request) *wire.Response {
+	// Verify lock coverage first: every touched root must be locked by this
+	// client or created within this batch.
+	created := make(map[string]bool)
+	for _, u := range req.Updates {
+		for _, root := range updateRoots(u, created) {
+			if root == "" || created[root] {
+				continue
+			}
+			s.mu.Lock()
+			owner, locked := s.locks[root]
+			s.mu.Unlock()
+			if !locked || owner != clientID {
+				return fail(fmt.Errorf("%w: %q", ErrNotLocked, root))
+			}
+		}
+	}
+
+	if err := s.db.Begin(); err != nil {
+		return fail(err)
+	}
+	for i, u := range req.Updates {
+		if err := s.applyUpdate(u); err != nil {
+			_ = s.db.Rollback()
+			return fail(fmt.Errorf("server: update %d (%s): %w", i, u.Kind, err))
+		}
+	}
+	if err := s.db.Commit(); err != nil {
+		return fail(err)
+	}
+	// Locks released after a successful check-in.
+	s.mu.Lock()
+	for _, name := range req.Names {
+		if s.locks[name] == clientID {
+			delete(s.locks, name)
+		}
+	}
+	s.mu.Unlock()
+	s.logf("checkin %d updates by %s", len(req.Updates), clientID)
+	return &wire.Response{}
+}
+
+// updateRoots returns the independent-object names an update touches, and
+// tracks names created by this batch (which need no pre-existing lock).
+// Relationship creation touches every end: it changes the participation
+// counts of all of them.
+func updateRoots(u wire.Update, created map[string]bool) []string {
+	switch u.Kind {
+	case wire.UpdateCreateObject:
+		created[u.Name] = true
+		return nil
+	case wire.UpdateCreateRel:
+		roots := make([]string, 0, len(u.Ends))
+		for _, p := range u.Ends {
+			roots = append(roots, rootOfPath(p))
+		}
+		return roots
+	default:
+		return []string{rootOfPath(u.Path)}
+	}
+}
+
+func rootOfPath(p string) string {
+	if i := strings.IndexByte(p, '.'); i >= 0 {
+		return p[:i]
+	}
+	return p
+}
+
+func (s *Server) applyUpdate(u wire.Update) error {
+	switch u.Kind {
+	case wire.UpdateCreateObject:
+		_, err := s.db.CreateObject(u.Class, u.Name)
+		return err
+	case wire.UpdateCreateSub:
+		parent, err := s.db.ResolvePath(u.Path)
+		if err != nil {
+			return err
+		}
+		if u.ValueKind != 0 {
+			val, err := seed.ParseValue(seed.Kind(u.ValueKind), u.Value)
+			if err != nil {
+				return err
+			}
+			_, err = s.db.CreateValueObject(parent, u.Role, val)
+			return err
+		}
+		_, err = s.db.CreateSubObject(parent, u.Role)
+		return err
+	case wire.UpdateSetValue:
+		id, err := s.db.ResolvePath(u.Path)
+		if err != nil {
+			return err
+		}
+		val, err := seed.ParseValue(seed.Kind(u.ValueKind), u.Value)
+		if err != nil {
+			return err
+		}
+		return s.db.SetValue(id, val)
+	case wire.UpdateCreateRel:
+		ends := make(map[string]seed.ID, len(u.Ends))
+		for role, p := range u.Ends {
+			id, err := s.db.ResolvePath(p)
+			if err != nil {
+				return err
+			}
+			ends[role] = id
+		}
+		_, err := s.db.CreateRelationship(u.Assoc, ends)
+		return err
+	case wire.UpdateDelete:
+		id, err := s.db.ResolvePath(u.Path)
+		if err != nil {
+			return err
+		}
+		return s.db.Delete(id)
+	case wire.UpdateReclassify:
+		id, err := s.db.ResolvePath(u.Path)
+		if err != nil {
+			return err
+		}
+		return s.db.Reclassify(id, u.Class)
+	}
+	return fmt.Errorf("server: unknown update kind %q", u.Kind)
+}
+
+// snapshotOf copies an object subtree plus its relationships into wire form.
+func (s *Server) snapshotOf(name string) (wire.Snapshot, error) {
+	v := s.db.View()
+	root, ok := v.ObjectByName(name)
+	if !ok {
+		return wire.Snapshot{}, fmt.Errorf("server: no object named %q", name)
+	}
+	snap := wire.Snapshot{Root: name}
+	var walk func(id seed.ID) error
+	walk = func(id seed.ID) error {
+		o, ok := v.Object(id)
+		if !ok {
+			return nil
+		}
+		var w wire.Object
+		w.ID = uint64(id)
+		w.Class = o.Class.QualifiedName()
+		if o.Independent() {
+			w.Name = o.Name
+		}
+		if p, ok := seedPath(v, id); ok {
+			w.Path = p
+		}
+		if o.Value.IsDefined() {
+			w.ValueKind = uint8(o.Value.Kind())
+			w.Value = o.Value.String()
+		}
+		snap.Objects = append(snap.Objects, w)
+		for _, ch := range v.Children(id, "") {
+			if err := walk(ch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return wire.Snapshot{}, err
+	}
+	for _, rid := range v.RelationshipsOf(root) {
+		r, ok := v.Relationship(rid)
+		if !ok || r.Inherits {
+			continue
+		}
+		wr := wire.Relationship{ID: uint64(rid), Assoc: r.Assoc.Name(), Ends: map[string]string{}}
+		for _, e := range r.Ends {
+			if p, ok := seedPath(v, e.Object); ok {
+				wr.Ends[e.Role] = p
+			}
+		}
+		snap.Rels = append(snap.Rels, wr)
+	}
+	return snap, nil
+}
+
+func seedPath(v seed.View, id seed.ID) (string, bool) {
+	p, ok := item.PathOf(v, id)
+	if !ok {
+		return "", false
+	}
+	return p.String(), true
+}

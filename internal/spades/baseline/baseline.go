@@ -1,0 +1,183 @@
+// Package baseline implements the spades.Tool interface on plain in-memory
+// data structures, the way the pre-SEED SPADES held its specification data:
+// fast, but without schema checking, without completeness analysis, without
+// versions, and without persistence. It is the comparator for experiment
+// E5 (the paper's "considerably slower, but much more flexible"
+// observation).
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/spades"
+)
+
+type itemKind uint8
+
+const (
+	kindThing itemKind = iota
+	kindAction
+	kindData
+)
+
+type entry struct {
+	kind itemKind
+	desc string
+}
+
+type flow struct {
+	action, data string
+	kind         spades.FlowKind
+}
+
+// Tool is the plain-struct specification store.
+type Tool struct {
+	items map[string]*entry
+	flows []flow
+	// adjacency caches, maintained on the fly like a hand-written tool
+	// would
+	byData   map[string][]string
+	byAction map[string][]string
+	contains map[string]string // child -> parent
+}
+
+// New creates an empty baseline tool.
+func New() *Tool {
+	return &Tool{
+		items:    make(map[string]*entry),
+		byData:   make(map[string][]string),
+		byAction: make(map[string][]string),
+		contains: make(map[string]string),
+	}
+}
+
+func (t *Tool) add(name string, k itemKind) error {
+	if _, dup := t.items[name]; dup {
+		return fmt.Errorf("baseline: duplicate item %q", name)
+	}
+	t.items[name] = &entry{kind: k}
+	return nil
+}
+
+// AddThing implements spades.Tool.
+func (t *Tool) AddThing(name string) error { return t.add(name, kindThing) }
+
+// AddAction implements spades.Tool.
+func (t *Tool) AddAction(name string) error { return t.add(name, kindAction) }
+
+// AddData implements spades.Tool.
+func (t *Tool) AddData(name string) error { return t.add(name, kindData) }
+
+// Describe implements spades.Tool.
+func (t *Tool) Describe(name, text string) error {
+	e, ok := t.items[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", spades.ErrUnknownItem, name)
+	}
+	e.desc = text
+	return nil
+}
+
+// Flow implements spades.Tool. Note the absent safety net: nothing stops a
+// flow between two actions or an over-constrained containment — the
+// flexibility SEED added is exactly these checks.
+func (t *Tool) Flow(action, data string, kind spades.FlowKind) error {
+	if _, ok := t.items[action]; !ok {
+		return fmt.Errorf("%w: %q", spades.ErrUnknownItem, action)
+	}
+	if _, ok := t.items[data]; !ok {
+		return fmt.Errorf("%w: %q", spades.ErrUnknownItem, data)
+	}
+	t.flows = append(t.flows, flow{action: action, data: data, kind: kind})
+	t.byData[data] = append(t.byData[data], action)
+	t.byAction[action] = append(t.byAction[action], data)
+	return nil
+}
+
+// Decompose implements spades.Tool.
+func (t *Tool) Decompose(parent, child string) error {
+	if _, ok := t.items[parent]; !ok {
+		return fmt.Errorf("%w: %q", spades.ErrUnknownItem, parent)
+	}
+	if _, ok := t.items[child]; !ok {
+		return fmt.Errorf("%w: %q", spades.ErrUnknownItem, child)
+	}
+	t.contains[child] = parent
+	return nil
+}
+
+// ActionsAccessing implements spades.Tool.
+func (t *Tool) ActionsAccessing(data string) ([]string, error) {
+	if _, ok := t.items[data]; !ok {
+		return nil, fmt.Errorf("%w: %q", spades.ErrUnknownItem, data)
+	}
+	return dedupSorted(t.byData[data]), nil
+}
+
+// DataOf implements spades.Tool.
+func (t *Tool) DataOf(action string) ([]string, error) {
+	if _, ok := t.items[action]; !ok {
+		return nil, fmt.Errorf("%w: %q", spades.ErrUnknownItem, action)
+	}
+	return dedupSorted(t.byAction[action]), nil
+}
+
+// DescriptionOf implements spades.Tool.
+func (t *Tool) DescriptionOf(name string) (string, error) {
+	e, ok := t.items[name]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", spades.ErrUnknownItem, name)
+	}
+	return e.desc, nil
+}
+
+// Report implements spades.Tool.
+func (t *Tool) Report() string {
+	var b strings.Builder
+	b.WriteString("SPECIFICATION REPORT\n")
+	names := make([]string, 0, len(t.items))
+	for n := range t.items {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		e := t.items[n]
+		kind := "Thing"
+		switch e.kind {
+		case kindAction:
+			kind = "Action"
+		case kindData:
+			kind = "Data"
+		}
+		fmt.Fprintf(&b, "%-20s %-12s %s\n", n, kind, e.desc)
+		var flows []string
+		for _, f := range t.flows {
+			if f.data == n {
+				flows = append(flows, fmt.Sprintf("%s by %s", f.kind, f.action))
+			}
+		}
+		sort.Strings(flows)
+		for _, f := range flows {
+			fmt.Fprintf(&b, "    %s\n", f)
+		}
+	}
+	return b.String()
+}
+
+func dedupSorted(in []string) []string {
+	if len(in) == 0 {
+		return nil
+	}
+	out := append([]string(nil), in...)
+	sort.Strings(out)
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}

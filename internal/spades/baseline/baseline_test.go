@@ -1,0 +1,69 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/spades"
+)
+
+func TestBasicFlow(t *testing.T) {
+	b := New()
+	if err := b.AddAction("A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddData("D"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddThing("T"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddAction("A"); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := b.Flow("A", "D", spades.ReadFlow); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flow("A", "D", spades.WriteFlow); err != nil {
+		t.Fatal(err)
+	}
+	acts, err := b.ActionsAccessing("D")
+	if err != nil || len(acts) != 1 || acts[0] != "A" {
+		t.Errorf("ActionsAccessing = %v, %v (duplicates must collapse)", acts, err)
+	}
+	data, _ := b.DataOf("A")
+	if len(data) != 1 || data[0] != "D" {
+		t.Errorf("DataOf = %v", data)
+	}
+	if err := b.Describe("D", "the data"); err != nil {
+		t.Fatal(err)
+	}
+	desc, _ := b.DescriptionOf("D")
+	if desc != "the data" {
+		t.Errorf("desc = %q", desc)
+	}
+	if err := b.Decompose("A", "T"); err != nil {
+		t.Fatal(err)
+	}
+	rep := b.Report()
+	for _, want := range []string{"A", "D", "read by A", "write by A", "the data"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestNoSafetyNet(t *testing.T) {
+	// The baseline stores structurally nonsensical flows — that is the
+	// point of the comparison.
+	b := New()
+	_ = b.AddAction("A1")
+	_ = b.AddAction("A2")
+	if err := b.Flow("A1", "A2", spades.ReadFlow); err != nil {
+		t.Errorf("baseline unexpectedly rejects action-to-action flow: %v", err)
+	}
+}
+
+func TestToolInterface(t *testing.T) {
+	var _ spades.Tool = New()
+}

@@ -1,0 +1,381 @@
+// Package spades implements a miniature specification and design tool in
+// the spirit of SPADES (Ludewig et al., 1985), the system the SEED
+// prototype was built for. It models the evolutionary, semiformal
+// development process the paper describes: information enters vague
+// ("there is a thing named Alarms"), becomes a data or action object,
+// acquires dataflows, and is refined until it is precise and complete.
+//
+// The package defines a Tool interface with two implementations:
+//
+//   - Project, backed by a SEED database (every fact is schema-checked,
+//     versioned, and persistent), and
+//   - the baseline sub-package, backed by plain in-memory structures the
+//     way the pre-SEED SPADES held its data.
+//
+// Experiment E5 of DESIGN.md drives both through the same workload to
+// measure the paper's qualitative claim that "SPADES has become
+// considerably slower, but much more flexible" after the SEED integration.
+package spades
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/seed"
+)
+
+// FlowKind classifies a dataflow between an action and a data object.
+type FlowKind uint8
+
+// The dataflow kinds. VagueFlow is an unspecialized access: we know data
+// flows, but not yet in which direction.
+const (
+	VagueFlow FlowKind = iota
+	ReadFlow
+	WriteFlow
+)
+
+// String names the flow kind.
+func (k FlowKind) String() string {
+	switch k {
+	case ReadFlow:
+		return "read"
+	case WriteFlow:
+		return "write"
+	}
+	return "access"
+}
+
+// Tool is the operational interface of the specification tool, implemented
+// both on SEED and on the plain-struct baseline.
+type Tool interface {
+	// AddThing records a vague item: something exists with this name.
+	AddThing(name string) error
+	// AddAction records an action (a process of the target system).
+	AddAction(name string) error
+	// AddData records a data object.
+	AddData(name string) error
+	// Describe attaches or replaces the textual description of an item.
+	Describe(name, text string) error
+	// Flow records a dataflow between an action and a data object.
+	Flow(action, data string, kind FlowKind) error
+	// Decompose places child inside parent in the action hierarchy.
+	Decompose(parent, child string) error
+	// ActionsAccessing lists the actions with any dataflow to the data
+	// object, sorted.
+	ActionsAccessing(data string) ([]string, error)
+	// DataOf lists the data objects the action accesses, sorted.
+	DataOf(action string) ([]string, error)
+	// DescriptionOf returns the description text ("" when absent).
+	DescriptionOf(name string) (string, error)
+	// Report renders the whole specification as text.
+	Report() string
+}
+
+// Tool errors.
+var (
+	ErrUnknownItem = errors.New("spades: unknown item")
+	ErrNotAction   = errors.New("spades: not an action")
+	ErrNotData     = errors.New("spades: not a data object")
+)
+
+// Project is the SEED-backed implementation. It uses the figure 3 schema:
+// vague items are Thing objects, dataflows are Access/Read/Write
+// relationships, decomposition is the Contained association.
+type Project struct {
+	db *seed.Database
+}
+
+// NewProject creates a specification project over a SEED database using
+// the figure 3 schema (see seed.Figure3Schema).
+func NewProject(db *seed.Database) *Project { return &Project{db: db} }
+
+// DB exposes the underlying database for version and pattern operations.
+func (p *Project) DB() *seed.Database { return p.db }
+
+// AddThing implements Tool: vague information enters as a Thing.
+func (p *Project) AddThing(name string) error {
+	_, err := p.db.CreateObject("Thing", name)
+	return err
+}
+
+// AddAction implements Tool.
+func (p *Project) AddAction(name string) error {
+	_, err := p.db.CreateObject("Action", name)
+	return err
+}
+
+// AddData implements Tool.
+func (p *Project) AddData(name string) error {
+	_, err := p.db.CreateObject("Data", name)
+	return err
+}
+
+// MakePrecise re-classifies an item downward (e.g. a Thing that turns out
+// to be Data, or Data that turns out to be OutputData).
+func (p *Project) MakePrecise(name, class string) error {
+	id, ok := p.lookup(name)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownItem, name)
+	}
+	return p.db.Reclassify(id, class)
+}
+
+// Describe implements Tool: the description is a Thing.Description
+// sub-object, replaced on re-description.
+func (p *Project) Describe(name, text string) error {
+	id, ok := p.lookup(name)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownItem, name)
+	}
+	v := p.db.View()
+	for _, ch := range v.Children(id, "Description") {
+		return p.db.SetValue(ch, seed.NewString(text))
+	}
+	_, err := p.db.CreateValueObject(id, "Description", seed.NewString(text))
+	return err
+}
+
+// Flow implements Tool.
+func (p *Project) Flow(action, data string, kind FlowKind) error {
+	aid, ok := p.lookup(action)
+	if !ok {
+		return fmt.Errorf("%w: action %q", ErrUnknownItem, action)
+	}
+	did, ok := p.lookup(data)
+	if !ok {
+		return fmt.Errorf("%w: data %q", ErrUnknownItem, data)
+	}
+	assoc := "Access"
+	switch kind {
+	case ReadFlow:
+		assoc = "Read"
+	case WriteFlow:
+		assoc = "Write"
+	}
+	_, err := p.db.CreateRelationship(assoc, map[string]seed.ID{"from": did, "by": aid})
+	return err
+}
+
+// Decompose implements Tool.
+func (p *Project) Decompose(parent, child string) error {
+	pid, ok := p.lookup(parent)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownItem, parent)
+	}
+	cid, ok := p.lookup(child)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownItem, child)
+	}
+	_, err := p.db.CreateRelationship("Contained", map[string]seed.ID{
+		"contained": cid, "container": pid,
+	})
+	return err
+}
+
+// ActionsAccessing implements Tool via the Access generalization: Read,
+// Write, and vague Access relationships all count.
+func (p *Project) ActionsAccessing(data string) ([]string, error) {
+	did, ok := p.lookup(data)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownItem, data)
+	}
+	v := p.db.View()
+	ids, err := seed.Follow(v, []seed.ID{did}, "Access", "from", "by")
+	if err != nil {
+		return nil, err
+	}
+	return p.names(ids), nil
+}
+
+// DataOf implements Tool.
+func (p *Project) DataOf(action string) ([]string, error) {
+	aid, ok := p.lookup(action)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownItem, action)
+	}
+	v := p.db.View()
+	ids, err := seed.Follow(v, []seed.ID{aid}, "Access", "by", "from")
+	if err != nil {
+		return nil, err
+	}
+	return p.names(ids), nil
+}
+
+// SubActions lists the actions directly contained in the given action, via
+// the ACYCLIC 'Contained' association.
+func (p *Project) SubActions(parent string) ([]string, error) {
+	pid, ok := p.lookup(parent)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownItem, parent)
+	}
+	v := p.db.View()
+	ids, err := seed.Follow(v, []seed.ID{pid}, "Contained", "container", "contained")
+	if err != nil {
+		return nil, err
+	}
+	return p.names(ids), nil
+}
+
+// ContainerOf returns the action containing the given one ("" at the top
+// of the hierarchy).
+func (p *Project) ContainerOf(child string) (string, error) {
+	cid, ok := p.lookup(child)
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownItem, child)
+	}
+	v := p.db.View()
+	ids, err := seed.Follow(v, []seed.ID{cid}, "Contained", "contained", "container")
+	if err != nil {
+		return "", err
+	}
+	if len(ids) == 0 {
+		return "", nil
+	}
+	o, _ := v.Object(ids[0])
+	return o.Name, nil
+}
+
+// Hierarchy renders the action decomposition tree, depth-first.
+func (p *Project) Hierarchy() (string, error) {
+	v := p.db.View()
+	ids, err := seed.NewQuery().Class("Action", true).Run(v)
+	if err != nil {
+		return "", err
+	}
+	// Roots: actions with no container.
+	var roots []string
+	byName := make(map[string]bool)
+	for _, id := range ids {
+		o, ok := v.Object(id)
+		if !ok || !o.Independent() {
+			continue
+		}
+		byName[o.Name] = true
+		container, err := p.ContainerOf(o.Name)
+		if err != nil {
+			return "", err
+		}
+		if container == "" {
+			roots = append(roots, o.Name)
+		}
+	}
+	sort.Strings(roots)
+	var b strings.Builder
+	var walk func(name string, depth int) error
+	walk = func(name string, depth int) error {
+		fmt.Fprintf(&b, "%s%s\n", strings.Repeat("  ", depth), name)
+		subs, err := p.SubActions(name)
+		if err != nil {
+			return err
+		}
+		for _, s := range subs {
+			if err := walk(s, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := walk(r, 0); err != nil {
+			return "", err
+		}
+	}
+	return b.String(), nil
+}
+
+// DescriptionOf implements Tool.
+func (p *Project) DescriptionOf(name string) (string, error) {
+	id, ok := p.lookup(name)
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownItem, name)
+	}
+	v := p.db.View()
+	for _, ch := range v.Children(id, "Description") {
+		if o, ok := v.Object(ch); ok {
+			return o.Value.Str(), nil
+		}
+	}
+	return "", nil
+}
+
+// Check returns the completeness findings for the whole specification —
+// the formal incompleteness detection the baseline cannot offer.
+func (p *Project) Check() []seed.Finding { return p.db.Completeness() }
+
+// Save snapshots the specification state as a SEED version.
+func (p *Project) Save(note string) (seed.VersionNumber, error) {
+	return p.db.SaveVersion(note)
+}
+
+// Report implements Tool: a deterministic textual rendering of the whole
+// specification.
+func (p *Project) Report() string {
+	v := p.db.View()
+	var b strings.Builder
+	b.WriteString("SPECIFICATION REPORT\n")
+	q := seed.NewQuery().Class("Thing", true)
+	ids, err := q.Run(v)
+	if err != nil {
+		return "report error: " + err.Error()
+	}
+	type entry struct {
+		name, class, desc string
+		flows             []string
+	}
+	var entries []entry
+	for _, id := range ids {
+		o, ok := v.Object(id)
+		if !ok || !o.Independent() {
+			continue
+		}
+		e := entry{name: o.Name, class: o.Class.QualifiedName()}
+		for _, ch := range v.Children(id, "Description") {
+			if c, ok := v.Object(ch); ok && c.Value.IsDefined() {
+				e.desc = c.Value.Str()
+			}
+		}
+		for _, rid := range v.RelationshipsOf(id) {
+			r, ok := v.Relationship(rid)
+			if !ok || r.Inherits || r.Assoc == nil {
+				continue
+			}
+			if root := r.Assoc.Root(); root.Name() != "Access" {
+				continue
+			}
+			if r.End("from") != id {
+				continue
+			}
+			by, _ := v.Object(r.End("by"))
+			e.flows = append(e.flows, fmt.Sprintf("%s by %s", strings.ToLower(r.Assoc.Name()), by.Name))
+		}
+		sort.Strings(e.flows)
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	for _, e := range entries {
+		fmt.Fprintf(&b, "%-20s %-12s %s\n", e.name, e.class, e.desc)
+		for _, f := range e.flows {
+			fmt.Fprintf(&b, "    %s\n", f)
+		}
+	}
+	return b.String()
+}
+
+func (p *Project) lookup(name string) (seed.ID, bool) {
+	return p.db.View().ObjectByName(name)
+}
+
+func (p *Project) names(ids []seed.ID) []string {
+	v := p.db.View()
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if o, ok := v.Object(id); ok {
+			out = append(out, o.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,260 @@
+package spades_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/spades"
+	"repro/internal/spades/baseline"
+	"repro/seed"
+)
+
+func newProject(t *testing.T) *spades.Project {
+	t.Helper()
+	db, err := seed.NewMemory(seed.Figure3Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spades.NewProject(db)
+}
+
+// buildSpec drives any Tool through the same small specification.
+func buildSpec(t *testing.T, tool spades.Tool) {
+	t.Helper()
+	steps := []func() error{
+		func() error { return tool.AddAction("AlarmHandler") },
+		func() error { return tool.AddAction("Sensor") },
+		func() error { return tool.AddData("Alarms") },
+		func() error { return tool.AddData("ProcessData") },
+		func() error { return tool.Describe("Alarms", "Alarms are represented in an alarm display matrix") },
+		func() error { return tool.Flow("AlarmHandler", "Alarms", spades.ReadFlow) },
+		func() error { return tool.Flow("Sensor", "ProcessData", spades.VagueFlow) },
+		func() error { return tool.Decompose("AlarmHandler", "Sensor") },
+	}
+	for i, s := range steps {
+		if err := s(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}
+
+func TestBothToolsAgree(t *testing.T) {
+	p := newProject(t)
+	b := baseline.New()
+	// The SEED project needs Read's from-end to be InputData; use the
+	// vague flow for everything so both tools accept identical input.
+	for _, tool := range []spades.Tool{p, b} {
+		if err := tool.AddAction("A"); err != nil {
+			t.Fatal(err)
+		}
+		if err := tool.AddData("D"); err != nil {
+			t.Fatal(err)
+		}
+		if err := tool.Describe("D", "the data"); err != nil {
+			t.Fatal(err)
+		}
+		if err := tool.Flow("A", "D", spades.VagueFlow); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pa, err := p.ActionsAccessing("D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := b.ActionsAccessing("D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pa) != 1 || len(ba) != 1 || pa[0] != ba[0] {
+		t.Errorf("tools disagree: %v vs %v", pa, ba)
+	}
+	pd, _ := p.DataOf("A")
+	bd, _ := b.DataOf("A")
+	if len(pd) != 1 || len(bd) != 1 || pd[0] != bd[0] {
+		t.Errorf("DataOf disagree: %v vs %v", pd, bd)
+	}
+	pdesc, _ := p.DescriptionOf("D")
+	bdesc, _ := b.DescriptionOf("D")
+	if pdesc != bdesc || pdesc != "the data" {
+		t.Errorf("descriptions: %q vs %q", pdesc, bdesc)
+	}
+}
+
+func TestProjectFlowKinds(t *testing.T) {
+	p := newProject(t)
+	if err := p.AddAction("H"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddData("D"); err != nil {
+		t.Fatal(err)
+	}
+	// A ReadFlow requires the data to be InputData; the project surfaces
+	// SEED's membership rejection.
+	if err := p.Flow("H", "D", spades.ReadFlow); err == nil {
+		t.Fatal("read flow into unrefined Data accepted")
+	}
+	// Refine, then the read flow works.
+	if err := p.MakePrecise("D", "InputData"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flow("H", "D", spades.ReadFlow); err != nil {
+		t.Fatal(err)
+	}
+	acts, err := p.ActionsAccessing("D")
+	if err != nil || len(acts) != 1 || acts[0] != "H" {
+		t.Errorf("ActionsAccessing = %v, %v", acts, err)
+	}
+	// The baseline would happily accept the unrefined flow — the
+	// flexibility difference the paper reports.
+	b := baseline.New()
+	_ = b.AddAction("H")
+	_ = b.AddData("D")
+	if err := b.Flow("H", "D", spades.ReadFlow); err != nil {
+		t.Errorf("baseline rejected read flow: %v", err)
+	}
+}
+
+func TestVagueToPreciseSession(t *testing.T) {
+	p := newProject(t)
+	// Vague: "there is a thing named Alarms".
+	if err := p.AddThing("Alarms"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddAction("Sensor"); err != nil {
+		t.Fatal(err)
+	}
+	// Cannot flow to a thing.
+	if err := p.Flow("Sensor", "Alarms", spades.VagueFlow); err == nil {
+		t.Fatal("flow to Thing accepted")
+	}
+	// Refine and connect.
+	if err := p.MakePrecise("Alarms", "Data"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flow("Sensor", "Alarms", spades.VagueFlow); err != nil {
+		t.Fatal(err)
+	}
+	// The completeness report names what is still missing.
+	findings := p.Check()
+	if len(findings) == 0 {
+		t.Fatal("no findings on incomplete spec")
+	}
+	var hasCovering bool
+	for _, f := range findings {
+		if f.Rule == seed.RuleCovering {
+			hasCovering = true
+		}
+	}
+	if !hasCovering {
+		t.Error("covering finding missing (vague Access must be specialized)")
+	}
+	// Versioned exploration.
+	if _, err := p.Save("draft"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReports(t *testing.T) {
+	p := newProject(t)
+	buildSpecSEED(t, p)
+	rep := p.Report()
+	for _, want := range []string{"AlarmHandler", "Alarms", "read by AlarmHandler", "display matrix"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("SEED report missing %q:\n%s", want, rep)
+		}
+	}
+	b := baseline.New()
+	buildSpec(t, b)
+	brep := b.Report()
+	for _, want := range []string{"AlarmHandler", "Alarms", "read by AlarmHandler"} {
+		if !strings.Contains(brep, want) {
+			t.Errorf("baseline report missing %q:\n%s", want, brep)
+		}
+	}
+}
+
+// buildSpecSEED is buildSpec with the refinements SEED's schema requires.
+func buildSpecSEED(t *testing.T, p *spades.Project) {
+	t.Helper()
+	steps := []func() error{
+		func() error { return p.AddAction("AlarmHandler") },
+		func() error { return p.AddAction("Sensor") },
+		func() error { return p.AddData("Alarms") },
+		func() error { return p.AddData("ProcessData") },
+		func() error { return p.MakePrecise("Alarms", "InputData") },
+		func() error { return p.Describe("Alarms", "Alarms are represented in an alarm display matrix") },
+		func() error { return p.Flow("AlarmHandler", "Alarms", spades.ReadFlow) },
+		func() error { return p.Flow("Sensor", "ProcessData", spades.VagueFlow) },
+		func() error { return p.Decompose("AlarmHandler", "Sensor") },
+	}
+	for i, s := range steps {
+		if err := s(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}
+
+func TestHierarchy(t *testing.T) {
+	p := newProject(t)
+	for _, a := range []string{"System", "Input", "Output", "Filter"} {
+		if err := p.AddAction(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Decompose("System", "Input"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Decompose("System", "Output"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Decompose("Input", "Filter"); err != nil {
+		t.Fatal(err)
+	}
+	// The ACYCLIC constraint guards the hierarchy.
+	if err := p.Decompose("Filter", "System"); err == nil {
+		t.Fatal("containment cycle accepted")
+	}
+	// And the 0..1 'contained' cardinality: one container per action.
+	if err := p.Decompose("Output", "Filter"); err == nil {
+		t.Fatal("second container accepted")
+	}
+	subs, err := p.SubActions("System")
+	if err != nil || len(subs) != 2 {
+		t.Errorf("SubActions = %v, %v", subs, err)
+	}
+	c, err := p.ContainerOf("Filter")
+	if err != nil || c != "Input" {
+		t.Errorf("ContainerOf = %q, %v", c, err)
+	}
+	top, err := p.ContainerOf("System")
+	if err != nil || top != "" {
+		t.Errorf("ContainerOf(root) = %q, %v", top, err)
+	}
+	h, err := p.Hierarchy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "System\n  Input\n    Filter\n  Output\n"
+	if h != want {
+		t.Errorf("hierarchy:\n%s\nwant:\n%s", h, want)
+	}
+}
+
+func TestUnknownItems(t *testing.T) {
+	p := newProject(t)
+	b := baseline.New()
+	for _, tool := range []spades.Tool{p, b} {
+		if err := tool.Describe("nope", "x"); err == nil {
+			t.Error("describe unknown accepted")
+		}
+		if err := tool.Flow("a", "b", spades.VagueFlow); err == nil {
+			t.Error("flow unknown accepted")
+		}
+		if _, err := tool.ActionsAccessing("nope"); err == nil {
+			t.Error("query unknown accepted")
+		}
+		if err := tool.Decompose("a", "b"); err == nil {
+			t.Error("decompose unknown accepted")
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package storage implements the persistence substrate of SEED: a compact
+// binary codec, an append-only record log with per-record CRC-32 checksums
+// and torn-write recovery, and a directory-level store that combines a
+// snapshot with a write-ahead log and supports compaction.
+//
+// The storage layer deals in opaque record payloads; the engine above it
+// decides what a record means. This keeps recovery logic (checksums,
+// truncated tails, atomic snapshot replacement) independent of the data
+// model.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Codec errors.
+var (
+	ErrShortBuffer = errors.New("storage: short buffer")
+	ErrOversize    = errors.New("storage: element exceeds size limit")
+)
+
+// MaxBlob bounds a single encoded string or byte slice (16 MiB); a database
+// for specification documents never approaches this, so larger lengths
+// indicate corruption.
+const MaxBlob = 16 << 20
+
+// Encoder appends primitive values to a byte buffer in a deterministic
+// little-endian/uvarint format.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder writing into an optional pre-allocated
+// buffer.
+func NewEncoder(buf []byte) *Encoder { return &Encoder{buf: buf[:0]} }
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards the encoded content, keeping the allocation.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Uint64 appends an unsigned varint.
+func (e *Encoder) Uint64(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
+// Int64 appends a signed varint (zig-zag).
+func (e *Encoder) Int64(v int64) { e.buf = binary.AppendVarint(e.buf, v) }
+
+// Int appends an int as a signed varint.
+func (e *Encoder) Int(v int) { e.Int64(int64(v)) }
+
+// Byte appends a raw byte.
+func (e *Encoder) Byte(b byte) { e.buf = append(e.buf, b) }
+
+// Bool appends a boolean as one byte.
+func (e *Encoder) Bool(b bool) {
+	if b {
+		e.Byte(1)
+	} else {
+		e.Byte(0)
+	}
+}
+
+// Float64 appends an IEEE-754 double, little-endian.
+func (e *Encoder) Float64(f float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(f))
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Uint64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Blob appends a length-prefixed byte slice.
+func (e *Encoder) Blob(b []byte) {
+	e.Uint64(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Time appends a time as Unix seconds (UTC, second precision suffices for
+// DATE values and version timestamps).
+func (e *Encoder) Time(t time.Time) { e.Int64(t.Unix()) }
+
+// Ints appends a length-prefixed int slice (used for version numbers).
+func (e *Encoder) Ints(v []int) {
+	e.Uint64(uint64(len(v)))
+	for _, n := range v {
+		e.Int(n)
+	}
+}
+
+// Decoder reads values written by Encoder.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder returns a decoder over buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Uint64 reads an unsigned varint.
+func (d *Decoder) Uint64() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: uvarint at offset %d", ErrShortBuffer, d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+// Int64 reads a signed varint.
+func (d *Decoder) Int64() (int64, error) {
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: varint at offset %d", ErrShortBuffer, d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+// Int reads an int.
+func (d *Decoder) Int() (int, error) {
+	v, err := d.Int64()
+	return int(v), err
+}
+
+// Byte reads one raw byte.
+func (d *Decoder) Byte() (byte, error) {
+	if d.off >= len(d.buf) {
+		return 0, fmt.Errorf("%w: byte at offset %d", ErrShortBuffer, d.off)
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+// Bool reads a boolean.
+func (d *Decoder) Bool() (bool, error) {
+	b, err := d.Byte()
+	return b != 0, err
+}
+
+// Float64 reads an IEEE-754 double.
+func (d *Decoder) Float64() (float64, error) {
+	if d.Remaining() < 8 {
+		return 0, fmt.Errorf("%w: float64 at offset %d", ErrShortBuffer, d.off)
+	}
+	bits := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return math.Float64frombits(bits), nil
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() (string, error) {
+	n, err := d.Uint64()
+	if err != nil {
+		return "", err
+	}
+	if n > MaxBlob {
+		return "", fmt.Errorf("%w: string of %d bytes", ErrOversize, n)
+	}
+	if d.Remaining() < int(n) {
+		return "", fmt.Errorf("%w: string of %d bytes at offset %d", ErrShortBuffer, n, d.off)
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+// Blob reads a length-prefixed byte slice (copied).
+func (d *Decoder) Blob() ([]byte, error) {
+	n, err := d.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxBlob {
+		return nil, fmt.Errorf("%w: blob of %d bytes", ErrOversize, n)
+	}
+	if d.Remaining() < int(n) {
+		return nil, fmt.Errorf("%w: blob of %d bytes at offset %d", ErrShortBuffer, n, d.off)
+	}
+	b := make([]byte, n)
+	copy(b, d.buf[d.off:])
+	d.off += int(n)
+	return b, nil
+}
+
+// Time reads a time written by Encoder.Time.
+func (d *Decoder) Time() (time.Time, error) {
+	sec, err := d.Int64()
+	if err != nil {
+		return time.Time{}, err
+	}
+	return time.Unix(sec, 0).UTC(), nil
+}
+
+// Ints reads a length-prefixed int slice.
+func (d *Decoder) Ints() ([]int, error) {
+	n, err := d.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxBlob {
+		return nil, fmt.Errorf("%w: int slice of %d", ErrOversize, n)
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i], err = d.Int()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Log file format:
+//
+//	magic   8 bytes  "SEEDLOG1"
+//	record  repeated:
+//	    length  uint32 little-endian (payload bytes)
+//	    crc     uint32 little-endian, CRC-32 (IEEE) of payload
+//	    payload length bytes
+//
+// A crash may leave a torn record at the tail; Replay detects it (short
+// read or checksum mismatch) and reports the byte offset of the last good
+// record so the writer can truncate before appending.
+
+// Log errors.
+var (
+	ErrBadMagic  = errors.New("storage: bad log magic")
+	ErrCorrupt   = errors.New("storage: corrupt record")
+	ErrLogClosed = errors.New("storage: log closed")
+)
+
+var logMagic = [8]byte{'S', 'E', 'E', 'D', 'L', 'O', 'G', '1'}
+
+const recordHeaderSize = 8 // length + crc
+
+// MaxRecord bounds a single log record (64 MiB).
+const MaxRecord = 64 << 20
+
+// Log is an append-only record log backed by a single file.
+type Log struct {
+	f      *os.File
+	w      *bufio.Writer
+	size   int64 // current file size including buffered bytes
+	closed bool
+}
+
+// CreateLog creates (or truncates) a log file and writes the header.
+func CreateLog(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(logMagic[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{f: f, w: bufio.NewWriter(f), size: int64(len(logMagic))}, nil
+}
+
+// OpenLog opens an existing log for appending, replaying every intact
+// record through fn. A torn tail is truncated away. If the file does not
+// exist, a fresh log is created.
+func OpenLog(path string, fn func(payload []byte) error) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	good, err := replay(f, fn)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{f: f, w: bufio.NewWriter(f), size: good}, nil
+}
+
+// replay validates the header, streams records to fn, and returns the file
+// offset just past the last intact record.
+func replay(f *os.File, fn func([]byte) error) (int64, error) {
+	r := bufio.NewReader(f)
+	var magic [8]byte
+	n, err := io.ReadFull(r, magic[:])
+	if err == io.EOF && n == 0 {
+		// Empty file: initialize header.
+		if _, err := f.Write(logMagic[:]); err != nil {
+			return 0, err
+		}
+		return int64(len(logMagic)), nil
+	}
+	if err != nil || magic != logMagic {
+		return 0, ErrBadMagic
+	}
+	offset := int64(len(logMagic))
+	var header [recordHeaderSize]byte
+	var buf []byte
+	for {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			// EOF or torn header: stop at the last good record.
+			return offset, nil
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		crc := binary.LittleEndian.Uint32(header[4:8])
+		if length > MaxRecord {
+			return offset, nil // treat absurd length as a torn tail
+		}
+		if cap(buf) < int(length) {
+			buf = make([]byte, length)
+		}
+		buf = buf[:length]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return offset, nil
+		}
+		if crc32.ChecksumIEEE(buf) != crc {
+			return offset, nil
+		}
+		if fn != nil {
+			if err := fn(buf); err != nil {
+				return 0, err
+			}
+		}
+		offset += recordHeaderSize + int64(length)
+	}
+}
+
+// Append writes one record. The payload is copied into the OS buffer before
+// return; call Sync for durability.
+func (l *Log) Append(payload []byte) error {
+	if l.closed {
+		return ErrLogClosed
+	}
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("%w: record of %d bytes", ErrOversize, len(payload))
+	}
+	var header [recordHeaderSize]byte
+	binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(header[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := l.w.Write(header[:]); err != nil {
+		return err
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return err
+	}
+	l.size += recordHeaderSize + int64(len(payload))
+	return nil
+}
+
+// Sync flushes buffered records and fsyncs the file.
+func (l *Log) Sync() error {
+	if l.closed {
+		return ErrLogClosed
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Size returns the logical size of the log in bytes (including buffered,
+// not-yet-flushed records).
+func (l *Log) Size() int64 { return l.size }
+
+// Close flushes and closes the log file.
+func (l *Log) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}

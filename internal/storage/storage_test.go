@@ -1,0 +1,410 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Uint64(12345)
+	e.Int64(-987)
+	e.Int(42)
+	e.Byte(0xAB)
+	e.Bool(true)
+	e.Bool(false)
+	e.Float64(3.25)
+	e.String("Alarms.Text.Body")
+	e.Blob([]byte{1, 2, 3})
+	e.Time(time.Unix(500000000, 0))
+	e.Ints([]int{1, 0, 2})
+
+	d := NewDecoder(e.Bytes())
+	if v, _ := d.Uint64(); v != 12345 {
+		t.Errorf("Uint64 = %d", v)
+	}
+	if v, _ := d.Int64(); v != -987 {
+		t.Errorf("Int64 = %d", v)
+	}
+	if v, _ := d.Int(); v != 42 {
+		t.Errorf("Int = %d", v)
+	}
+	if v, _ := d.Byte(); v != 0xAB {
+		t.Errorf("Byte = %x", v)
+	}
+	if v, _ := d.Bool(); !v {
+		t.Error("Bool true")
+	}
+	if v, _ := d.Bool(); v {
+		t.Error("Bool false")
+	}
+	if v, _ := d.Float64(); v != 3.25 {
+		t.Errorf("Float64 = %v", v)
+	}
+	if v, _ := d.String(); v != "Alarms.Text.Body" {
+		t.Errorf("String = %q", v)
+	}
+	if v, _ := d.Blob(); !bytes.Equal(v, []byte{1, 2, 3}) {
+		t.Errorf("Blob = %v", v)
+	}
+	if v, _ := d.Time(); v.Unix() != 500000000 {
+		t.Errorf("Time = %v", v)
+	}
+	if v, _ := d.Ints(); len(v) != 3 || v[0] != 1 || v[2] != 2 {
+		t.Errorf("Ints = %v", v)
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("Remaining = %d", d.Remaining())
+	}
+}
+
+func TestCodecShortBuffer(t *testing.T) {
+	d := NewDecoder(nil)
+	if _, err := d.Uint64(); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("Uint64 on empty: %v", err)
+	}
+	if _, err := d.Byte(); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("Byte on empty: %v", err)
+	}
+	if _, err := d.Float64(); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("Float64 on empty: %v", err)
+	}
+	e := NewEncoder(nil)
+	e.Uint64(100) // claims 100-byte string, provides none
+	d = NewDecoder(e.Bytes())
+	if _, err := d.String(); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("truncated String: %v", err)
+	}
+}
+
+func TestCodecQuick(t *testing.T) {
+	f := func(u uint64, i int64, s string, b []byte, fl float64) bool {
+		e := NewEncoder(nil)
+		e.Uint64(u)
+		e.Int64(i)
+		e.String(s)
+		e.Blob(b)
+		e.Float64(fl)
+		d := NewDecoder(e.Bytes())
+		u2, _ := d.Uint64()
+		i2, _ := d.Int64()
+		s2, _ := d.String()
+		b2, _ := d.Blob()
+		f2, err := d.Float64()
+		if err != nil {
+			return false
+		}
+		return u2 == u && i2 == i && s2 == s && bytes.Equal(b2, b) &&
+			(f2 == fl || (f2 != f2 && fl != fl)) // NaN-safe
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.seed")
+	l, err := CreateLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte("one"), []byte("two"), {}, []byte("four")}
+	for _, p := range want {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got [][]byte
+	l2, err := OpenLog(path, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Appending after recovery works.
+	if err := l2.Append([]byte("five")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.seed")
+	l, err := CreateLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = l.Append([]byte("good-1"))
+	_ = l.Append([]byte("good-2"))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn write: append garbage that looks like a partial record.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{9, 0, 0, 0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var got []string
+	l2, err := OpenLog(path, func(p []byte) error {
+		got = append(got, string(p))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "good-1" || got[1] != "good-2" {
+		t.Fatalf("replay after torn tail = %v", got)
+	}
+	// The torn bytes were truncated; new appends replay cleanly.
+	_ = l2.Append([]byte("good-3"))
+	l2.Close()
+	got = nil
+	l3, err := OpenLog(path, func(p []byte) error {
+		got = append(got, string(p))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if len(got) != 3 || got[2] != "good-3" {
+		t.Fatalf("replay after re-append = %v", got)
+	}
+}
+
+func TestLogCorruptRecordStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.seed")
+	l, _ := CreateLog(path)
+	_ = l.Append([]byte("aaaa"))
+	_ = l.Append([]byte("bbbb"))
+	l.Close()
+	// Flip a payload byte of the second record.
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	l2, err := OpenLog(path, func(p []byte) error {
+		got = append(got, string(p))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(got) != 1 || got[0] != "aaaa" {
+		t.Fatalf("replay with corrupt tail = %v", got)
+	}
+}
+
+func TestLogBadMagic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.seed")
+	if err := os.WriteFile(path, []byte("NOTSEED!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenLog(path, nil); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("OpenLog on foreign file: %v", err)
+	}
+}
+
+func TestLogClosed(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := CreateLog(filepath.Join(dir, "w"))
+	l.Close()
+	if err := l.Append([]byte("x")); !errors.Is(err, ErrLogClosed) {
+		t.Errorf("Append after close: %v", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrLogClosed) {
+		t.Errorf("Sync after close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+// recorder is a RecoveryHandler for tests.
+type recorder struct {
+	snapshot []byte
+	records  [][]byte
+}
+
+func (r *recorder) LoadSnapshot(p []byte) error {
+	r.snapshot = append([]byte(nil), p...)
+	return nil
+}
+
+func (r *recorder) ApplyRecord(p []byte) error {
+	r.records = append(r.records, append([]byte(nil), p...))
+	return nil
+}
+
+func TestStoreLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(filepath.Join(dir, "db"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = st.Append([]byte("r1"))
+	_ = st.Append([]byte("r2"))
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	var rec recorder
+	st2, err := Open(filepath.Join(dir, "db"), &rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.snapshot != nil {
+		t.Error("unexpected snapshot on fresh store")
+	}
+	if len(rec.records) != 2 || string(rec.records[1]) != "r2" {
+		t.Fatalf("records = %q", rec.records)
+	}
+
+	// Compact: snapshot replaces log.
+	if err := st2.Compact([]byte("STATE")); err != nil {
+		t.Fatal(err)
+	}
+	_ = st2.Append([]byte("r3"))
+	_ = st2.Sync()
+	st2.Close()
+
+	var rec2 recorder
+	st3, err := Open(filepath.Join(dir, "db"), &rec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if string(rec2.snapshot) != "STATE" {
+		t.Errorf("snapshot = %q", rec2.snapshot)
+	}
+	if len(rec2.records) != 1 || string(rec2.records[0]) != "r3" {
+		t.Errorf("post-compaction records = %q", rec2.records)
+	}
+}
+
+func TestStoreCorruptSnapshot(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	st, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Compact([]byte("GOOD")); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	raw, _ := os.ReadFile(filepath.Join(dir, SnapshotFile))
+	raw[len(raw)-1] ^= 0xFF
+	_ = os.WriteFile(filepath.Join(dir, SnapshotFile), raw, 0o644)
+	if _, err := Open(dir, &recorder{}); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupt snapshot: %v", err)
+	}
+}
+
+func TestEncoderReuse(t *testing.T) {
+	e := NewEncoder(make([]byte, 0, 64))
+	e.String("hello")
+	if e.Len() == 0 {
+		t.Fatal("Len = 0 after write")
+	}
+	e.Reset()
+	if e.Len() != 0 {
+		t.Error("Reset did not clear")
+	}
+	e.Uint64(7)
+	d := NewDecoder(e.Bytes())
+	if v, _ := d.Uint64(); v != 7 {
+		t.Error("reuse after Reset broken")
+	}
+}
+
+func TestDecoderOversizeGuards(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Uint64(MaxBlob + 1)
+	if _, err := NewDecoder(e.Bytes()).String(); !errors.Is(err, ErrOversize) {
+		t.Error("oversize string accepted")
+	}
+	if _, err := NewDecoder(e.Bytes()).Blob(); !errors.Is(err, ErrOversize) {
+		t.Error("oversize blob accepted")
+	}
+	if _, err := NewDecoder(e.Bytes()).Ints(); !errors.Is(err, ErrOversize) {
+		t.Error("oversize ints accepted")
+	}
+}
+
+func TestAppendOversizeRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, err := CreateLog(filepath.Join(dir, "w"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(make([]byte, MaxRecord+1)); !errors.Is(err, ErrOversize) {
+		t.Errorf("oversize record: %v", err)
+	}
+}
+
+func TestStoreDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	st, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Dir() != dir {
+		t.Errorf("Dir = %q", st.Dir())
+	}
+}
+
+func TestStoreLogSizeGrowsAndResets(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	st, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	before := st.LogSize()
+	_ = st.Append(make([]byte, 100))
+	if st.LogSize() <= before {
+		t.Error("LogSize did not grow")
+	}
+	if err := st.Compact(nil); err != nil {
+		t.Fatal(err)
+	}
+	if st.LogSize() != before {
+		t.Errorf("LogSize after compaction = %d, want %d", st.LogSize(), before)
+	}
+}

@@ -1,0 +1,151 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Store combines a snapshot file with a write-ahead log in one directory:
+//
+//	<dir>/snapshot.seed   full state at some point in time (optional)
+//	<dir>/wal.seed        records appended since that snapshot
+//
+// Recovery loads the snapshot (if present) and replays the log. Compact
+// atomically replaces the snapshot with the current full state and starts a
+// fresh log, so the log never grows without bound.
+
+// Snapshot file format: magic "SEEDSNAP", uint32 length, uint32 CRC-32,
+// payload.
+var snapMagic = [8]byte{'S', 'E', 'E', 'D', 'S', 'N', 'A', 'P'}
+
+// Store file names within the directory.
+const (
+	SnapshotFile = "snapshot.seed"
+	WALFile      = "wal.seed"
+)
+
+// ErrNoStore reports a missing store directory.
+var ErrNoStore = errors.New("storage: store directory does not exist")
+
+// Store is a snapshot + WAL pair in a directory.
+type Store struct {
+	dir string
+	log *Log
+}
+
+// RecoveryHandler receives persisted state during Open: first the snapshot
+// payload (if any), then every log record in order.
+type RecoveryHandler interface {
+	LoadSnapshot(payload []byte) error
+	ApplyRecord(payload []byte) error
+}
+
+// Open opens (creating if necessary) the store in dir and replays persisted
+// state through h. h may be nil when the caller knows the store is fresh.
+func Open(dir string, h RecoveryHandler) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	snapPath := filepath.Join(dir, SnapshotFile)
+	if payload, err := readSnapshot(snapPath); err != nil {
+		return nil, err
+	} else if payload != nil && h != nil {
+		if err := h.LoadSnapshot(payload); err != nil {
+			return nil, fmt.Errorf("storage: loading snapshot: %w", err)
+		}
+	}
+	var apply func([]byte) error
+	if h != nil {
+		apply = h.ApplyRecord
+	}
+	log, err := OpenLog(filepath.Join(dir, WALFile), apply)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, log: log}, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Append writes one record to the WAL.
+func (s *Store) Append(payload []byte) error { return s.log.Append(payload) }
+
+// Sync makes all appended records durable.
+func (s *Store) Sync() error { return s.log.Sync() }
+
+// LogSize returns the current WAL size in bytes.
+func (s *Store) LogSize() int64 { return s.log.Size() }
+
+// Compact writes snapshot as the new full state and truncates the WAL. The
+// snapshot is written to a temporary file and renamed into place, so a crash
+// during compaction leaves either the old or the new state intact.
+func (s *Store) Compact(snapshot []byte) error {
+	tmp := filepath.Join(s.dir, SnapshotFile+".tmp")
+	if err := writeSnapshot(tmp, snapshot); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, SnapshotFile)); err != nil {
+		return err
+	}
+	// The snapshot now covers everything in the old WAL: start fresh.
+	if err := s.log.Close(); err != nil {
+		return err
+	}
+	log, err := CreateLog(filepath.Join(s.dir, WALFile))
+	if err != nil {
+		return err
+	}
+	s.log = log
+	return s.log.Sync()
+}
+
+// Close flushes and closes the store.
+func (s *Store) Close() error { return s.log.Close() }
+
+func writeSnapshot(path string, payload []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var header [16]byte
+	copy(header[:8], snapMagic[:])
+	binary.LittleEndian.PutUint32(header[8:12], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(header[12:16], crc32.ChecksumIEEE(payload))
+	if _, err := f.Write(header[:]); err != nil {
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// readSnapshot returns nil, nil when the file does not exist.
+func readSnapshot(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 16 || [8]byte(raw[:8]) != snapMagic {
+		return nil, fmt.Errorf("%w: snapshot header", ErrCorrupt)
+	}
+	length := binary.LittleEndian.Uint32(raw[8:12])
+	crc := binary.LittleEndian.Uint32(raw[12:16])
+	if int(length) != len(raw)-16 {
+		return nil, fmt.Errorf("%w: snapshot length %d vs %d", ErrCorrupt, length, len(raw)-16)
+	}
+	payload := raw[16:]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, fmt.Errorf("%w: snapshot checksum", ErrCorrupt)
+	}
+	return payload, nil
+}

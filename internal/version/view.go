@@ -1,0 +1,143 @@
+package version
+
+import (
+	"sort"
+
+	"repro/internal/item"
+	"repro/internal/schema"
+)
+
+// View is the read-only view to a saved version: item states with the
+// greatest version number less than or equal to the requested one along the
+// history path, excluding items marked deleted. Retrieval of data from an
+// old version works exactly like retrieval from the current version — both
+// implement item.View.
+type View struct {
+	sch     *schema.Schema
+	objects map[item.ID]item.Object
+	rels    map[item.ID]item.Relationship
+
+	byName   map[string]item.ID
+	children map[item.ID]map[string][]item.ID
+	relsOf   map[item.ID][]item.ID
+
+	objIDs []item.ID
+	relIDs []item.ID
+}
+
+// NewView indexes a materialized state under the schema it must be
+// interpreted with (the schema version recorded by the version node).
+func NewView(sch *schema.Schema, states map[item.ID]Frozen) *View {
+	v := &View{
+		sch:      sch,
+		objects:  make(map[item.ID]item.Object),
+		rels:     make(map[item.ID]item.Relationship),
+		byName:   make(map[string]item.ID),
+		children: make(map[item.ID]map[string][]item.ID),
+		relsOf:   make(map[item.ID][]item.ID),
+	}
+	for id, f := range states {
+		if f.Deleted() {
+			continue // provided that they are not marked as deleted
+		}
+		if f.Kind == item.KindObject {
+			v.objects[id] = f.Obj
+			v.objIDs = append(v.objIDs, id)
+		} else {
+			v.rels[id] = f.Rel
+			v.relIDs = append(v.relIDs, id)
+		}
+	}
+	sort.Slice(v.objIDs, func(i, j int) bool { return v.objIDs[i] < v.objIDs[j] })
+	sort.Slice(v.relIDs, func(i, j int) bool { return v.relIDs[i] < v.relIDs[j] })
+
+	for _, id := range v.objIDs {
+		o := v.objects[id]
+		if o.Independent() {
+			v.byName[o.Name] = id
+			continue
+		}
+		byRole := v.children[o.Parent]
+		if byRole == nil {
+			byRole = make(map[string][]item.ID)
+			v.children[o.Parent] = byRole
+		}
+		byRole[o.Role] = append(byRole[o.Role], id)
+	}
+	// Order siblings by index.
+	for _, byRole := range v.children {
+		for role, ids := range byRole {
+			sort.Slice(ids, func(i, j int) bool {
+				return v.objects[ids[i]].Index < v.objects[ids[j]].Index
+			})
+			byRole[role] = ids
+		}
+	}
+	for _, id := range v.relIDs {
+		r := v.rels[id]
+		seen := make(map[item.ID]bool, len(r.Ends))
+		for _, e := range r.Ends {
+			if !seen[e.Object] {
+				seen[e.Object] = true
+				v.relsOf[e.Object] = append(v.relsOf[e.Object], id)
+			}
+		}
+	}
+	return v
+}
+
+// Schema returns the schema version the view is interpreted under.
+func (v *View) Schema() *schema.Schema { return v.sch }
+
+// Object implements item.View.
+func (v *View) Object(id item.ID) (item.Object, bool) {
+	o, ok := v.objects[id]
+	return o, ok
+}
+
+// Relationship implements item.View.
+func (v *View) Relationship(id item.ID) (item.Relationship, bool) {
+	r, ok := v.rels[id]
+	if !ok {
+		return item.Relationship{}, false
+	}
+	return r.Clone(), true
+}
+
+// ObjectByName implements item.View.
+func (v *View) ObjectByName(name string) (item.ID, bool) {
+	id, ok := v.byName[name]
+	return id, ok
+}
+
+// Children implements item.View.
+func (v *View) Children(parent item.ID, role string) []item.ID {
+	byRole, ok := v.children[parent]
+	if !ok {
+		return nil
+	}
+	if role != "" {
+		return append([]item.ID(nil), byRole[role]...)
+	}
+	roles := make([]string, 0, len(byRole))
+	for r := range byRole {
+		roles = append(roles, r)
+	}
+	sort.Strings(roles)
+	var out []item.ID
+	for _, r := range roles {
+		out = append(out, byRole[r]...)
+	}
+	return out
+}
+
+// RelationshipsOf implements item.View.
+func (v *View) RelationshipsOf(obj item.ID) []item.ID {
+	return append([]item.ID(nil), v.relsOf[obj]...)
+}
+
+// Objects implements item.View.
+func (v *View) Objects() []item.ID { return append([]item.ID(nil), v.objIDs...) }
+
+// Relationships implements item.View.
+func (v *View) Relationships() []item.ID { return append([]item.ID(nil), v.relIDs...) }

@@ -1,0 +1,167 @@
+// Package wire defines the client/server protocol of SEED's two-level
+// multi-user extension (paper, section "Open problems"): one central server
+// runs the complete database; clients use the server for retrieval
+// operations but take local copies for making updates. Data copied to a
+// client for update carries a write lock in the central database; when the
+// client sends the updated copy back, the server puts it into the central
+// database in a single transaction.
+//
+// Messages are length-prefixed JSON frames over any byte stream.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds one protocol frame (8 MiB).
+const MaxFrame = 8 << 20
+
+// Frame errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	ErrBadFrame      = errors.New("wire: malformed frame")
+)
+
+// Op names the request operations.
+type Op string
+
+// The protocol operations.
+const (
+	OpHello        Op = "hello"
+	OpGet          Op = "get"          // retrieve an object subtree by name
+	OpList         Op = "list"         // list independent objects by class
+	OpCheckout     Op = "checkout"     // lock + copy objects for update
+	OpCheckin      Op = "checkin"      // apply staged updates in one transaction
+	OpRelease      Op = "release"      // drop locks without updating
+	OpSaveVersion  Op = "save-version" // snapshot the central database
+	OpVersions     Op = "versions"     // list versions
+	OpCompleteness Op = "completeness" // run the completeness check
+	OpStats        Op = "stats"
+)
+
+// Object is the wire form of one object.
+type Object struct {
+	ID        uint64 `json:"id"`
+	Class     string `json:"class"`
+	Name      string `json:"name,omitempty"`
+	Path      string `json:"path,omitempty"`
+	ValueKind uint8  `json:"vkind,omitempty"`
+	Value     string `json:"value,omitempty"`
+}
+
+// Relationship is the wire form of one relationship; ends are object paths.
+type Relationship struct {
+	ID    uint64            `json:"id"`
+	Assoc string            `json:"assoc"`
+	Ends  map[string]string `json:"ends"`
+}
+
+// Snapshot is the copy of an object subtree a checkout returns.
+type Snapshot struct {
+	Root    string         `json:"root"`
+	Objects []Object       `json:"objects"`
+	Rels    []Relationship `json:"rels"`
+}
+
+// Update is one staged mutation a client sends back at check-in. Items are
+// addressed by qualified path, so updates compose without knowing the
+// server's item IDs.
+type Update struct {
+	Kind      string            `json:"kind"` // create-object, create-sub, set-value, create-rel, delete, reclassify, describe
+	Class     string            `json:"class,omitempty"`
+	Name      string            `json:"name,omitempty"`
+	Path      string            `json:"path,omitempty"`
+	Role      string            `json:"role,omitempty"`
+	Assoc     string            `json:"assoc,omitempty"`
+	Ends      map[string]string `json:"ends,omitempty"`
+	ValueKind uint8             `json:"vkind,omitempty"`
+	Value     string            `json:"value,omitempty"`
+}
+
+// Update kinds.
+const (
+	UpdateCreateObject = "create-object"
+	UpdateCreateSub    = "create-sub"
+	UpdateSetValue     = "set-value"
+	UpdateCreateRel    = "create-rel"
+	UpdateDelete       = "delete"
+	UpdateReclassify   = "reclassify"
+)
+
+// VersionInfo is the wire form of a saved version.
+type VersionInfo struct {
+	Num       string `json:"num"`
+	Note      string `json:"note,omitempty"`
+	DeltaSize int    `json:"delta"`
+	SchemaVer int    `json:"schema"`
+}
+
+// Finding is the wire form of a completeness finding.
+type Finding struct {
+	Item   uint64 `json:"item"`
+	Rule   string `json:"rule"`
+	Detail string `json:"detail"`
+}
+
+// Request is one client request frame.
+type Request struct {
+	Op      Op       `json:"op"`
+	Names   []string `json:"names,omitempty"`
+	Class   string   `json:"class,omitempty"`
+	Note    string   `json:"note,omitempty"`
+	Updates []Update `json:"updates,omitempty"`
+}
+
+// Response is one server response frame.
+type Response struct {
+	Err       string        `json:"err,omitempty"`
+	ClientID  string        `json:"client,omitempty"`
+	Names     []string      `json:"names,omitempty"`
+	Snapshots []Snapshot    `json:"snapshots,omitempty"`
+	Versions  []VersionInfo `json:"versions,omitempty"`
+	Findings  []Finding     `json:"findings,omitempty"`
+	Version   string        `json:"version,omitempty"`
+	Stats     string        `json:"stats,omitempty"`
+}
+
+// WriteFrame writes one length-prefixed JSON frame.
+func WriteFrame(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var header [4]byte
+	binary.LittleEndian.PutUint32(header[:], uint32(len(payload)))
+	if _, err := w.Write(header[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed JSON frame into v.
+func ReadFrame(r io.Reader, v any) error {
+	var header [4]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return err
+	}
+	n := binary.LittleEndian.Uint32(header[:])
+	if n > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	return nil
+}

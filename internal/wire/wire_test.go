@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	req := Request{
+		Op:    OpCheckin,
+		Names: []string{"Alarms"},
+		Updates: []Update{
+			{Kind: UpdateSetValue, Path: "Alarms.Description", ValueKind: 1, Value: "x"},
+			{Kind: UpdateCreateRel, Assoc: "Access", Ends: map[string]string{"from": "Alarms", "by": "S"}},
+		},
+	}
+	if err := WriteFrame(&buf, &req); err != nil {
+		t.Fatal(err)
+	}
+	var got Request
+	if err := ReadFrame(&buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != req.Op || len(got.Updates) != 2 || got.Updates[1].Ends["by"] != "S" {
+		t.Errorf("round trip changed: %+v", got)
+	}
+}
+
+func TestMultipleFramesSequential(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 3; i++ {
+		if err := WriteFrame(&buf, &Response{ClientID: strings.Repeat("x", i+1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		var r Response
+		if err := ReadFrame(&buf, &r); err != nil {
+			t.Fatal(err)
+		}
+		if len(r.ClientID) != i+1 {
+			t.Errorf("frame %d = %q", i, r.ClientID)
+		}
+	}
+	var r Response
+	if err := ReadFrame(&buf, &r); err != io.EOF {
+		t.Errorf("read past end: %v", err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	big := Response{Stats: strings.Repeat("a", MaxFrame)}
+	if err := WriteFrame(&buf, &big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversize write: %v", err)
+	}
+	// Oversize length header on read.
+	buf.Reset()
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	var r Response
+	if err := ReadFrame(&buf, &r); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversize read: %v", err)
+	}
+}
+
+func TestBadJSON(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{3, 0, 0, 0})
+	buf.WriteString("{{{")
+	var r Response
+	if err := ReadFrame(&buf, &r); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("bad json: %v", err)
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{10, 0, 0, 0})
+	buf.WriteString("abc") // claims 10 bytes, has 3
+	var r Response
+	if err := ReadFrame(&buf, &r); err == nil {
+		t.Error("truncated frame decoded")
+	}
+}

@@ -1,0 +1,72 @@
+package seed
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentAccess hammers one database from several goroutines; run
+// under -race this validates the facade's locking discipline. SEED stays
+// logically single-user — operations serialize — but the API must be safe.
+func TestConcurrentAccess(t *testing.T) {
+	db := memDB(t, Figure3Schema())
+	const workers = 8
+	const perWorker = 100
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				name := fmt.Sprintf("W%dN%d", w, i)
+				id, err := db.CreateObject("Data", name)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := db.CreateValueObject(id, "Description", NewString(name)); err != nil {
+					errs <- err
+					return
+				}
+				// Interleave reads.
+				if _, ok := db.GetObject(name); !ok {
+					errs <- fmt.Errorf("own object %s invisible", name)
+					return
+				}
+				_ = db.Stats()
+				if i%25 == 0 {
+					_ = db.Completeness()
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db.Stats().Core.Objects; got != workers*perWorker*2 {
+		t.Errorf("objects = %d, want %d", got, workers*perWorker*2)
+	}
+	// Versions interleaved with reads from another goroutine.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			v := db.View()
+			_ = v.Objects()
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		if _, err := db.SaveVersion(fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		_, _ = db.CreateObject("Action", fmt.Sprintf("Post%d", i))
+	}
+	<-done
+}

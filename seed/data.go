@@ -1,0 +1,390 @@
+package seed
+
+import (
+	"fmt"
+
+	"repro/internal/consistency"
+	"repro/internal/item"
+	"repro/internal/pattern"
+)
+
+// Data manipulation: thin, mutex-guarded wrappers over the engine's
+// operational interface. Every operation is validated eagerly; a returned
+// error means the database state is unchanged.
+
+// guardWrite returns a helpful error for updates addressed to inherited
+// (virtual) items, which are updatable only in the pattern itself.
+func (db *Database) guardWrite(ids ...ID) error {
+	if db.closed {
+		return ErrClosed
+	}
+	for _, id := range ids {
+		if pattern.IsVirtualID(id) {
+			return fmt.Errorf("%w (item %d)", ErrInheritedData, id)
+		}
+	}
+	return nil
+}
+
+// CreateObject creates an independent object of a top-level class.
+func (db *Database) CreateObject(className, name string) (ID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.guardWrite(); err != nil {
+		return NoID, err
+	}
+	id, err := db.engine.CreateObject(className, name)
+	return db.finish(id, err)
+}
+
+// CreatePatternObject creates an independent object marked as a pattern.
+func (db *Database) CreatePatternObject(className, name string) (ID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.guardWrite(); err != nil {
+		return NoID, err
+	}
+	id, err := db.engine.CreatePatternObject(className, name)
+	return db.finish(id, err)
+}
+
+// CreateSubObject creates a dependent object under a parent item in a role.
+func (db *Database) CreateSubObject(parent ID, role string) (ID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.guardWrite(parent); err != nil {
+		return NoID, err
+	}
+	id, err := db.engine.CreateSubObject(parent, role)
+	return db.finish(id, err)
+}
+
+// CreateValueObject creates a leaf sub-object carrying a value.
+func (db *Database) CreateValueObject(parent ID, role string, v Value) (ID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.guardWrite(parent); err != nil {
+		return NoID, err
+	}
+	id, err := db.engine.CreateValueObject(parent, role, v)
+	return db.finish(id, err)
+}
+
+// SetValue sets (or clears, with Undefined) a value object's value.
+func (db *Database) SetValue(id ID, v Value) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.guardWrite(id); err != nil {
+		return err
+	}
+	_, err := db.finish(id, db.engine.SetValue(id, v))
+	return err
+}
+
+// CreateRelationship creates a relationship of the named association.
+func (db *Database) CreateRelationship(assoc string, ends map[string]ID) (ID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	all := make([]ID, 0, len(ends))
+	for _, o := range ends {
+		all = append(all, o)
+	}
+	if err := db.guardWrite(all...); err != nil {
+		return NoID, err
+	}
+	id, err := db.engine.CreateRelationship(assoc, ends)
+	return db.finish(id, err)
+}
+
+// Delete marks an item and everything depending on it as deleted.
+func (db *Database) Delete(id ID) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.guardWrite(id); err != nil {
+		return err
+	}
+	_, err := db.finish(id, db.engine.Delete(id))
+	return err
+}
+
+// Reclassify moves a data item within its generalization hierarchy.
+func (db *Database) Reclassify(id ID, newName string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.guardWrite(id); err != nil {
+		return err
+	}
+	_, err := db.finish(id, db.engine.Reclassify(id, newName))
+	return err
+}
+
+// MarkPattern turns an independent object or relationship into a pattern.
+func (db *Database) MarkPattern(id ID) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.guardWrite(id); err != nil {
+		return err
+	}
+	_, err := db.finish(id, db.engine.MarkPattern(id))
+	return err
+}
+
+// ClearPattern turns a pattern back into a normal item (no inheritors).
+func (db *Database) ClearPattern(id ID) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.guardWrite(id); err != nil {
+		return err
+	}
+	_, err := db.finish(id, db.engine.ClearPattern(id))
+	return err
+}
+
+// Inherit lets a normal item inherit a pattern; returns the ID of the
+// inherits-relationship.
+func (db *Database) Inherit(patternID, inheritorID ID) (ID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.guardWrite(patternID, inheritorID); err != nil {
+		return NoID, err
+	}
+	id, err := db.engine.Inherit(patternID, inheritorID)
+	return db.finish(id, err)
+}
+
+// Disinherit removes the inherits-relationship between a pattern and an
+// inheritor.
+func (db *Database) Disinherit(patternID, inheritorID ID) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.guardWrite(patternID, inheritorID); err != nil {
+		return err
+	}
+	raw := db.engine.View()
+	for _, rid := range raw.RelationshipsOf(inheritorID) {
+		r, ok := raw.Relationship(rid)
+		if ok && r.Inherits &&
+			r.End(item.InheritsPatternRole) == patternID &&
+			r.End(item.InheritsInheritorRole) == inheritorID {
+			_, err := db.finish(rid, db.engine.Delete(rid))
+			return err
+		}
+	}
+	return fmt.Errorf("seed: item %d does not inherit pattern %d", inheritorID, patternID)
+}
+
+// Begin opens a transaction: subsequent operations commit or roll back as a
+// unit. Consistency is still checked per operation.
+func (db *Database) Begin() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.engine.Begin()
+}
+
+// Commit makes the open transaction permanent.
+func (db *Database) Commit() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.engine.Commit(); err != nil {
+		return err
+	}
+	db.gen++
+	if db.store != nil && !db.opts.SyncEveryOp {
+		return nil
+	}
+	if db.store != nil {
+		return db.store.Sync()
+	}
+	return nil
+}
+
+// Rollback undoes the open transaction.
+func (db *Database) Rollback() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.engine.Rollback(); err != nil {
+		return err
+	}
+	db.gen++
+	return nil
+}
+
+// finish bumps the mutation generation on success.
+func (db *Database) finish(id ID, err error) (ID, error) {
+	if err != nil {
+		return NoID, err
+	}
+	db.gen++
+	if cerr := db.maybeCompact(); cerr != nil {
+		return id, cerr
+	}
+	return id, nil
+}
+
+// ---- Retrieval ----
+
+// View returns the user-facing view of the current state: deleted items
+// and patterns are invisible; inherited pattern data appears in the context
+// of the inheritors. The view is cached until the next mutation and is safe
+// for concurrent use: every method call synchronizes with mutations.
+func (db *Database) View() View { return lockedView{db: db, user: true} }
+
+func (db *Database) userViewLocked() *pattern.Spliced {
+	if db.splice == nil || db.spliceGen != db.gen {
+		db.splice = pattern.NewSpliced(db.engine.View())
+		db.spliceGen = db.gen
+	}
+	return db.splice
+}
+
+// RawView returns the administrative view: patterns visible, inherited data
+// not spliced. Like View, it synchronizes per method call.
+func (db *Database) RawView() View { return lockedView{db: db} }
+
+// lockedView adapts the engine's (or the spliced) view to concurrent use
+// by taking the database mutex around every read.
+type lockedView struct {
+	db   *Database
+	user bool
+}
+
+func (v lockedView) inner() View {
+	if v.user {
+		return v.db.userViewLocked()
+	}
+	return v.db.engine.View()
+}
+
+// Schema implements View.
+func (v lockedView) Schema() *Schema {
+	v.db.mu.Lock()
+	defer v.db.mu.Unlock()
+	return v.db.engine.Schema()
+}
+
+// Object implements View.
+func (v lockedView) Object(id ID) (Object, bool) {
+	v.db.mu.Lock()
+	defer v.db.mu.Unlock()
+	return v.inner().Object(id)
+}
+
+// Relationship implements View.
+func (v lockedView) Relationship(id ID) (Relationship, bool) {
+	v.db.mu.Lock()
+	defer v.db.mu.Unlock()
+	return v.inner().Relationship(id)
+}
+
+// ObjectByName implements View.
+func (v lockedView) ObjectByName(name string) (ID, bool) {
+	v.db.mu.Lock()
+	defer v.db.mu.Unlock()
+	return v.inner().ObjectByName(name)
+}
+
+// Children implements View.
+func (v lockedView) Children(parent ID, role string) []ID {
+	v.db.mu.Lock()
+	defer v.db.mu.Unlock()
+	return v.inner().Children(parent, role)
+}
+
+// RelationshipsOf implements View.
+func (v lockedView) RelationshipsOf(obj ID) []ID {
+	v.db.mu.Lock()
+	defer v.db.mu.Unlock()
+	return v.inner().RelationshipsOf(obj)
+}
+
+// Objects implements View.
+func (v lockedView) Objects() []ID {
+	v.db.mu.Lock()
+	defer v.db.mu.Unlock()
+	return v.inner().Objects()
+}
+
+// Relationships implements View.
+func (v lockedView) Relationships() []ID {
+	v.db.mu.Lock()
+	defer v.db.mu.Unlock()
+	return v.inner().Relationships()
+}
+
+// Origin reports the provenance of a virtual (inherited) item in the
+// current user view.
+func (db *Database) Origin(id ID) (source, patternRoot, inheritor ID, ok bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	org, ok := db.userViewLocked().Origin(id)
+	if !ok {
+		return NoID, NoID, NoID, false
+	}
+	return org.Source, org.Pattern, org.Inheritor, true
+}
+
+// GetObject resolves an independent object by name in the user view —
+// SEED's "simple retrieval by name".
+func (db *Database) GetObject(name string) (Object, bool) {
+	v := db.View()
+	id, ok := v.ObjectByName(name)
+	if !ok {
+		return Object{}, false
+	}
+	return v.Object(id)
+}
+
+// ResolvePath navigates a qualified name ("Alarms.Text[0].Selector") in the
+// user view.
+func (db *Database) ResolvePath(path string) (ID, error) {
+	p, err := ParsePath(path)
+	if err != nil {
+		return NoID, err
+	}
+	id, ok := item.Resolve(db.View(), p)
+	if !ok {
+		return NoID, fmt.Errorf("seed: no object at path %q", path)
+	}
+	return id, nil
+}
+
+// ResolvePathRaw navigates a qualified name in the raw (administrative)
+// view, where patterns are visible — the way to address a pattern's
+// sub-objects for updates, since pattern information is updatable only in
+// the pattern itself.
+func (db *Database) ResolvePathRaw(path string) (ID, error) {
+	p, err := ParsePath(path)
+	if err != nil {
+		return NoID, err
+	}
+	id, ok := item.Resolve(db.RawView(), p)
+	if !ok {
+		return NoID, fmt.Errorf("seed: no object at path %q", path)
+	}
+	return id, nil
+}
+
+// PathOf reconstructs an object's qualified name in the user view.
+func (db *Database) PathOf(id ID) (Path, bool) {
+	return item.PathOf(db.View(), id)
+}
+
+// Completeness evaluates every completeness rule over the user view: the
+// formal detection of incomplete information.
+func (db *Database) Completeness() []Finding {
+	return consistency.CheckCompleteness(db.View())
+}
+
+// CompletenessOf evaluates the completeness rules for one item.
+func (db *Database) CompletenessOf(id ID) []Finding {
+	return consistency.CheckItemCompleteness(db.View(), id)
+}

@@ -1,0 +1,364 @@
+package seed
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/schema"
+	"repro/internal/sdl"
+	"repro/internal/storage"
+	"repro/internal/version"
+)
+
+// Database errors.
+var (
+	ErrNoSchema        = errors.New("seed: opening a fresh database requires a schema")
+	ErrClosed          = errors.New("seed: database is closed")
+	ErrUnsavedChanges  = errors.New("seed: current state has unsaved changes; save a version first")
+	ErrInheritedData   = pattern.ErrInheritedData
+	ErrBadSchemaChange = errors.New("seed: schema evolution invalidates existing data")
+)
+
+// SnapshotMode selects how versions store item states.
+type SnapshotMode uint8
+
+const (
+	// DeltaSnapshots stores only the items changed since the previous
+	// version (the paper's design).
+	DeltaSnapshots SnapshotMode = iota
+	// FullSnapshots stores every item in every version — the ablation
+	// baseline A1 in DESIGN.md.
+	FullSnapshots
+)
+
+// Options configure a database.
+type Options struct {
+	// Schema is required when the directory is fresh (or for NewMemory).
+	Schema *Schema
+	// Mode selects delta (default) or full version snapshots.
+	Mode SnapshotMode
+	// SyncEveryOp fsyncs the write-ahead log after every operation rather
+	// than only on Sync, SaveVersion, Compact and Close.
+	SyncEveryOp bool
+	// CompactAfter triggers automatic snapshot compaction when the
+	// write-ahead log exceeds this many bytes (0 disables).
+	CompactAfter int64
+	// Clock supplies timestamps (defaults to time.Now; tests and
+	// benchmarks inject fixed clocks for determinism).
+	Clock func() time.Time
+}
+
+// Database is a SEED database: the current state, the version tree, and —
+// when file-backed — a write-ahead log plus snapshot in one directory.
+// Methods are safe for use from multiple goroutines; SEED remains logically
+// single-user (the client/server layer serializes whole check-ins).
+type Database struct {
+	mu sync.Mutex
+
+	schemas []*schema.Schema // index = version-1
+	engine  *core.Engine
+	vers    *version.Manager
+	store   *storage.Store
+	opts    Options
+	clock   func() time.Time
+
+	splice    *pattern.Spliced // cached user view
+	spliceGen uint64           // mutation generation the cache was built at
+	gen       uint64
+
+	transitions map[string]TransitionRule // history-sensitive consistency rules
+
+	closed bool
+}
+
+// NewMemory creates an ephemeral database over a frozen schema.
+func NewMemory(sch *Schema) (*Database, error) {
+	return newDatabase(nil, Options{Schema: sch})
+}
+
+// Open opens (or creates) a file-backed database in dir. A fresh directory
+// requires Options.Schema; an existing database loads its schema versions
+// from storage and ignores Options.Schema.
+func Open(dir string, opts Options) (*Database, error) {
+	db := &Database{opts: opts, clock: opts.Clock}
+	if db.clock == nil {
+		db.clock = time.Now
+	}
+	db.vers = version.NewManager()
+	rec := &recovery{db: db}
+	st, err := storage.Open(dir, rec)
+	if err != nil {
+		return nil, err
+	}
+	db.store = st
+	if db.engine == nil {
+		// Fresh database: no snapshot, no schema record replayed.
+		if opts.Schema == nil {
+			st.Close()
+			return nil, ErrNoSchema
+		}
+		if err := db.initFresh(opts.Schema); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
+	db.engine.EndReplay()
+	db.engine.SetJournal(db.appendRecord)
+	return db, nil
+}
+
+func newDatabase(store *storage.Store, opts Options) (*Database, error) {
+	if opts.Schema == nil {
+		return nil, ErrNoSchema
+	}
+	db := &Database{opts: opts, store: store, clock: opts.Clock}
+	if db.clock == nil {
+		db.clock = time.Now
+	}
+	db.vers = version.NewManager()
+	if err := db.initFresh(opts.Schema); err != nil {
+		return nil, err
+	}
+	db.engine.EndReplay()
+	if store != nil {
+		db.engine.SetJournal(db.appendRecord)
+	}
+	return db, nil
+}
+
+// initFresh installs the initial schema and engine, journaling the schema
+// when file-backed.
+func (db *Database) initFresh(sch *Schema) error {
+	if !sch.Frozen() {
+		return schema.ErrNotFrozen
+	}
+	if sch.Version() != 1 {
+		return fmt.Errorf("seed: initial schema must have version 1, got %d", sch.Version())
+	}
+	en, err := core.NewEngine(sch)
+	if err != nil {
+		return err
+	}
+	db.schemas = []*schema.Schema{sch}
+	db.engine = en
+	if db.store != nil {
+		if err := db.store.Append(encSchemaRecord(sdl.Render(sch))); err != nil {
+			return err
+		}
+		if err := db.store.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes the database.
+func (db *Database) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	if db.store != nil {
+		return db.store.Close()
+	}
+	return nil
+}
+
+// Sync makes all journaled operations durable.
+func (db *Database) Sync() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.store == nil {
+		return nil
+	}
+	return db.store.Sync()
+}
+
+// Schema returns the current schema version.
+func (db *Database) Schema() *Schema {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.engine.Schema()
+}
+
+// SchemaVersion returns the current schema version number.
+func (db *Database) SchemaVersion() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.engine.Schema().Version()
+}
+
+// SchemaAt returns a historical schema version (1-based).
+func (db *Database) SchemaAt(ver int) (*Schema, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.schemaAt(ver)
+}
+
+func (db *Database) schemaAt(ver int) (*schema.Schema, error) {
+	if ver < 1 || ver > len(db.schemas) {
+		return nil, fmt.Errorf("seed: unknown schema version %d (have 1..%d)", ver, len(db.schemas))
+	}
+	return db.schemas[ver-1], nil
+}
+
+// SetSnapshotMode switches between delta snapshots (the paper's design)
+// and full-copy snapshots (the A1 ablation baseline) for subsequent
+// SaveVersion calls.
+func (db *Database) SetSnapshotMode(m SnapshotMode) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.opts.Mode = m
+}
+
+// RegisterProcedure registers an attached procedure implementation under
+// the name schema elements reference.
+func (db *Database) RegisterProcedure(name string, p Procedure) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.engine.RegisterProcedure(name, p)
+}
+
+// EvolveSchema derives the next schema version: edit receives a mutable
+// clone of the current schema; after a successful edit the schema is
+// frozen, every existing item is re-bound and re-validated under it, and
+// the new version becomes current. Versions saved earlier keep their old
+// schema version for interpretation.
+func (db *Database) EvolveSchema(edit func(*Schema) error) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	next, err := db.engine.Schema().Evolve()
+	if err != nil {
+		return err
+	}
+	if err := edit(next); err != nil {
+		return err
+	}
+	if err := next.Freeze(); err != nil {
+		return err
+	}
+	old := db.engine.Schema()
+	if err := db.engine.SetSchema(next); err != nil {
+		return err
+	}
+	restore := func() {
+		_ = db.engine.SetSchema(old)
+		_ = db.engine.RebindSchema()
+	}
+	if err := db.engine.RebindSchema(); err != nil {
+		restore()
+		return fmt.Errorf("%w: %v", ErrBadSchemaChange, err)
+	}
+	if err := db.validateAllLocked(); err != nil {
+		restore()
+		return fmt.Errorf("%w: %v", ErrBadSchemaChange, err)
+	}
+	db.schemas = append(db.schemas, next)
+	db.gen++
+	if db.store != nil {
+		if err := db.store.Append(encSchemaRecord(sdl.Render(next))); err != nil {
+			return err
+		}
+		return db.store.Sync()
+	}
+	return nil
+}
+
+// ValidateAll re-checks every consistency rule for every live item — the
+// deferred whole-database validation the ablation study A2 compares against
+// SEED's eager per-update checking.
+func (db *Database) ValidateAll() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.validateAllLocked()
+}
+
+func (db *Database) validateAllLocked() error {
+	v := db.engine.View()
+	for _, id := range v.Objects() {
+		if err := consistency.CheckObject(v, id); err != nil {
+			return err
+		}
+	}
+	for _, id := range v.Relationships() {
+		if err := consistency.CheckRelationship(v, id); err != nil {
+			return err
+		}
+	}
+	sp := pattern.NewSpliced(v)
+	for _, rid := range v.Relationships() {
+		r, ok := v.Relationship(rid)
+		if !ok || !r.Inherits {
+			continue
+		}
+		if err := sp.ValidateInheritor(r.End("inheritor")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats summarizes the database state.
+type Stats struct {
+	Core     core.Stats
+	Versions int
+	SchemaV  int
+	LogBytes int64
+}
+
+// Stats reports current state statistics.
+func (db *Database) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s := Stats{
+		Core:    db.engine.Stats(),
+		SchemaV: db.engine.Schema().Version(),
+	}
+	s.Versions = db.vers.Count()
+	if db.store != nil {
+		s.LogBytes = db.store.LogSize()
+	}
+	return s
+}
+
+// appendRecord is the engine's journal sink.
+func (db *Database) appendRecord(payload []byte) error {
+	if db.store == nil {
+		return nil
+	}
+	if err := db.store.Append(payload); err != nil {
+		return err
+	}
+	if db.opts.SyncEveryOp {
+		return db.store.Sync()
+	}
+	return nil
+}
+
+// maybeCompact runs auto-compaction when the log grows past the threshold.
+func (db *Database) maybeCompact() error {
+	if db.store == nil || db.opts.CompactAfter <= 0 || db.store.LogSize() < db.opts.CompactAfter {
+		return nil
+	}
+	return db.compactLocked()
+}
+
+// Compact writes a full snapshot and truncates the write-ahead log.
+func (db *Database) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.store == nil {
+		return nil
+	}
+	return db.compactLocked()
+}

@@ -1,0 +1,334 @@
+package seed
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func fixedClock() func() time.Time {
+	t0 := time.Date(1986, 2, 5, 12, 0, 0, 0, time.UTC)
+	n := 0
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * time.Minute)
+	}
+}
+
+func openDB(t *testing.T, dir string, opts Options) *Database {
+	t.Helper()
+	db, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestOpenFreshRequiresSchema(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "db"), Options{}); err != ErrNoSchema {
+		t.Fatalf("Open without schema: %v", err)
+	}
+}
+
+func TestReopenReplaysLog(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db := openDB(t, dir, Options{Schema: Figure3Schema(), Clock: fixedClock()})
+
+	alarms := create(t, db, "Data", "Alarms")
+	sensor := create(t, db, "Action", "Sensor")
+	acc, err := db.CreateRelationship("Access", map[string]ID{"from": alarms, "by": sensor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := db.CreateSubObject(alarms, "Text")
+	sel, _ := db.CreateValueObject(text, "Selector", NewString("Representation"))
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := openDB(t, dir, Options{Clock: fixedClock()})
+	defer db2.Close()
+	v := db2.View()
+	if _, ok := v.ObjectByName("Alarms"); !ok {
+		t.Fatal("Alarms lost on reopen")
+	}
+	if o, ok := v.Object(sel); !ok || o.Value.Str() != "Representation" {
+		t.Errorf("Selector after reopen = %v %v", o.Value, ok)
+	}
+	if r, ok := v.Relationship(acc); !ok || r.Assoc.Name() != "Access" {
+		t.Errorf("Access after reopen: %v", ok)
+	}
+	// Mutations continue: IDs never collide.
+	id, err := db2.CreateObject("Action", "New")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id <= sel {
+		t.Errorf("ID %d not above high-water mark %d", id, sel)
+	}
+}
+
+func TestReopenReplaysVersionsAndReclassify(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db := openDB(t, dir, Options{Schema: Figure3Schema(), Clock: fixedClock()})
+	alarms := create(t, db, "Thing", "Alarms")
+	v1, err := db.SaveVersion("vague")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Reclassify(alarms, "Data"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.SaveVersion("precise"); err != nil {
+		t.Fatal(err)
+	}
+	// Branch an alternative.
+	if err := db.SelectVersion(v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Reclassify(alarms, "Action"); err != nil {
+		t.Fatal(err)
+	}
+	alt, err := db.SaveVersion("alternative interpretation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2 := openDB(t, dir, Options{Clock: fixedClock()})
+	defer db2.Close()
+	infos := db2.Versions()
+	if len(infos) != 3 {
+		t.Fatalf("versions after reopen = %d", len(infos))
+	}
+	base, ok := db2.BaseVersion()
+	if !ok || !base.Num.Equal(alt) {
+		t.Errorf("base after reopen = %v", base.Num)
+	}
+	// Current state is the alternative (Alarms is an Action).
+	if o, ok := db2.View().ObjectByName("Alarms"); ok {
+		obj, _ := db2.View().Object(o)
+		if obj.Class.QualifiedName() != "Action" {
+			t.Errorf("class after reopen = %s", obj.Class.QualifiedName())
+		}
+	} else {
+		t.Fatal("Alarms lost")
+	}
+	// The trunk version still shows Data.
+	view2, err := db2.VersionView(MustVersion("2.0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := view2.ObjectByName("Alarms")
+	o, _ := view2.Object(id)
+	if o.Class.QualifiedName() != "Data" {
+		t.Errorf("trunk class = %s", o.Class.QualifiedName())
+	}
+}
+
+func TestReopenReplaysPatternsAndDeletes(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db := openDB(t, dir, Options{Schema: Figure3Schema(), Clock: fixedClock()})
+	pat, _ := db.CreatePatternObject("Action", "PO1")
+	common := create(t, db, "Data", "Common")
+	if _, err := db.CreateRelationship("Access", map[string]ID{"from": common, "by": pat}); err != nil {
+		t.Fatal(err)
+	}
+	variant := create(t, db, "Action", "VariantA")
+	if _, err := db.Inherit(pat, variant); err != nil {
+		t.Fatal(err)
+	}
+	doomed := create(t, db, "Data", "Doomed")
+	if err := db.Delete(doomed); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2 := openDB(t, dir, Options{Clock: fixedClock()})
+	defer db2.Close()
+	if got := db2.InheritorsOf(pat); len(got) != 1 || got[0] != variant {
+		t.Errorf("inheritors after reopen = %v", got)
+	}
+	if got := len(db2.View().RelationshipsOf(variant)); got != 1 {
+		t.Errorf("spliced rels after reopen = %d", got)
+	}
+	if _, ok := db2.View().ObjectByName("Doomed"); ok {
+		t.Error("deleted object resurrected")
+	}
+	if _, ok := db2.View().ObjectByName("PO1"); ok {
+		t.Error("pattern visible after reopen")
+	}
+}
+
+func TestCompactionRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db := openDB(t, dir, Options{Schema: Figure3Schema(), Clock: fixedClock()})
+	alarms := create(t, db, "Data", "Alarms")
+	_, _ = db.CreateValueObject(alarms, "Description", NewString("doc"))
+	v1, _ := db.SaveVersion("one")
+	sensor := create(t, db, "Action", "Sensor")
+	_, _ = db.CreateRelationship("Access", map[string]ID{"from": alarms, "by": sensor})
+	// Unsaved changes at compaction time must survive too.
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-compaction writes land in the fresh WAL.
+	create(t, db, "Action", "PostCompact")
+	db.Close()
+
+	db2 := openDB(t, dir, Options{Clock: fixedClock()})
+	defer db2.Close()
+	for _, name := range []string{"Alarms", "Sensor", "PostCompact"} {
+		if _, ok := db2.View().ObjectByName(name); !ok {
+			t.Errorf("%s lost after compaction", name)
+		}
+	}
+	if len(db2.Versions()) != 1 {
+		t.Fatalf("versions after compaction = %d", len(db2.Versions()))
+	}
+	// Version view still works from the snapshot-encoded tree.
+	view, err := db2.VersionView(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := view.ObjectByName("Alarms"); !ok {
+		t.Error("version view lost Alarms")
+	}
+	if _, ok := view.ObjectByName("Sensor"); ok {
+		t.Error("version view shows post-version object")
+	}
+	// The dirty set survived: saving now only freezes post-v1 changes.
+	v2, err := db2.SaveVersion("two")
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos := db2.Versions()
+	if !infos[len(infos)-1].Num.Equal(v2) {
+		t.Fatalf("latest version = %v", infos[len(infos)-1].Num)
+	}
+	if infos[len(infos)-1].DeltaSize != 3 { // Sensor, Access, PostCompact
+		t.Errorf("delta after compaction = %d, want 3", infos[len(infos)-1].DeltaSize)
+	}
+}
+
+func TestSchemaEvolutionPersists(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db := openDB(t, dir, Options{Schema: Figure3Schema(), Clock: fixedClock()})
+	create(t, db, "Data", "Alarms")
+	_, _ = db.SaveVersion("v1 schema1")
+	err := db.EvolveSchema(func(s *Schema) error {
+		_, err := s.AddClass("Module")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	create(t, db, "Module", "Kernel")
+	db.Close()
+
+	db2 := openDB(t, dir, Options{Clock: fixedClock()})
+	if db2.SchemaVersion() != 2 {
+		t.Fatalf("schema version after reopen = %d", db2.SchemaVersion())
+	}
+	if _, ok := db2.View().ObjectByName("Kernel"); !ok {
+		t.Error("Module object lost")
+	}
+	// Compact (snapshot now carries two schemas), reopen again.
+	if err := db2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	db2.Close()
+	db3 := openDB(t, dir, Options{Clock: fixedClock()})
+	defer db3.Close()
+	if db3.SchemaVersion() != 2 {
+		t.Fatalf("schema version after compaction = %d", db3.SchemaVersion())
+	}
+	info := db3.Versions()[0]
+	if info.SchemaVersion != 1 {
+		t.Errorf("old version's schema = %d", info.SchemaVersion)
+	}
+	if _, err := db3.SchemaAt(1); err != nil {
+		t.Errorf("historical schema lost: %v", err)
+	}
+}
+
+func TestTornLogRecovery(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db := openDB(t, dir, Options{Schema: Figure2Schema(), Clock: fixedClock()})
+	create(t, db, "Data", "Good")
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	// Simulate a crash mid-append: garbage at the WAL tail.
+	wal := filepath.Join(dir, "wal.seed")
+	f, err := os.OpenFile(wal, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{42, 0, 0, 0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	db2 := openDB(t, dir, Options{Clock: fixedClock()})
+	defer db2.Close()
+	if _, ok := db2.View().ObjectByName("Good"); !ok {
+		t.Error("intact record lost after torn tail")
+	}
+	// Appending after recovery works.
+	create(t, db2, "Data", "AfterCrash")
+}
+
+func TestAutoCompaction(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db := openDB(t, dir, Options{Schema: Figure2Schema(), Clock: fixedClock(), CompactAfter: 2048})
+	for i := 0; i < 200; i++ {
+		if _, err := db.CreateObject("Data", "Obj"+itoa(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sz := db.Stats().LogBytes; sz > 4096 {
+		t.Errorf("auto-compaction did not keep the log bounded: %d bytes", sz)
+	}
+	db.Close()
+	db2 := openDB(t, dir, Options{Clock: fixedClock()})
+	defer db2.Close()
+	if got := db2.Stats().Core.Objects; got != 200 {
+		t.Errorf("objects after auto-compaction reopen = %d", got)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "a0"
+	}
+	s := ""
+	for n > 0 {
+		s = string(rune('0'+n%10)) + s
+		n /= 10
+	}
+	return "a" + s
+}
+
+func TestFullSnapshotsMode(t *testing.T) {
+	db, err := NewMemory(Figure2Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.opts.Mode = FullSnapshots
+	create(t, db, "Data", "A")
+	_, _ = db.SaveVersion("one")
+	create(t, db, "Data", "B")
+	v2, _ := db.SaveVersion("two")
+	infos := db.Versions()
+	// Full mode: the second version stores both items again.
+	if infos[1].DeltaSize != 2 {
+		t.Errorf("full snapshot delta = %d, want 2", infos[1].DeltaSize)
+	}
+	view, _ := db.VersionView(v2)
+	if _, ok := view.ObjectByName("A"); !ok {
+		t.Error("full snapshot lost A")
+	}
+}

@@ -1,0 +1,46 @@
+package seed
+
+import (
+	"repro/internal/item"
+	"repro/internal/query"
+)
+
+// Query re-exports: applications build queries through this package.
+
+type (
+	// Query selects objects from a view by class, name, and values.
+	Query = query.Query
+	// CompareOp is a value comparison operator.
+	CompareOp = query.CompareOp
+	// Pair is one join result.
+	Pair = query.Pair
+)
+
+// Comparison operators.
+const (
+	Eq       = query.Eq
+	Ne       = query.Ne
+	Lt       = query.Lt
+	Le       = query.Le
+	Gt       = query.Gt
+	Ge       = query.Ge
+	Contains = query.Contains
+)
+
+// NewQuery returns an unrestricted query.
+var NewQuery = query.New
+
+// Follow navigates from objects along an association role pair.
+func Follow(v View, from []ID, assoc, fromRole, toRole string) ([]ID, error) {
+	return query.Follow(v, []item.ID(from), assoc, fromRole, toRole)
+}
+
+// Join pairs objects connected by existing relationships of an association.
+func Join(v View, left, right []ID, assoc, leftRole, rightRole string) ([]Pair, error) {
+	return query.Join(v, left, right, assoc, leftRole, rightRole)
+}
+
+// Cartesian returns every pair from the two object sets.
+func Cartesian(left, right []ID) []Pair {
+	return query.Cartesian(left, right)
+}

@@ -1,0 +1,162 @@
+package seed
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ident"
+	"repro/internal/sdl"
+	"repro/internal/storage"
+)
+
+// Database-level journal records. Tags below 16 belong to the engine
+// (core); tags here cover schema and version operations so that a replayed
+// log reproduces the complete database including its version tree.
+const (
+	recSchema        byte = 16 // SDL text of a schema version
+	recSaveVersion   byte = 17 // note, timestamp, expected number
+	recSelectVersion byte = 18 // version number
+	recDeleteVersion byte = 19 // version number
+	recVacuum        byte = 20 // purge unreferenced tombstones (no payload)
+)
+
+// newRecordEncoder starts an encoder with the record tag written.
+func newRecordEncoder(tag byte) *storage.Encoder {
+	e := storage.NewEncoder(nil)
+	e.Byte(tag)
+	return e
+}
+
+func encSchemaRecord(text string) []byte {
+	e := storage.NewEncoder(nil)
+	e.Byte(recSchema)
+	e.String(text)
+	return e.Bytes()
+}
+
+func encSaveVersion(note string, at time.Time, num VersionNumber) []byte {
+	e := storage.NewEncoder(nil)
+	e.Byte(recSaveVersion)
+	e.String(note)
+	e.Time(at)
+	e.Ints(num)
+	return e.Bytes()
+}
+
+func encSelectVersion(num VersionNumber) []byte {
+	e := storage.NewEncoder(nil)
+	e.Byte(recSelectVersion)
+	e.Ints(num)
+	return e.Bytes()
+}
+
+func encDeleteVersion(num VersionNumber) []byte {
+	e := storage.NewEncoder(nil)
+	e.Byte(recDeleteVersion)
+	e.Ints(num)
+	return e.Bytes()
+}
+
+// recovery adapts the database to storage.RecoveryHandler.
+type recovery struct {
+	db *Database
+}
+
+// LoadSnapshot restores the full state written by Compact.
+func (r *recovery) LoadSnapshot(payload []byte) error {
+	return r.db.loadSnapshot(payload)
+}
+
+// ApplyRecord dispatches one write-ahead log record.
+func (r *recovery) ApplyRecord(payload []byte) error {
+	if len(payload) == 0 {
+		return core.ErrBadRecord
+	}
+	db := r.db
+	tag := payload[0]
+	if tag <= core.RecDataMax {
+		if db.engine == nil {
+			return fmt.Errorf("%w: data record before schema record", core.ErrBadRecord)
+		}
+		return db.engine.ApplyRecord(payload)
+	}
+	d := storage.NewDecoder(payload[1:])
+	switch tag {
+	case recSchema:
+		text, err := d.String()
+		if err != nil {
+			return err
+		}
+		sch, err := sdl.Parse(text)
+		if err != nil {
+			return fmt.Errorf("seed: replaying schema record: %w", err)
+		}
+		if db.engine == nil {
+			en, err := core.NewEngine(sch)
+			if err != nil {
+				return err
+			}
+			en.BeginReplay()
+			db.engine = en
+			db.schemas = []*Schema{sch}
+			return nil
+		}
+		// Schema evolution: versions were validated when first applied.
+		if sch.Version() != len(db.schemas)+1 {
+			return fmt.Errorf("seed: schema record version %d, expected %d",
+				sch.Version(), len(db.schemas)+1)
+		}
+		if err := db.engine.SetSchema(sch); err != nil {
+			return err
+		}
+		if err := db.engine.RebindSchema(); err != nil {
+			return err
+		}
+		db.schemas = append(db.schemas, sch)
+		return nil
+
+	case recSaveVersion:
+		note, err := d.String()
+		if err != nil {
+			return err
+		}
+		at, err := d.Time()
+		if err != nil {
+			return err
+		}
+		want, err := d.Ints()
+		if err != nil {
+			return err
+		}
+		num, err := db.saveVersionLocked(note, at)
+		if err != nil {
+			return err
+		}
+		if !num.Equal(VersionNumber(want)) {
+			return fmt.Errorf("seed: replayed version %s, journal recorded %s",
+				num, ident.VersionNumber(want))
+		}
+		return nil
+
+	case recSelectVersion:
+		num, err := d.Ints()
+		if err != nil {
+			return err
+		}
+		return db.selectVersionLocked(num)
+
+	case recDeleteVersion:
+		num, err := d.Ints()
+		if err != nil {
+			return err
+		}
+		return db.vers.Delete(ident.VersionNumber(num))
+
+	case recVacuum:
+		// The keep-set is deterministic from the replayed version tree.
+		_, err := db.vacuumLocked()
+		return err
+	}
+	return fmt.Errorf("%w: tag %d", core.ErrBadRecord, tag)
+}

@@ -1,0 +1,150 @@
+package seed
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/item"
+	"repro/internal/sdl"
+	"repro/internal/storage"
+	"repro/internal/version"
+)
+
+// Snapshot format (the payload handed to storage.Store.Compact):
+//
+//	format   uvarint (1)
+//	nextID   uvarint
+//	schemas  count + SDL text per schema version
+//	objects  count + item encodings (against the latest schema)
+//	rels     count + item encodings
+//	dirty    count + IDs
+//	versions the version tree (per-node deltas encoded against the schema
+//	         version each node was created under)
+
+const snapshotFormat = 1
+
+func (db *Database) compactLocked() error {
+	payload, err := db.encodeSnapshot()
+	if err != nil {
+		return err
+	}
+	return db.store.Compact(payload)
+}
+
+func (db *Database) encodeSnapshot() ([]byte, error) {
+	e := storage.NewEncoder(nil)
+	e.Uint64(snapshotFormat)
+	e.Uint64(uint64(db.engine.NextID()))
+	e.Int(len(db.schemas))
+	for _, sch := range db.schemas {
+		e.String(sdl.Render(sch))
+	}
+	objs, rels := db.engine.CaptureAll()
+	e.Int(len(objs))
+	for i := range objs {
+		item.EncodeObject(e, &objs[i])
+	}
+	e.Int(len(rels))
+	for i := range rels {
+		item.EncodeRelationship(e, &rels[i])
+	}
+	dirty := db.engine.DirtyIDs()
+	e.Int(len(dirty))
+	for _, id := range dirty {
+		e.Uint64(uint64(id))
+	}
+	db.vers.Encode(e)
+	return e.Bytes(), nil
+}
+
+func (db *Database) loadSnapshot(payload []byte) error {
+	d := storage.NewDecoder(payload)
+	format, err := d.Uint64()
+	if err != nil {
+		return err
+	}
+	if format != snapshotFormat {
+		return fmt.Errorf("seed: unsupported snapshot format %d", format)
+	}
+	nextID, err := d.Uint64()
+	if err != nil {
+		return err
+	}
+	schemaCount, err := d.Int()
+	if err != nil {
+		return err
+	}
+	if schemaCount < 1 {
+		return fmt.Errorf("seed: snapshot without schemas")
+	}
+	db.schemas = db.schemas[:0]
+	for i := 0; i < schemaCount; i++ {
+		text, err := d.String()
+		if err != nil {
+			return err
+		}
+		sch, err := sdl.Parse(text)
+		if err != nil {
+			return fmt.Errorf("seed: snapshot schema %d: %w", i+1, err)
+		}
+		if sch.Version() != i+1 {
+			return fmt.Errorf("seed: snapshot schema order: got version %d at position %d", sch.Version(), i+1)
+		}
+		db.schemas = append(db.schemas, sch)
+	}
+	latest := db.schemas[len(db.schemas)-1]
+	en, err := core.NewEngine(latest)
+	if err != nil {
+		return err
+	}
+	en.BeginReplay()
+
+	objCount, err := d.Int()
+	if err != nil {
+		return err
+	}
+	objs := make([]item.Object, objCount)
+	for i := range objs {
+		objs[i], err = item.DecodeObject(d, latest)
+		if err != nil {
+			return err
+		}
+	}
+	relCount, err := d.Int()
+	if err != nil {
+		return err
+	}
+	rels := make([]item.Relationship, relCount)
+	for i := range rels {
+		rels[i], err = item.DecodeRelationship(d, latest)
+		if err != nil {
+			return err
+		}
+	}
+	en.Restore(objs, rels)
+	en.ForceNextID(item.ID(nextID))
+
+	dirtyCount, err := d.Int()
+	if err != nil {
+		return err
+	}
+	dirty := make([]item.ID, dirtyCount)
+	for i := range dirty {
+		id, err := d.Uint64()
+		if err != nil {
+			return err
+		}
+		dirty[i] = item.ID(id)
+	}
+	en.RestoreDirty(dirty)
+
+	vers, err := version.Decode(d, func(ver int) (*Schema, error) {
+		return db.schemaAt(ver)
+	})
+	if err != nil {
+		return err
+	}
+	db.engine = en
+	db.vers = vers
+	return nil
+}

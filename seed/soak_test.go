@@ -1,0 +1,178 @@
+package seed
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestSoakPersistence drives a file-backed database through a long random
+// session — data ops, versions, alternatives, patterns, vacuum — then
+// reopens it (replay) and compacts and reopens again (snapshot), comparing
+// a complete user-visible fingerprint after each recovery.
+func TestSoakPersistence(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db := openDB(t, dir, Options{Schema: Figure3Schema(), Clock: fixedClock()})
+	rng := rand.New(rand.NewSource(99))
+
+	var names []string
+	classes := []string{"Thing", "Data", "InputData", "OutputData", "Action"}
+	for i := 0; i < 1200; i++ {
+		switch rng.Intn(12) {
+		case 0, 1, 2:
+			name := fmt.Sprintf("N%d", i)
+			if _, err := db.CreateObject(classes[rng.Intn(len(classes))], name); err == nil {
+				names = append(names, name)
+			}
+		case 3:
+			if len(names) > 0 {
+				if id, ok := db.View().ObjectByName(names[rng.Intn(len(names))]); ok {
+					if sid, err := db.CreateSubObject(id, "Description"); err == nil {
+						_ = db.SetValue(sid, NewString(fmt.Sprintf("d%d", i)))
+					}
+				}
+			}
+		case 4, 5:
+			if len(names) >= 2 {
+				v := db.View()
+				a, okA := v.ObjectByName(names[rng.Intn(len(names))])
+				b, okB := v.ObjectByName(names[rng.Intn(len(names))])
+				if okA && okB {
+					_, _ = db.CreateRelationship("Access", map[string]ID{"from": a, "by": b})
+				}
+			}
+		case 6:
+			if len(names) > 0 {
+				if id, ok := db.View().ObjectByName(names[rng.Intn(len(names))]); ok {
+					_ = db.Reclassify(id, classes[rng.Intn(len(classes))])
+				}
+			}
+		case 7:
+			if len(names) > 0 && rng.Intn(3) == 0 {
+				idx := rng.Intn(len(names))
+				if id, ok := db.View().ObjectByName(names[idx]); ok {
+					if db.Delete(id) == nil {
+						names = append(names[:idx], names[idx+1:]...)
+					}
+				}
+			}
+		case 8:
+			if rng.Intn(4) == 0 {
+				_, _ = db.SaveVersion(fmt.Sprintf("auto %d", i))
+			}
+		case 9:
+			if rng.Intn(6) == 0 {
+				infos := db.Versions()
+				if len(infos) > 1 && db.Stats().Core.DirtySinceFreeze == 0 {
+					_ = db.SelectVersion(infos[rng.Intn(len(infos))].Num)
+					// Rebuild the live name list after time travel.
+					names = liveNames(db)
+				}
+			}
+		case 10:
+			if rng.Intn(8) == 0 {
+				_, _ = db.Vacuum()
+			}
+		case 11:
+			if rng.Intn(8) == 0 {
+				pname := fmt.Sprintf("P%d", i)
+				if _, err := db.CreatePatternObject("Action", pname); err == nil {
+					if len(names) > 0 {
+						if inh, ok := db.View().ObjectByName(names[rng.Intn(len(names))]); ok {
+							if pid, err := db.ResolvePathRaw(pname); err == nil {
+								_, _ = db.Inherit(pid, inh)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	want := fingerprintDB(db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery via log replay.
+	db2 := openDB(t, dir, Options{Clock: fixedClock()})
+	if got := fingerprintDB(db2); got != want {
+		t.Fatalf("state after replay differs:\n got %s\nwant %s", head(got), head(want))
+	}
+	// Recovery via snapshot.
+	if err := db2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	db2.Close()
+	db3 := openDB(t, dir, Options{Clock: fixedClock()})
+	defer db3.Close()
+	if got := fingerprintDB(db3); got != want {
+		t.Fatalf("state after compaction differs:\n got %s\nwant %s", head(got), head(want))
+	}
+	// The recovered database keeps working.
+	if _, err := db3.CreateObject("Action", "PostRecovery"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db3.SaveVersion("final"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func liveNames(db *Database) []string {
+	var out []string
+	v := db.View()
+	for _, id := range v.Objects() {
+		if o, ok := v.Object(id); ok && o.Independent() {
+			out = append(out, o.Name)
+		}
+	}
+	return out
+}
+
+// fingerprintDB renders the complete user-visible state: objects with
+// classes and values, relationships with ends, the version tree, and the
+// raw (pattern-including) statistics.
+func fingerprintDB(db *Database) string {
+	var b strings.Builder
+	v := db.View()
+	for _, id := range v.Objects() {
+		o, _ := v.Object(id)
+		fmt.Fprintf(&b, "o%d:%s:%s:%s:%s;", id, o.Name, o.Class.QualifiedName(), o.Role, o.Value)
+	}
+	for _, id := range v.Relationships() {
+		r, _ := v.Relationship(id)
+		name := "inherits"
+		if r.Assoc != nil {
+			name = r.Assoc.Name()
+		}
+		fmt.Fprintf(&b, "r%d:%s", id, name)
+		for _, e := range r.Ends {
+			fmt.Fprintf(&b, ":%s=%d", e.Role, e.Object)
+		}
+		b.WriteByte(';')
+	}
+	var vs []string
+	for _, info := range db.Versions() {
+		vs = append(vs, fmt.Sprintf("%s/%s/%d/%d", info.Num, info.Note, info.DeltaSize, info.SchemaVersion))
+	}
+	sort.Strings(vs)
+	b.WriteString(strings.Join(vs, ";"))
+	st := db.Stats()
+	fmt.Fprintf(&b, "|stats:%d/%d/%d/%d/%d/%d",
+		st.Core.Objects, st.Core.Relationships, st.Core.DeletedObjects,
+		st.Core.DeletedRels, st.Core.Patterns, st.Core.DirtySinceFreeze)
+	if base, ok := db.BaseVersion(); ok {
+		fmt.Fprintf(&b, "|base:%s", base.Num)
+	}
+	return b.String()
+}
+
+func head(s string) string {
+	if len(s) > 400 {
+		return s[:400] + "..."
+	}
+	return s
+}

@@ -1,0 +1,88 @@
+package seed
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/item"
+	"repro/internal/pattern"
+	"repro/internal/version"
+)
+
+// History-sensitive consistency rules — the second open problem the paper
+// names ("we have not yet considered history sensitive consistency rules,
+// i.e. rules that impose constraints for the transition from a given
+// version to its successor"). A TransitionRule inspects the predecessor
+// version's view and the state about to be saved; a non-nil error vetoes
+// the version creation, leaving the current state unsaved and unchanged.
+
+// Transition describes one version transition to a rule.
+type Transition struct {
+	// Prev is the view to the version the current work is based on; for
+	// the first version it is an empty view.
+	Prev View
+	// Next is the user view of the state about to be saved.
+	Next View
+	// Changed lists the items the new version will freeze (ascending).
+	Changed []ID
+	// PrevNum is the predecessor's number (empty for the first version).
+	PrevNum VersionNumber
+	// NextNum is the number the new version will receive.
+	NextNum VersionNumber
+}
+
+// TransitionRule checks one version transition.
+type TransitionRule func(t Transition) error
+
+// RegisterTransitionRule installs a named history-sensitive consistency
+// rule, evaluated by every subsequent SaveVersion. Re-registering a name
+// replaces the rule; a nil rule removes it.
+func (db *Database) RegisterTransitionRule(name string, rule TransitionRule) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.transitions == nil {
+		db.transitions = make(map[string]TransitionRule)
+	}
+	if rule == nil {
+		delete(db.transitions, name)
+		return
+	}
+	db.transitions[name] = rule
+}
+
+// checkTransitions evaluates all registered rules for the upcoming save.
+func (db *Database) checkTransitions() error {
+	if len(db.transitions) == 0 || db.engine.Replaying() {
+		return nil
+	}
+	tr := Transition{
+		Next:    pattern.NewSpliced(db.engine.View()),
+		Changed: db.engine.DirtyIDs(),
+		NextNum: db.vers.NextNumber(),
+	}
+	if base := db.vers.Base(); base != nil {
+		states, err := db.vers.Materialize(base.Num)
+		if err != nil {
+			return err
+		}
+		sch, err := db.schemaAt(base.SchemaVer)
+		if err != nil {
+			return err
+		}
+		tr.Prev = pattern.NewSpliced(version.NewView(sch, states))
+		tr.PrevNum = base.Num
+	} else {
+		tr.Prev = version.NewView(db.engine.Schema(), map[item.ID]version.Frozen{})
+	}
+	names := make([]string, 0, len(db.transitions))
+	for name := range db.transitions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := db.transitions[name](tr); err != nil {
+			return fmt.Errorf("seed: transition rule %q vetoed version %s: %w", name, tr.NextNum, err)
+		}
+	}
+	return nil
+}

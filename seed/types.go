@@ -1,0 +1,147 @@
+// Package seed is the public API of SEED, a database system for software
+// engineering environments based on the entity-relationship approach
+// (Glinz & Ludewig, ICDE 1986).
+//
+// SEED extends the entity-relationship model with the features a
+// specification and design environment needs:
+//
+//   - hierarchically structured objects whose dependent sub-objects are
+//     named by their role within the parent ('Alarms.Text[0].Selector');
+//   - vague information via generalization hierarchies over both classes
+//     and associations, with re-classification to make data more precise;
+//   - incomplete information via a split integrity concept: consistency
+//     rules (membership, maximum cardinalities, ACYCLIC, attached
+//     procedures) are enforced on every update, completeness rules
+//     (minimum cardinalities, covering conditions) are checked on demand;
+//   - versions identified by a decimal classification with delta storage,
+//     alternatives, and schema versions;
+//   - patterns with inheritance, and variants built from patterns.
+//
+// A Database is obtained with Open (file-backed, with write-ahead logging
+// and snapshot compaction) or NewMemory (ephemeral). Schemas are built with
+// the schema builder (re-exported here) or parsed from SDL text.
+package seed
+
+import (
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/ident"
+	"repro/internal/item"
+	"repro/internal/schema"
+	"repro/internal/sdl"
+	"repro/internal/value"
+)
+
+// Core vocabulary, re-exported so that applications only import this
+// package.
+type (
+	// ID identifies a data item (object or relationship).
+	ID = item.ID
+	// Object is the state of one object.
+	Object = item.Object
+	// Relationship is the state of one relationship.
+	Relationship = item.Relationship
+	// End is one filled role of a relationship.
+	End = item.End
+	// View is a read-only observation of one database state.
+	View = item.View
+	// Value is a typed value (STRING, INTEGER, REAL, BOOLEAN, DATE).
+	Value = value.Value
+	// Kind enumerates value sorts.
+	Kind = value.Kind
+	// Schema is a SEED schema.
+	Schema = schema.Schema
+	// Class is an object class.
+	Class = schema.Class
+	// Association is a relationship class.
+	Association = schema.Association
+	// Cardinality is a min..max occurrence constraint.
+	Cardinality = schema.Cardinality
+	// VersionNumber is a decimal-classification version identifier.
+	VersionNumber = ident.VersionNumber
+	// Path is a qualified hierarchical object name.
+	Path = ident.Path
+	// Finding is one detected incompleteness.
+	Finding = consistency.Finding
+	// Rule identifies a completeness rule.
+	Rule = consistency.Rule
+	// Event describes a mutation to an attached procedure.
+	Event = core.Event
+	// Procedure is an attached procedure implementation.
+	Procedure = core.Procedure
+	// Op classifies a mutation for attached procedures.
+	Op = core.Op
+)
+
+// NoID is the zero, invalid item ID.
+const NoID = item.NoID
+
+// Value constructors and kinds.
+var (
+	NewString  = value.NewString
+	NewInteger = value.NewInteger
+	NewReal    = value.NewReal
+	NewBoolean = value.NewBoolean
+	NewDate    = value.NewDate
+	ParseValue = value.Parse
+	Undefined  = value.Undefined
+)
+
+// Value kinds.
+const (
+	KindNone    = value.KindNone
+	KindString  = value.KindString
+	KindInteger = value.KindInteger
+	KindReal    = value.KindReal
+	KindBoolean = value.KindBoolean
+	KindDate    = value.KindDate
+)
+
+// Mutation ops observed by attached procedures.
+const (
+	OpCreate     = core.OpCreate
+	OpUpdate     = core.OpUpdate
+	OpDelete     = core.OpDelete
+	OpReclassify = core.OpReclassify
+)
+
+// Completeness rules.
+const (
+	RuleMinChildren      = consistency.RuleMinChildren
+	RuleMinParticipation = consistency.RuleMinParticipation
+	RuleCovering         = consistency.RuleCovering
+	RuleUndefinedValue   = consistency.RuleUndefinedValue
+)
+
+// Schema construction.
+var (
+	// NewSchema creates an empty, mutable schema.
+	NewSchema = schema.New
+	// ParseSDL parses SDL text into a frozen schema.
+	ParseSDL = sdl.Parse
+	// RenderSDL renders a schema as canonical SDL text.
+	RenderSDL = sdl.Render
+	// Card builds a cardinality; use Unbounded for "*".
+	Card = schema.Card
+	// ParsePath parses a qualified name such as "Alarms.Text[0].Selector".
+	ParsePath = ident.ParsePath
+	// ParseVersion parses a version number such as "2.0".
+	ParseVersion = ident.ParseVersion
+)
+
+// Cardinality shorthands.
+var (
+	Any        = schema.Any
+	AtLeastOne = schema.AtLeastOne
+	AtMostOne  = schema.AtMostOne
+	ExactlyOne = schema.ExactlyOne
+)
+
+// Unbounded is the Max of an unlimited cardinality ("*").
+const Unbounded = schema.Unbounded
+
+// Figure2Schema and Figure3Schema build the paper's example schemas.
+var (
+	Figure2Schema = schema.Figure2
+	Figure3Schema = schema.Figure3
+)

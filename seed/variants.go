@@ -1,0 +1,74 @@
+package seed
+
+import "repro/internal/pattern"
+
+// Variants (paper, section "Patterns and Variants"): a variants family is a
+// set of objects and relationships that have part of their information in
+// common but differ in other parts. The common part connects to pattern
+// objects via pattern relationships; every variant inherits those patterns,
+// which guarantees that all variant parts have the same relationships to
+// the common part — something ordinary relationships could not assure.
+
+// VariantFamily manages a set of variants over shared patterns.
+type VariantFamily struct {
+	db       *Database
+	patterns []ID
+	variants []ID
+}
+
+// NewVariantFamily starts a family over the given pattern objects (create
+// them with CreatePatternObject and connect them to the common part with
+// ordinary CreateRelationship calls, which become pattern relationships
+// automatically).
+func (db *Database) NewVariantFamily(patterns ...ID) *VariantFamily {
+	return &VariantFamily{db: db, patterns: append([]ID(nil), patterns...)}
+}
+
+// AddVariant creates a new variant object of the given class and lets it
+// inherit every family pattern.
+func (f *VariantFamily) AddVariant(className, name string) (ID, error) {
+	id, err := f.db.CreateObject(className, name)
+	if err != nil {
+		return NoID, err
+	}
+	for _, pat := range f.patterns {
+		if _, err := f.db.Inherit(pat, id); err != nil {
+			// Creation is not atomic across patterns; undo what we did.
+			_ = f.db.Delete(id)
+			return NoID, err
+		}
+	}
+	f.variants = append(f.variants, id)
+	return id, nil
+}
+
+// AdoptVariant lets an existing object join the family.
+func (f *VariantFamily) AdoptVariant(id ID) error {
+	for _, pat := range f.patterns {
+		if _, err := f.db.Inherit(pat, id); err != nil {
+			return err
+		}
+	}
+	f.variants = append(f.variants, id)
+	return nil
+}
+
+// Patterns returns the family's shared pattern objects.
+func (f *VariantFamily) Patterns() []ID { return append([]ID(nil), f.patterns...) }
+
+// Variants returns the members added through this family value.
+func (f *VariantFamily) Variants() []ID { return append([]ID(nil), f.variants...) }
+
+// InheritorsOf lists the items inheriting a pattern in the current state.
+func (db *Database) InheritorsOf(patternID ID) []ID {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return pattern.InheritorsOf(db.engine.View(), patternID)
+}
+
+// PatternsOf lists the patterns an item inherits in the current state.
+func (db *Database) PatternsOf(inheritorID ID) []ID {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return pattern.PatternsOf(db.engine.View(), inheritorID)
+}
