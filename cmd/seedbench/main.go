@@ -7,6 +7,9 @@
 //	seedbench            # run everything
 //	seedbench -exp e3    # run one experiment
 //	seedbench -list      # list experiments
+//
+// E1-E5 reproduce the paper's evaluation artifacts; E6 measures the
+// storage engine's group-commit pipeline beyond the paper.
 package main
 
 import (
@@ -27,6 +30,7 @@ var experiments = []struct {
 	{"e3", "figure 4: versions, views, delta storage, alternatives", bench.E3},
 	{"e4", "figure 5: variants defined by means of patterns", bench.E4},
 	{"e5", "SPADES on SEED vs. direct data structures", bench.E5},
+	{"e6", "storage: group commit vs per-record fsync", bench.E6},
 }
 
 func main() {

@@ -1,0 +1,44 @@
+// Command seedschemas regenerates the SDL schema files shipped under
+// schemas/ from the programmatic constructors in internal/schema, keeping
+// them in sync with the code (internal/sdl.TestShippedSchemaFiles enforces
+// this).
+//
+// Usage:
+//
+//	go run ./cmd/seedschemas [-dir schemas]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/schema"
+	"repro/internal/sdl"
+)
+
+func main() {
+	dir := flag.String("dir", "schemas", "output directory for the SDL files")
+	flag.Parse()
+
+	files := []struct {
+		name  string
+		build func() *schema.Schema
+	}{
+		{"figure2.sdl", schema.Figure2},
+		{"figure3.sdl", schema.Figure3},
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		log.Fatalf("seedschemas: %v", err)
+	}
+	for _, f := range files {
+		path := filepath.Join(*dir, f.name)
+		text := sdl.Render(f.build())
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			log.Fatalf("seedschemas: %v", err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(text))
+	}
+}

@@ -4,9 +4,14 @@
 // Usage:
 //
 //	seedserver -dir /var/lib/seed -addr 127.0.0.1:7544 [-schema schema.sdl]
+//	           [-segment-size 4194304] [-sync request|group]
 //
 // A fresh directory requires -schema (an SDL file); an existing database
-// loads its schema from storage.
+// loads its schema from storage. -segment-size caps one write-ahead-log
+// segment file; -sync group makes every operation durable before it is
+// acknowledged (the database serializes operations, so this costs one
+// fsync per operation; fsync coalescing across concurrent committers
+// happens at the storage layer).
 package main
 
 import (
@@ -24,9 +29,19 @@ func main() {
 	dir := flag.String("dir", "seed-data", "database directory")
 	addr := flag.String("addr", "127.0.0.1:7544", "listen address")
 	schemaFile := flag.String("schema", "", "SDL schema file (required for a fresh database)")
+	segmentSize := flag.Int64("segment-size", 0, "WAL segment size cap in bytes (0 = storage default)")
+	syncMode := flag.String("sync", "request", "durability policy: request (fsync on save points) or group (group-committed fsync per operation)")
 	flag.Parse()
 
-	opts := seed.Options{CompactAfter: 4 << 20}
+	opts := seed.Options{CompactAfter: 4 << 20, SegmentSize: *segmentSize}
+	switch *syncMode {
+	case "request":
+		opts.SyncPolicy = seed.SyncOnRequest
+	case "group":
+		opts.SyncPolicy = seed.SyncGroupCommit
+	default:
+		log.Fatalf("unknown -sync policy %q (want request or group)", *syncMode)
+	}
 	if *schemaFile != "" {
 		text, err := os.ReadFile(*schemaFile)
 		if err != nil {

@@ -1,5 +1,7 @@
 package sdl
 
+//go:generate go run repro/cmd/seedschemas -dir ../../schemas
+
 import (
 	"fmt"
 	"strings"

@@ -1,0 +1,70 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+)
+
+// benchPayload is a typical journal record size.
+var benchPayload = make([]byte, 128)
+
+// BenchmarkPerRecordSync is the baseline the group-commit pipeline is
+// measured against: one committer, one fsync per record.
+func BenchmarkPerRecordSync(b *testing.B) {
+	w, err := OpenWAL(b.TempDir(), Options{}, 1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	b.SetBytes(int64(len(benchPayload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Append(benchPayload); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Sync(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGroupCommit8 drives 8 concurrent committers through the commit
+// pipeline; batches share fsyncs, so throughput should exceed the
+// per-record-sync baseline by well over 2x.
+func BenchmarkGroupCommit8(b *testing.B) {
+	benchmarkGroupCommit(b, 8)
+}
+
+// BenchmarkGroupCommit1 shows the single-committer pipeline cost (one
+// record per batch — the degenerate case).
+func BenchmarkGroupCommit1(b *testing.B) {
+	benchmarkGroupCommit(b, 1)
+}
+
+func benchmarkGroupCommit(b *testing.B, committers int) {
+	w, err := OpenWAL(b.TempDir(), Options{}, 1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	b.SetBytes(int64(len(benchPayload)))
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for c := 0; c < committers; c++ {
+		share := b.N / committers
+		if c < b.N%committers {
+			share++
+		}
+		wg.Add(1)
+		go func(share int) {
+			defer wg.Done()
+			for i := 0; i < share; i++ {
+				if err := w.Commit(benchPayload); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(share)
+	}
+	wg.Wait()
+}

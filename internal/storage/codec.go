@@ -1,12 +1,14 @@
 // Package storage implements the persistence substrate of SEED: a compact
-// binary codec, an append-only record log with per-record CRC-32 checksums
-// and torn-write recovery, and a directory-level store that combines a
-// snapshot with a write-ahead log and supports compaction.
+// binary codec, a segmented append-only write-ahead log with per-record
+// CRC-32 checksums, torn-write recovery and group-committed fsyncs, and a
+// directory-level store that combines a snapshot with the log and supports
+// incremental compaction (sealed segments are deleted; the live tail is
+// never rewritten).
 //
 // The storage layer deals in opaque record payloads; the engine above it
 // decides what a record means. This keeps recovery logic (checksums,
-// truncated tails, atomic snapshot replacement) independent of the data
-// model.
+// truncated tails, seal markers, atomic snapshot replacement) independent
+// of the data model.
 package storage
 
 import (

@@ -2,25 +2,13 @@ package storage
 
 import (
 	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"sync"
 )
-
-// Log file format:
-//
-//	magic   8 bytes  "SEEDLOG1"
-//	record  repeated:
-//	    length  uint32 little-endian (payload bytes)
-//	    crc     uint32 little-endian, CRC-32 (IEEE) of payload
-//	    payload length bytes
-//
-// A crash may leave a torn record at the tail; Replay detects it (short
-// read or checksum mismatch) and reports the byte offset of the last good
-// record so the writer can truncate before appending.
 
 // Log errors.
 var (
@@ -29,152 +17,487 @@ var (
 	ErrLogClosed = errors.New("storage: log closed")
 )
 
-var logMagic = [8]byte{'S', 'E', 'E', 'D', 'L', 'O', 'G', '1'}
+// WAL is a segmented, append-only write-ahead log: records append to
+// numbered segment files (wal-000001.seed, ...) in one directory. The tail
+// segment is sealed and a successor started once it crosses
+// Options.SegmentSize; sealed segments are immutable, which lets compaction
+// delete them without touching the live tail.
+//
+// Append buffers a record (durability on Sync, as before); Commit makes a
+// record durable before returning, coalescing concurrent committers into
+// one fsync per batch via the commit-pipeline goroutine.
+type WAL struct {
+	dir  string
+	opts Options
 
-const recordHeaderSize = 8 // length + crc
-
-// MaxRecord bounds a single log record (64 MiB).
-const MaxRecord = 64 << 20
-
-// Log is an append-only record log backed by a single file.
-type Log struct {
-	f      *os.File
-	w      *bufio.Writer
-	size   int64 // current file size including buffered bytes
+	mu     sync.Mutex // guards tail, sealed, closed file state
+	tail   *segment
+	sealed []sealedSeg
 	closed bool
+
+	batchMu  sync.Mutex // guards curBatch, accepting
+	curBatch *batch
+	stopping bool
+
+	kick chan struct{}
+	quit chan struct{}
+	wg   sync.WaitGroup
 }
 
-// CreateLog creates (or truncates) a log file and writes the header.
-func CreateLog(path string) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+// sealedSeg is a sealed, immutable segment awaiting compaction.
+type sealedSeg struct {
+	index uint64
+	size  int64
+}
+
+// batch is one group-commit unit: every payload in it becomes durable with
+// a single fsync, and all committers block on the shared done channel.
+type batch struct {
+	payloads [][]byte
+	err      error
+	done     chan struct{}
+}
+
+// OpenWAL opens (creating if necessary) the segmented log in dir, replaying
+// every intact record through fn in order. Segments below firstSeg are
+// leftovers of an interrupted compaction and are deleted unread. A torn
+// tail is truncated — but only on the last segment; a non-last segment that
+// does not end in a seal marker, or a sealed last segment (its successor is
+// missing), surfaces ErrCorrupt. One exception heals instead of erroring:
+// an unsealed second-to-last segment whose successor is empty is the
+// fingerprint of a crash mid-rotation, and recovery resumes it as the tail.
+func OpenWAL(dir string, opts Options, firstSeg uint64, fn func(payload []byte) error) (*WAL, error) {
+	opts = opts.withDefaults()
+	if firstSeg < 1 {
+		firstSeg = 1
+	}
+	if err := migrateLegacyWAL(dir); err != nil {
+		return nil, err
+	}
+	segs, err := listSegments(dir)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := f.Write(logMagic[:]); err != nil {
-		f.Close()
-		return nil, err
+	live := segs[:0]
+	for _, n := range segs {
+		if n < firstSeg {
+			// Pre-compaction leftover: its records live in the snapshot.
+			if err := os.Remove(filepath.Join(dir, SegmentFile(n))); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		live = append(live, n)
 	}
-	return &Log{f: f, w: bufio.NewWriter(f), size: int64(len(logMagic))}, nil
-}
 
-// OpenLog opens an existing log for appending, replaying every intact
-// record through fn. A torn tail is truncated away. If the file does not
-// exist, a fresh log is created.
-func OpenLog(path string, fn func(payload []byte) error) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, err
+	w := &WAL{
+		dir:  dir,
+		opts: opts,
+		kick: make(chan struct{}, 1),
+		quit: make(chan struct{}),
 	}
-	good, err := replay(f, fn)
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	if err := f.Truncate(good); err != nil {
-		f.Close()
-		return nil, err
-	}
-	if _, err := f.Seek(good, io.SeekStart); err != nil {
-		f.Close()
-		return nil, err
-	}
-	return &Log{f: f, w: bufio.NewWriter(f), size: good}, nil
-}
-
-// replay validates the header, streams records to fn, and returns the file
-// offset just past the last intact record.
-func replay(f *os.File, fn func([]byte) error) (int64, error) {
-	r := bufio.NewReader(f)
-	var magic [8]byte
-	n, err := io.ReadFull(r, magic[:])
-	if err == io.EOF && n == 0 {
-		// Empty file: initialize header.
-		if _, err := f.Write(logMagic[:]); err != nil {
-			return 0, err
+	if len(live) == 0 {
+		if firstSeg > 1 {
+			// A compacted store always keeps its live tail segment.
+			return nil, fmt.Errorf("%w: WAL segment %d missing", ErrCorrupt, firstSeg)
 		}
-		return int64(len(logMagic)), nil
-	}
-	if err != nil || magic != logMagic {
-		return 0, ErrBadMagic
-	}
-	offset := int64(len(logMagic))
-	var header [recordHeaderSize]byte
-	var buf []byte
-	for {
-		if _, err := io.ReadFull(r, header[:]); err != nil {
-			// EOF or torn header: stop at the last good record.
-			return offset, nil
+		seg, err := createSegment(dir, 1)
+		if err != nil {
+			return nil, err
 		}
-		length := binary.LittleEndian.Uint32(header[0:4])
-		crc := binary.LittleEndian.Uint32(header[4:8])
-		if length > MaxRecord {
-			return offset, nil // treat absurd length as a torn tail
+		w.tail = seg
+	} else {
+		if live[0] != firstSeg {
+			return nil, fmt.Errorf("%w: WAL starts at segment %d, snapshot expects %d",
+				ErrCorrupt, live[0], firstSeg)
 		}
-		if cap(buf) < int(length) {
-			buf = make([]byte, length)
+		if len(live) == 1 && tornSegmentHeader(dir, live[0]) {
+			// The sole live segment's header never fully reached disk (a
+			// crash during its creation): no record was ever acked into
+			// it, so recreate it instead of refusing to open.
+			seg, err := createSegment(dir, live[0])
+			if err != nil {
+				return nil, err
+			}
+			w.tail = seg
+			live = live[:0] // nothing to replay
 		}
-		buf = buf[:length]
-		if _, err := io.ReadFull(r, buf); err != nil {
-			return offset, nil
-		}
-		if crc32.ChecksumIEEE(buf) != crc {
-			return offset, nil
-		}
-		if fn != nil {
-			if err := fn(buf); err != nil {
-				return 0, err
+	replay:
+		for i, n := range live {
+			if i > 0 && n != live[i-1]+1 {
+				return nil, fmt.Errorf("%w: WAL segment %d missing", ErrCorrupt, live[i-1]+1)
+			}
+			good, sealed, err := replaySegment(dir, n, fn)
+			if err != nil {
+				return nil, err
+			}
+			last := i == len(live)-1
+			switch {
+			case !last && !sealed:
+				// An unsealed segment with successors normally means acked
+				// records were lost — except for the one shape a crash
+				// during rotation leaves behind: this is the second-to-last
+				// segment and the successor is empty (created durably
+				// before the seal reached disk). Nothing past the torn
+				// point was ever acked, so heal: drop the empty successor
+				// and resume this segment as the tail.
+				if i == len(live)-2 && emptySuccessor(dir, live[i+1]) {
+					if err := os.Remove(filepath.Join(dir, SegmentFile(live[i+1]))); err != nil {
+						return nil, err
+					}
+					if err := syncDir(dir); err != nil {
+						return nil, err
+					}
+					tail, err := openTailSegment(dir, n, good)
+					if err != nil {
+						return nil, err
+					}
+					w.tail = tail
+					break replay
+				}
+				return nil, fmt.Errorf("%w: segment %d truncated (no seal marker)", ErrCorrupt, n)
+			case last && sealed:
+				return nil, fmt.Errorf("%w: final WAL segment %d missing", ErrCorrupt, n+1)
+			case last:
+				tail, err := openTailSegment(dir, n, good)
+				if err != nil {
+					return nil, err
+				}
+				w.tail = tail
+			default:
+				w.sealed = append(w.sealed, sealedSeg{index: n, size: good})
 			}
 		}
-		offset += recordHeaderSize + int64(length)
 	}
+	w.wg.Add(1)
+	go w.pipeline()
+	return w, nil
 }
 
-// Append writes one record. The payload is copied into the OS buffer before
-// return; call Sync for durability.
-func (l *Log) Append(payload []byte) error {
-	if l.closed {
+// tornSegmentHeader reports whether a segment file is shorter than its
+// header — a crash during creation, before the header reached disk.
+func tornSegmentHeader(dir string, n uint64) bool {
+	info, err := os.Stat(filepath.Join(dir, SegmentFile(n)))
+	return err == nil && info.Size() < segHeaderSize
+}
+
+// emptySuccessor reports whether segment n holds no records — either a
+// pristine header (crash after the header fsync) or fewer bytes than a
+// header (crash before it): both are benign leftovers of an interrupted
+// rotation. A successor with a full header and anything unexpected after
+// it is not.
+func emptySuccessor(dir string, n uint64) bool {
+	if tornSegmentHeader(dir, n) {
+		return true
+	}
+	good, sealed, err := replaySegment(dir, n, nil)
+	return err == nil && !sealed && good == segHeaderSize
+}
+
+// Append buffers one record at the tail, rotating to a new segment when the
+// size cap is crossed. Call Sync for durability, or use Commit.
+func (w *WAL) Append(payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appendLocked(payload)
+}
+
+func (w *WAL) appendLocked(payload []byte) error {
+	if w.closed {
 		return ErrLogClosed
 	}
 	if len(payload) > MaxRecord {
 		return fmt.Errorf("%w: record of %d bytes", ErrOversize, len(payload))
 	}
-	var header [recordHeaderSize]byte
-	binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(header[4:8], crc32.ChecksumIEEE(payload))
-	if _, err := l.w.Write(header[:]); err != nil {
+	if err := w.tail.append(payload); err != nil {
+		w.poisonLocked() // buffer state unknown after an I/O failure
 		return err
 	}
-	if _, err := l.w.Write(payload); err != nil {
-		return err
+	if w.tail.size >= w.opts.SegmentSize {
+		if err := w.rotateLocked(); err != nil && !w.closed {
+			// Rotation could not start a successor (transient ENOSPC or
+			// the like) but the tail is intact and the record is safely
+			// buffered: the segment cap is soft, so report the append as
+			// the success it is and retry rotation on the next one.
+			return nil
+		} else if err != nil {
+			return err // poisoned mid-seal
+		}
 	}
-	l.size += recordHeaderSize + int64(len(payload))
 	return nil
 }
 
-// Sync flushes buffered records and fsyncs the file.
-func (l *Log) Sync() error {
-	if l.closed {
-		return ErrLogClosed
-	}
-	if err := l.w.Flush(); err != nil {
+// rotateLocked creates the successor segment, then seals the tail durably.
+// The seal marker promises the successor exists, so recovery can detect a
+// missing final segment. A crash between the two fsyncs leaves the exact
+// shape [unsealed tail, empty successor], which OpenWAL heals (see
+// DESIGN.md). A createSegment failure leaves the tail untouched and the
+// WAL fully usable (callers may retry); a seal failure poisons the log —
+// the marker may be half-buffered, and more appends could put records
+// after a seal.
+func (w *WAL) rotateLocked() error {
+	next, err := createSegment(w.dir, w.tail.index+1)
+	if err != nil {
 		return err
 	}
-	return l.f.Sync()
+	if err := w.tail.seal(); err != nil {
+		// The marker may or may not have reached the file; appending more
+		// records could put data after a seal. Poison the log.
+		w.poisonLocked()
+		next.f.Close()
+		os.Remove(next.path)
+		return err
+	}
+	old := w.tail
+	w.sealed = append(w.sealed, sealedSeg{index: old.index, size: old.size})
+	w.tail = next
+	return old.f.Close()
 }
 
-// Size returns the logical size of the log in bytes (including buffered,
-// not-yet-flushed records).
-func (l *Log) Size() int64 { return l.size }
-
-// Close flushes and closes the log file.
-func (l *Log) Close() error {
-	if l.closed {
-		return nil
+// Commit appends one record and blocks until it is durable. Concurrent
+// commits are coalesced: the pipeline goroutine writes the whole batch and
+// fsyncs once, then releases every committer in the batch.
+func (w *WAL) Commit(payload []byte) error {
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("%w: record of %d bytes", ErrOversize, len(payload))
 	}
-	l.closed = true
-	if err := l.w.Flush(); err != nil {
-		l.f.Close()
+	w.batchMu.Lock()
+	if w.stopping {
+		w.batchMu.Unlock()
+		return ErrLogClosed
+	}
+	b := w.curBatch
+	if b == nil {
+		b = &batch{done: make(chan struct{})}
+		w.curBatch = b
+		select {
+		case w.kick <- struct{}{}:
+		default:
+		}
+	}
+	b.payloads = append(b.payloads, payload)
+	w.batchMu.Unlock()
+
+	<-b.done
+	return b.err
+}
+
+// pipeline is the group-commit goroutine: it swaps out the current batch,
+// writes and fsyncs it as one unit, and broadcasts the result on the
+// batch's done channel. While one batch fsyncs, new committers accumulate
+// into the next.
+func (w *WAL) pipeline() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.kick:
+			w.flushBatch()
+		case <-w.quit:
+			w.flushBatch() // drain committers that raced with Close
+			return
+		}
+	}
+}
+
+func (w *WAL) flushBatch() {
+	w.batchMu.Lock()
+	b := w.curBatch
+	w.curBatch = nil
+	w.batchMu.Unlock()
+	if b == nil {
+		return
+	}
+	w.mu.Lock()
+	var err error
+	for _, p := range b.payloads {
+		if err = w.appendLocked(p); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		err = w.syncLocked()
+	}
+	w.mu.Unlock()
+	b.err = err
+	close(b.done)
+}
+
+// Sync flushes buffered records and fsyncs the tail segment (sealed
+// segments are already durable).
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+func (w *WAL) syncLocked() error {
+	if w.closed {
+		return ErrLogClosed
+	}
+	if err := w.tail.sync(); err != nil {
+		w.poisonLocked()
 		return err
 	}
-	return l.f.Close()
+	return nil
+}
+
+// poisonLocked makes the WAL unusable after a failed write or fsync. The
+// failed bytes may sit in buffers that a LATER successful fsync would
+// flush, turning an error-acked record durable behind the caller's back —
+// refusing all further work keeps the error acknowledgement trustworthy.
+func (w *WAL) poisonLocked() {
+	w.closed = true
+	w.tail.f.Close()
+}
+
+// Rotate seals the tail and starts a fresh segment, returning the new tail
+// index. Every record appended so far now lives in a sealed segment below
+// the returned index — the compaction cut point.
+func (w *WAL) Rotate() (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrLogClosed
+	}
+	if err := w.rotateLocked(); err != nil {
+		return 0, err
+	}
+	return w.tail.index, nil
+}
+
+// DeleteBefore removes sealed segments below index (their records are
+// covered by a durable snapshot). The live tail is never touched. The call
+// is idempotent: already-deleted files are fine, and a partial failure
+// leaves the remaining entries in place for the next attempt.
+func (w *WAL) DeleteBefore(index uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var firstErr error
+	keep := w.sealed[:0]
+	for _, s := range w.sealed {
+		if s.index >= index {
+			keep = append(keep, s)
+			continue
+		}
+		err := os.Remove(filepath.Join(w.dir, SegmentFile(s.index)))
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			keep = append(keep, s) // retry on the next compaction
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	w.sealed = keep
+	return firstErr
+}
+
+// Size returns the logical size of the log in bytes across all live
+// segments (including buffered, not-yet-flushed records).
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	size := w.tail.size
+	for _, s := range w.sealed {
+		size += s.size
+	}
+	return size
+}
+
+// SegmentCount returns the number of live segment files (sealed + tail).
+func (w *WAL) SegmentCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.sealed) + 1
+}
+
+// Close stops the commit pipeline, flushes, fsyncs and closes the tail.
+func (w *WAL) Close() error {
+	w.batchMu.Lock()
+	if w.stopping {
+		w.batchMu.Unlock()
+		return nil
+	}
+	w.stopping = true
+	close(w.quit)
+	w.batchMu.Unlock()
+	w.wg.Wait()
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.tail.sync(); err != nil {
+		w.tail.f.Close()
+		return err
+	}
+	return w.tail.f.Close()
+}
+
+// LegacyWALFile is the single-file WAL of the pre-segmented format.
+const LegacyWALFile = "wal.seed"
+
+var legacyMagic = [8]byte{'S', 'E', 'E', 'D', 'L', 'O', 'G', '1'}
+
+// migrateLegacyWAL converts a pre-segmented wal.seed (magic "SEEDLOG1",
+// same record framing, no segment header) into segment 1, so databases
+// written by the old storage layer keep opening. Records stream through a
+// bounded buffer; the legacy file is never loaded whole.
+//
+// The migration is resumable: wal.seed is removed only after segment 1 is
+// durable, and appends cannot start while wal.seed still exists — so if
+// both coexist (a crash or write failure mid-migration), segment 1 holds
+// nothing but a possibly-partial copy and is regenerated from the legacy
+// file, which remains the source of truth.
+func migrateLegacyWAL(dir string) error {
+	path := filepath.Join(dir, LegacyWALFile)
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	segs, err := listSegments(dir)
+	if err != nil {
+		return err
+	}
+	if len(segs) > 1 || (len(segs) == 1 && segs[0] != 1) {
+		// Migration only ever writes segment 1; anything else next to a
+		// legacy file cannot be explained by an interrupted migration.
+		return fmt.Errorf("%w: legacy wal.seed alongside segment files", ErrCorrupt)
+	}
+	r := bufio.NewReader(f)
+	var magic [8]byte
+	if n, err := io.ReadFull(r, magic[:]); err != nil && n == 0 {
+		// A 0-byte wal.seed (old CreateLog crashed before its header
+		// reached disk) held no records: nothing to migrate.
+		if err := os.Remove(path); err != nil {
+			return err
+		}
+		return syncDir(dir)
+	} else if err != nil || magic != legacyMagic {
+		return fmt.Errorf("%w: legacy wal.seed", ErrBadMagic)
+	}
+	seg, err := createSegment(dir, 1) // truncates an interrupted attempt
+	if err != nil {
+		return err
+	}
+	if _, _, err := scanRecords(r, 0, false, seg.append); err != nil {
+		seg.f.Close()
+		return err
+	}
+	if err := seg.sync(); err != nil {
+		seg.f.Close()
+		return err
+	}
+	if err := seg.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	return syncDir(dir)
 }

@@ -1,0 +1,38 @@
+package storage
+
+// SyncPolicy selects when appended records become durable.
+type SyncPolicy uint8
+
+const (
+	// SyncOnRequest leaves durability to explicit Sync calls (plus segment
+	// seals and Close); Append only buffers. The default.
+	SyncOnRequest SyncPolicy = iota
+	// SyncGroupCommit makes every Store.Append durable before it returns
+	// by routing it through WAL.Commit. Concurrent appenders are coalesced
+	// by the commit pipeline into one fsync per batch, so N committers
+	// cost far fewer than N fsyncs. The policy applies to Store's
+	// dispatch; WAL.Append itself always buffers — call WAL.Commit for a
+	// durable write.
+	SyncGroupCommit
+)
+
+// DefaultSegmentSize is the soft cap on one WAL segment file (4 MiB).
+const DefaultSegmentSize = 4 << 20
+
+// Options configure a Store (and its write-ahead log).
+type Options struct {
+	// SegmentSize is the soft cap on one segment file in bytes; the tail
+	// segment is sealed and a new one started after the append that crosses
+	// it. Zero selects DefaultSegmentSize.
+	SegmentSize int64
+	// SyncPolicy selects when appends become durable.
+	SyncPolicy SyncPolicy
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = DefaultSegmentSize
+	}
+	return o
+}

@@ -107,32 +107,35 @@ func TestCodecQuick(t *testing.T) {
 	}
 }
 
-func TestLogAppendReplay(t *testing.T) {
-	dir := t.TempDir()
-	path := filepath.Join(dir, "wal.seed")
-	l, err := CreateLog(path)
+// openWALT opens a WAL in dir, failing the test on error.
+func openWALT(t *testing.T, dir string, opts Options, fn func([]byte) error) *WAL {
+	t.Helper()
+	w, err := OpenWAL(dir, opts, 1, fn)
 	if err != nil {
 		t.Fatal(err)
 	}
+	return w
+}
+
+func TestWALAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	w := openWALT(t, dir, Options{}, nil)
 	want := [][]byte{[]byte("one"), []byte("two"), {}, []byte("four")}
 	for _, p := range want {
-		if err := l.Append(p); err != nil {
+		if err := w.Append(p); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := l.Close(); err != nil {
+	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
 
 	var got [][]byte
-	l2, err := OpenLog(path, func(p []byte) error {
+	w2 := openWALT(t, dir, Options{}, func(p []byte) error {
 		got = append(got, append([]byte(nil), p...))
 		return nil
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer l2.Close()
+	defer w2.Close()
 	if len(got) != len(want) {
 		t.Fatalf("replayed %d records, want %d", len(got), len(want))
 	}
@@ -142,27 +145,24 @@ func TestLogAppendReplay(t *testing.T) {
 		}
 	}
 	// Appending after recovery works.
-	if err := l2.Append([]byte("five")); err != nil {
+	if err := w2.Append([]byte("five")); err != nil {
 		t.Fatal(err)
 	}
-	if err := l2.Sync(); err != nil {
+	if err := w2.Sync(); err != nil {
 		t.Fatal(err)
 	}
 }
 
-func TestLogTornTail(t *testing.T) {
+func TestWALTornTail(t *testing.T) {
 	dir := t.TempDir()
-	path := filepath.Join(dir, "wal.seed")
-	l, err := CreateLog(path)
-	if err != nil {
+	w := openWALT(t, dir, Options{}, nil)
+	_ = w.Append([]byte("good-1"))
+	_ = w.Append([]byte("good-2"))
+	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	_ = l.Append([]byte("good-1"))
-	_ = l.Append([]byte("good-2"))
-	if err := l.Close(); err != nil {
-		t.Fatal(err)
-	}
-	// Simulate a torn write: append garbage that looks like a partial record.
+	// Simulate a crash mid-append: garbage that looks like a partial record.
+	path := filepath.Join(dir, SegmentFile(1))
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -173,82 +173,81 @@ func TestLogTornTail(t *testing.T) {
 	f.Close()
 
 	var got []string
-	l2, err := OpenLog(path, func(p []byte) error {
+	w2 := openWALT(t, dir, Options{}, func(p []byte) error {
 		got = append(got, string(p))
 		return nil
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
 	if len(got) != 2 || got[0] != "good-1" || got[1] != "good-2" {
 		t.Fatalf("replay after torn tail = %v", got)
 	}
 	// The torn bytes were truncated; new appends replay cleanly.
-	_ = l2.Append([]byte("good-3"))
-	l2.Close()
+	_ = w2.Append([]byte("good-3"))
+	w2.Close()
 	got = nil
-	l3, err := OpenLog(path, func(p []byte) error {
+	w3 := openWALT(t, dir, Options{}, func(p []byte) error {
 		got = append(got, string(p))
 		return nil
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer l3.Close()
+	defer w3.Close()
 	if len(got) != 3 || got[2] != "good-3" {
 		t.Fatalf("replay after re-append = %v", got)
 	}
 }
 
-func TestLogCorruptRecordStopsReplay(t *testing.T) {
+func TestWALCorruptRecordStopsReplayInTail(t *testing.T) {
 	dir := t.TempDir()
-	path := filepath.Join(dir, "wal.seed")
-	l, _ := CreateLog(path)
-	_ = l.Append([]byte("aaaa"))
-	_ = l.Append([]byte("bbbb"))
-	l.Close()
-	// Flip a payload byte of the second record.
+	w := openWALT(t, dir, Options{}, nil)
+	_ = w.Append([]byte("aaaa"))
+	_ = w.Append([]byte("bbbb"))
+	w.Close()
+	// Flip a payload byte of the second (last) record: indistinguishable
+	// from a torn write, so the tail is truncated, not rejected.
+	path := filepath.Join(dir, SegmentFile(1))
 	raw, _ := os.ReadFile(path)
 	raw[len(raw)-1] ^= 0xFF
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	var got []string
-	l2, err := OpenLog(path, func(p []byte) error {
+	w2 := openWALT(t, dir, Options{}, func(p []byte) error {
 		got = append(got, string(p))
 		return nil
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer l2.Close()
+	defer w2.Close()
 	if len(got) != 1 || got[0] != "aaaa" {
 		t.Fatalf("replay with corrupt tail = %v", got)
 	}
 }
 
-func TestLogBadMagic(t *testing.T) {
+func TestWALBadMagic(t *testing.T) {
 	dir := t.TempDir()
-	path := filepath.Join(dir, "wal.seed")
-	if err := os.WriteFile(path, []byte("NOTSEED!"), 0o644); err != nil {
+	path := filepath.Join(dir, SegmentFile(1))
+	if err := os.WriteFile(path, []byte("NOTSEED!12345678"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenLog(path, nil); !errors.Is(err, ErrBadMagic) {
-		t.Errorf("OpenLog on foreign file: %v", err)
+	if _, err := OpenWAL(dir, Options{}, 1, nil); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("OpenWAL on foreign file: %v", err)
 	}
 }
 
-func TestLogClosed(t *testing.T) {
-	dir := t.TempDir()
-	l, _ := CreateLog(filepath.Join(dir, "w"))
-	l.Close()
-	if err := l.Append([]byte("x")); !errors.Is(err, ErrLogClosed) {
+func TestWALClosed(t *testing.T) {
+	w := openWALT(t, t.TempDir(), Options{}, nil)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("x")); !errors.Is(err, ErrLogClosed) {
 		t.Errorf("Append after close: %v", err)
 	}
-	if err := l.Sync(); !errors.Is(err, ErrLogClosed) {
+	if err := w.Sync(); !errors.Is(err, ErrLogClosed) {
 		t.Errorf("Sync after close: %v", err)
 	}
-	if err := l.Close(); err != nil {
+	if err := w.Commit([]byte("x")); !errors.Is(err, ErrLogClosed) {
+		t.Errorf("Commit after close: %v", err)
+	}
+	if _, err := w.Rotate(); !errors.Is(err, ErrLogClosed) {
+		t.Errorf("Rotate after close: %v", err)
+	}
+	if err := w.Close(); err != nil {
 		t.Errorf("double close: %v", err)
 	}
 }
@@ -271,7 +270,7 @@ func (r *recorder) ApplyRecord(p []byte) error {
 
 func TestStoreLifecycle(t *testing.T) {
 	dir := t.TempDir()
-	st, err := Open(filepath.Join(dir, "db"), nil)
+	st, err := Open(filepath.Join(dir, "db"), nil, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +282,7 @@ func TestStoreLifecycle(t *testing.T) {
 	st.Close()
 
 	var rec recorder
-	st2, err := Open(filepath.Join(dir, "db"), &rec)
+	st2, err := Open(filepath.Join(dir, "db"), &rec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +293,8 @@ func TestStoreLifecycle(t *testing.T) {
 		t.Fatalf("records = %q", rec.records)
 	}
 
-	// Compact: snapshot replaces log.
+	// Compact: snapshot covers the sealed segments; the log replays only
+	// what came after.
 	if err := st2.Compact([]byte("STATE")); err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +303,7 @@ func TestStoreLifecycle(t *testing.T) {
 	st2.Close()
 
 	var rec2 recorder
-	st3, err := Open(filepath.Join(dir, "db"), &rec2)
+	st3, err := Open(filepath.Join(dir, "db"), &rec2, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +318,7 @@ func TestStoreLifecycle(t *testing.T) {
 
 func TestStoreCorruptSnapshot(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "db")
-	st, err := Open(dir, nil)
+	st, err := Open(dir, nil, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +329,7 @@ func TestStoreCorruptSnapshot(t *testing.T) {
 	raw, _ := os.ReadFile(filepath.Join(dir, SnapshotFile))
 	raw[len(raw)-1] ^= 0xFF
 	_ = os.WriteFile(filepath.Join(dir, SnapshotFile), raw, 0o644)
-	if _, err := Open(dir, &recorder{}); !errors.Is(err, ErrCorrupt) {
+	if _, err := Open(dir, &recorder{}, Options{}); !errors.Is(err, ErrCorrupt) {
 		t.Errorf("corrupt snapshot: %v", err)
 	}
 }
@@ -366,20 +366,19 @@ func TestDecoderOversizeGuards(t *testing.T) {
 }
 
 func TestAppendOversizeRecord(t *testing.T) {
-	dir := t.TempDir()
-	l, err := CreateLog(filepath.Join(dir, "w"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer l.Close()
-	if err := l.Append(make([]byte, MaxRecord+1)); !errors.Is(err, ErrOversize) {
+	w := openWALT(t, t.TempDir(), Options{}, nil)
+	defer w.Close()
+	if err := w.Append(make([]byte, MaxRecord+1)); !errors.Is(err, ErrOversize) {
 		t.Errorf("oversize record: %v", err)
+	}
+	if err := w.Commit(make([]byte, MaxRecord+1)); !errors.Is(err, ErrOversize) {
+		t.Errorf("oversize commit: %v", err)
 	}
 }
 
 func TestStoreDir(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "db")
-	st, err := Open(dir, nil)
+	st, err := Open(dir, nil, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +390,7 @@ func TestStoreDir(t *testing.T) {
 
 func TestStoreLogSizeGrowsAndResets(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "db")
-	st, err := Open(dir, nil)
+	st, err := Open(dir, nil, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -406,5 +405,8 @@ func TestStoreLogSizeGrowsAndResets(t *testing.T) {
 	}
 	if st.LogSize() != before {
 		t.Errorf("LogSize after compaction = %d, want %d", st.LogSize(), before)
+	}
+	if st.Segments() != 1 {
+		t.Errorf("Segments after compaction = %d, want 1", st.Segments())
 	}
 }

@@ -9,32 +9,38 @@ import (
 	"path/filepath"
 )
 
-// Store combines a snapshot file with a write-ahead log in one directory:
+// Store combines a snapshot file with a segmented write-ahead log in one
+// directory:
 //
-//	<dir>/snapshot.seed   full state at some point in time (optional)
-//	<dir>/wal.seed        records appended since that snapshot
+//	<dir>/snapshot.seed     full state at some point in time (optional)
+//	<dir>/wal-000001.seed   numbered WAL segments appended since then
+//	<dir>/wal-000002.seed   ...
 //
-// Recovery loads the snapshot (if present) and replays the log. Compact
-// atomically replaces the snapshot with the current full state and starts a
-// fresh log, so the log never grows without bound.
+// Recovery loads the snapshot (if present) and replays the segments it does
+// not cover, in order. Compact is incremental: it seals the tail, writes
+// the new snapshot, and deletes only sealed segments — the live tail is
+// never rewritten or blocked.
 
-// Snapshot file format: magic "SEEDSNAP", uint32 length, uint32 CRC-32,
-// payload.
-var snapMagic = [8]byte{'S', 'E', 'E', 'D', 'S', 'N', 'A', 'P'}
-
-// Store file names within the directory.
-const (
-	SnapshotFile = "snapshot.seed"
-	WALFile      = "wal.seed"
+// Snapshot file format: magic "SEEDSNP2", uint64 firstSeg (the first WAL
+// segment NOT covered by the snapshot), uint32 length, uint32 CRC-32,
+// payload. The legacy "SEEDSNAP" header (no firstSeg) is still read and
+// implies firstSeg 1.
+var (
+	snapMagic       = [8]byte{'S', 'E', 'E', 'D', 'S', 'N', 'P', '2'}
+	snapMagicLegacy = [8]byte{'S', 'E', 'E', 'D', 'S', 'N', 'A', 'P'}
 )
+
+// SnapshotFile is the snapshot file name within the store directory.
+const SnapshotFile = "snapshot.seed"
 
 // ErrNoStore reports a missing store directory.
 var ErrNoStore = errors.New("storage: store directory does not exist")
 
-// Store is a snapshot + WAL pair in a directory.
+// Store is a snapshot + segmented WAL in a directory.
 type Store struct {
-	dir string
-	log *Log
+	dir  string
+	opts Options
+	wal  *WAL
 }
 
 // RecoveryHandler receives persisted state during Open: first the snapshot
@@ -46,14 +52,17 @@ type RecoveryHandler interface {
 
 // Open opens (creating if necessary) the store in dir and replays persisted
 // state through h. h may be nil when the caller knows the store is fresh.
-func Open(dir string, h RecoveryHandler) (*Store, error) {
+func Open(dir string, h RecoveryHandler, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	snapPath := filepath.Join(dir, SnapshotFile)
-	if payload, err := readSnapshot(snapPath); err != nil {
+	payload, firstSeg, err := readSnapshot(snapPath)
+	if err != nil {
 		return nil, err
-	} else if payload != nil && h != nil {
+	}
+	if payload != nil && h != nil {
 		if err := h.LoadSnapshot(payload); err != nil {
 			return nil, fmt.Errorf("storage: loading snapshot: %w", err)
 		}
@@ -62,61 +71,85 @@ func Open(dir string, h RecoveryHandler) (*Store, error) {
 	if h != nil {
 		apply = h.ApplyRecord
 	}
-	log, err := OpenLog(filepath.Join(dir, WALFile), apply)
+	wal, err := OpenWAL(dir, opts, firstSeg, apply)
 	if err != nil {
 		return nil, err
 	}
-	return &Store{dir: dir, log: log}, nil
+	return &Store{dir: dir, opts: opts, wal: wal}, nil
 }
 
 // Dir returns the store directory.
 func (s *Store) Dir() string { return s.dir }
 
-// Append writes one record to the WAL.
-func (s *Store) Append(payload []byte) error { return s.log.Append(payload) }
+// Append writes one record to the WAL under the configured sync policy:
+// buffered under SyncOnRequest, durable (group-committed) under
+// SyncGroupCommit.
+func (s *Store) Append(payload []byte) error {
+	if s.opts.SyncPolicy == SyncGroupCommit {
+		return s.wal.Commit(payload)
+	}
+	return s.wal.Append(payload)
+}
+
+// Commit writes one record and blocks until it is durable, sharing the
+// fsync with concurrent committers (group commit).
+func (s *Store) Commit(payload []byte) error { return s.wal.Commit(payload) }
 
 // Sync makes all appended records durable.
-func (s *Store) Sync() error { return s.log.Sync() }
+func (s *Store) Sync() error { return s.wal.Sync() }
 
-// LogSize returns the current WAL size in bytes.
-func (s *Store) LogSize() int64 { return s.log.Size() }
+// LogSize returns the current WAL size in bytes across all live segments.
+func (s *Store) LogSize() int64 { return s.wal.Size() }
 
-// Compact writes snapshot as the new full state and truncates the WAL. The
-// snapshot is written to a temporary file and renamed into place, so a crash
-// during compaction leaves either the old or the new state intact.
+// Segments returns the number of live WAL segment files.
+func (s *Store) Segments() int { return s.wal.SegmentCount() }
+
+// Compact writes snapshot as the new full state and retires the WAL
+// segments it covers. The tail is sealed first, so the snapshot's cut point
+// is a segment boundary; the snapshot is written to a temporary file and
+// renamed into place, so a crash during compaction leaves either the old or
+// the new state intact; only sealed segments are deleted, so the live tail
+// is never rewritten.
+//
+// The caller must serialize Compact against its own Append/Commit calls:
+// snapshot has to cover every record appended before Compact is invoked,
+// because everything below the rotation cut point is deleted. A record
+// committed between capturing the snapshot and calling Compact would be
+// sealed below the cut and lost. (seed.Database holds its mutex across
+// both; direct Store users must do the same.)
 func (s *Store) Compact(snapshot []byte) error {
+	first, err := s.wal.Rotate()
+	if err != nil {
+		return err
+	}
 	tmp := filepath.Join(s.dir, SnapshotFile+".tmp")
-	if err := writeSnapshot(tmp, snapshot); err != nil {
+	if err := writeSnapshot(tmp, snapshot, first); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp, filepath.Join(s.dir, SnapshotFile)); err != nil {
 		return err
 	}
-	// The snapshot now covers everything in the old WAL: start fresh.
-	if err := s.log.Close(); err != nil {
+	if err := syncDir(s.dir); err != nil {
 		return err
 	}
-	log, err := CreateLog(filepath.Join(s.dir, WALFile))
-	if err != nil {
-		return err
-	}
-	s.log = log
-	return s.log.Sync()
+	// The snapshot now durably covers every sealed segment below first.
+	return s.wal.DeleteBefore(first)
 }
 
 // Close flushes and closes the store.
-func (s *Store) Close() error { return s.log.Close() }
+func (s *Store) Close() error { return s.wal.Close() }
 
-func writeSnapshot(path string, payload []byte) error {
+func writeSnapshot(path string, payload []byte, firstSeg uint64) error {
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	var header [16]byte
+	var header [24]byte
 	copy(header[:8], snapMagic[:])
-	binary.LittleEndian.PutUint32(header[8:12], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(header[12:16], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint64(header[8:16], firstSeg)
+	binary.LittleEndian.PutUint32(header[16:20], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(header[20:24], crc32.ChecksumIEEE(payload))
 	if _, err := f.Write(header[:]); err != nil {
 		return err
 	}
@@ -126,24 +159,43 @@ func writeSnapshot(path string, payload []byte) error {
 	return f.Sync()
 }
 
-// readSnapshot returns nil, nil when the file does not exist.
-func readSnapshot(path string) ([]byte, error) {
+// readSnapshot returns the payload and the first WAL segment the snapshot
+// does not cover. A missing file yields (nil, 1, nil).
+func readSnapshot(path string) ([]byte, uint64, error) {
 	raw, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
+		return nil, 1, nil
 	}
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	if len(raw) < 16 || [8]byte(raw[:8]) != snapMagic {
+	if len(raw) >= 16 && [8]byte(raw[:8]) == snapMagicLegacy {
+		payload, err := checkSnapshotBody(raw[8:])
+		return payload, 1, err
+	}
+	if len(raw) < 24 || [8]byte(raw[:8]) != snapMagic {
+		return nil, 0, fmt.Errorf("%w: snapshot header", ErrCorrupt)
+	}
+	firstSeg := binary.LittleEndian.Uint64(raw[8:16])
+	if firstSeg < 1 {
+		return nil, 0, fmt.Errorf("%w: snapshot first segment %d", ErrCorrupt, firstSeg)
+	}
+	payload, err := checkSnapshotBody(raw[16:])
+	return payload, firstSeg, err
+}
+
+// checkSnapshotBody validates the length+crc framed payload that follows
+// the magic (and, in the current format, firstSeg) snapshot header fields.
+func checkSnapshotBody(rest []byte) ([]byte, error) {
+	if len(rest) < 8 {
 		return nil, fmt.Errorf("%w: snapshot header", ErrCorrupt)
 	}
-	length := binary.LittleEndian.Uint32(raw[8:12])
-	crc := binary.LittleEndian.Uint32(raw[12:16])
-	if int(length) != len(raw)-16 {
-		return nil, fmt.Errorf("%w: snapshot length %d vs %d", ErrCorrupt, length, len(raw)-16)
+	length := binary.LittleEndian.Uint32(rest[0:4])
+	crc := binary.LittleEndian.Uint32(rest[4:8])
+	payload := rest[8:]
+	if int(length) != len(payload) {
+		return nil, fmt.Errorf("%w: snapshot length %d vs %d", ErrCorrupt, length, len(payload))
 	}
-	payload := raw[16:]
 	if crc32.ChecksumIEEE(payload) != crc {
 		return nil, fmt.Errorf("%w: snapshot checksum", ErrCorrupt)
 	}

@@ -195,12 +195,9 @@ func (db *Database) Commit() error {
 		return err
 	}
 	db.gen++
-	if db.store != nil && !db.opts.SyncEveryOp {
-		return nil
-	}
-	if db.store != nil {
-		return db.store.Sync()
-	}
+	// Durability is the storage layer's business: under SyncGroupCommit
+	// every journal append was already fsynced before it returned; under
+	// SyncOnRequest durability waits for Sync/SaveVersion/Compact/Close.
 	return nil
 }
 

@@ -36,21 +36,53 @@ const (
 	FullSnapshots
 )
 
+// SyncPolicy selects when journaled operations become durable; see the
+// storage package.
+type SyncPolicy = storage.SyncPolicy
+
+// Sync policies for Options.SyncPolicy.
+const (
+	// SyncOnRequest defers fsync to Sync, SaveVersion, Compact and Close
+	// (the default).
+	SyncOnRequest = storage.SyncOnRequest
+	// SyncGroupCommit makes every journaled operation durable before it
+	// returns. Note that Database methods serialize on one mutex, so fsync
+	// coalescing across concurrent committers happens at the storage layer
+	// (storage.Store.Commit), not between Database callers.
+	SyncGroupCommit = storage.SyncGroupCommit
+)
+
 // Options configure a database.
 type Options struct {
 	// Schema is required when the directory is fresh (or for NewMemory).
 	Schema *Schema
 	// Mode selects delta (default) or full version snapshots.
 	Mode SnapshotMode
-	// SyncEveryOp fsyncs the write-ahead log after every operation rather
-	// than only on Sync, SaveVersion, Compact and Close.
+	// SyncPolicy selects when journal records become durable.
+	SyncPolicy SyncPolicy
+	// SyncEveryOp is the legacy spelling of SyncPolicy: SyncGroupCommit.
+	// Deprecated: set SyncPolicy instead.
 	SyncEveryOp bool
+	// SegmentSize caps one write-ahead-log segment file in bytes before the
+	// log rotates to the next numbered segment (0 selects the storage
+	// default, 4 MiB).
+	SegmentSize int64
 	// CompactAfter triggers automatic snapshot compaction when the
-	// write-ahead log exceeds this many bytes (0 disables).
+	// write-ahead log exceeds this many bytes across all segments
+	// (0 disables).
 	CompactAfter int64
 	// Clock supplies timestamps (defaults to time.Now; tests and
 	// benchmarks inject fixed clocks for determinism).
 	Clock func() time.Time
+}
+
+// storage returns the storage-layer options this configuration implies.
+func (o Options) storage() storage.Options {
+	so := storage.Options{SegmentSize: o.SegmentSize, SyncPolicy: o.SyncPolicy}
+	if o.SyncEveryOp {
+		so.SyncPolicy = storage.SyncGroupCommit
+	}
+	return so
 }
 
 // Database is a SEED database: the current state, the version tree, and —
@@ -91,7 +123,7 @@ func Open(dir string, opts Options) (*Database, error) {
 	}
 	db.vers = version.NewManager()
 	rec := &recovery{db: db}
-	st, err := storage.Open(dir, rec)
+	st, err := storage.Open(dir, rec, opts.storage())
 	if err != nil {
 		return nil, err
 	}
@@ -310,10 +342,11 @@ func (db *Database) validateAllLocked() error {
 
 // Stats summarizes the database state.
 type Stats struct {
-	Core     core.Stats
-	Versions int
-	SchemaV  int
-	LogBytes int64
+	Core        core.Stats
+	Versions    int
+	SchemaV     int
+	LogBytes    int64
+	LogSegments int
 }
 
 // Stats reports current state statistics.
@@ -327,22 +360,19 @@ func (db *Database) Stats() Stats {
 	s.Versions = db.vers.Count()
 	if db.store != nil {
 		s.LogBytes = db.store.LogSize()
+		s.LogSegments = db.store.Segments()
 	}
 	return s
 }
 
-// appendRecord is the engine's journal sink.
+// appendRecord is the engine's journal sink. Durability is the storage
+// layer's business: under SyncGroupCommit the Append blocks until its batch
+// is fsynced, under SyncOnRequest it only buffers.
 func (db *Database) appendRecord(payload []byte) error {
 	if db.store == nil {
 		return nil
 	}
-	if err := db.store.Append(payload); err != nil {
-		return err
-	}
-	if db.opts.SyncEveryOp {
-		return db.store.Sync()
-	}
-	return nil
+	return db.store.Append(payload)
 }
 
 // maybeCompact runs auto-compaction when the log grows past the threshold.

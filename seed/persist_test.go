@@ -1,10 +1,14 @@
 package seed
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/storage"
 )
 
 func fixedClock() func() time.Time {
@@ -261,8 +265,9 @@ func TestTornLogRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	db.Close()
-	// Simulate a crash mid-append: garbage at the WAL tail.
-	wal := filepath.Join(dir, "wal.seed")
+	// Simulate a crash mid-append: garbage at the tail of the last (and
+	// here only) WAL segment.
+	wal := filepath.Join(dir, storage.SegmentFile(1))
 	f, err := os.OpenFile(wal, os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -297,6 +302,136 @@ func TestAutoCompaction(t *testing.T) {
 	defer db2.Close()
 	if got := db2.Stats().Core.Objects; got != 200 {
 		t.Errorf("objects after auto-compaction reopen = %d", got)
+	}
+}
+
+// lastSegment returns the path and index of the highest-numbered WAL
+// segment in dir.
+func lastSegment(t *testing.T, dir string) (string, uint64) {
+	t.Helper()
+	var last uint64
+	for n := uint64(1); ; n++ {
+		if _, err := os.Stat(filepath.Join(dir, storage.SegmentFile(n))); err != nil {
+			break
+		}
+		last = n
+	}
+	if last == 0 {
+		t.Fatal("no WAL segments found")
+	}
+	return filepath.Join(dir, storage.SegmentFile(last)), last
+}
+
+// tinySegDB opens a database whose WAL rotates every 512 bytes and fills it
+// with enough objects to span several segments.
+func tinySegDB(t *testing.T, dir string) *Database {
+	t.Helper()
+	db := openDB(t, dir, Options{Schema: Figure2Schema(), Clock: fixedClock(), SegmentSize: 512})
+	for i := 0; i < 60; i++ {
+		create(t, db, "Data", "Seg"+itoa(i))
+	}
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestSegmentedWALReopen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db := tinySegDB(t, dir)
+	if segs := db.Stats().LogSegments; segs < 2 {
+		t.Fatalf("expected multiple WAL segments, got %d", segs)
+	}
+	db.Close()
+
+	db2 := openDB(t, dir, Options{Clock: fixedClock(), SegmentSize: 512})
+	defer db2.Close()
+	if got := db2.Stats().Core.Objects; got != 60 {
+		t.Errorf("objects after segmented reopen = %d, want 60", got)
+	}
+}
+
+func TestTornTailInLastSegmentRecovers(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	tinySegDB(t, dir).Close()
+	path, _ := lastSegment(t, dir)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{99, 0, 0, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	db2 := openDB(t, dir, Options{Clock: fixedClock(), SegmentSize: 512})
+	defer db2.Close()
+	if got := db2.Stats().Core.Objects; got != 60 {
+		t.Errorf("objects after torn tail = %d, want 60", got)
+	}
+}
+
+func TestCorruptSealedSegmentSurfacesErrCorrupt(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	tinySegDB(t, dir).Close()
+	// Corrupt a record in the middle of the FIRST (sealed) segment.
+	path := filepath.Join(dir, storage.SegmentFile(1))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{Clock: fixedClock(), SegmentSize: 512}); !errors.Is(err, storage.ErrCorrupt) {
+		t.Errorf("corrupt sealed segment: %v", err)
+	}
+}
+
+func TestMissingFinalSegmentSurfacesErrCorrupt(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	tinySegDB(t, dir).Close()
+	path, last := lastSegment(t, dir)
+	if last < 2 {
+		t.Fatalf("need >= 2 segments, got %d", last)
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{Clock: fixedClock(), SegmentSize: 512}); !errors.Is(err, storage.ErrCorrupt) {
+		t.Errorf("missing final segment: %v", err)
+	}
+}
+
+func TestGroupCommitPolicy(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db := openDB(t, dir, Options{Schema: Figure2Schema(), Clock: fixedClock(), SyncPolicy: SyncGroupCommit})
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := db.CreateObject("Data", "G"+itoa(g*10+i)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2 := openDB(t, dir, Options{Clock: fixedClock()})
+	defer db2.Close()
+	if got := db2.Stats().Core.Objects; got != 40 {
+		t.Errorf("objects after group-commit reopen = %d, want 40", got)
 	}
 }
 
