@@ -1,6 +1,5 @@
-// Command seedbench runs the reproduction experiments E1-E5 (one per
-// evaluation artifact of the paper; see DESIGN.md section 5) and prints
-// their reports.
+// Command seedbench runs the reproduction experiments (one per evaluation
+// artifact of the paper; see DESIGN.md section 5) and prints their reports.
 //
 // Usage:
 //
@@ -9,7 +8,8 @@
 //	seedbench -list      # list experiments
 //
 // E1-E5 reproduce the paper's evaluation artifacts; E6 measures the
-// storage engine's group-commit pipeline beyond the paper.
+// storage engine's group-commit pipeline and E7 the snapshot-read/check-in
+// concurrency engine beyond the paper.
 package main
 
 import (
@@ -31,10 +31,11 @@ var experiments = []struct {
 	{"e4", "figure 5: variants defined by means of patterns", bench.E4},
 	{"e5", "SPADES on SEED vs. direct data structures", bench.E5},
 	{"e6", "storage: group commit vs per-record fsync", bench.E6},
+	{"e7", "concurrency: parallel snapshot reads vs serialized check-ins", bench.E7},
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1..e5 or all)")
+	exp := flag.String("exp", "all", "experiment to run (e1..e7 or all)")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
 

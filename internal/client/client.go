@@ -13,9 +13,15 @@ import (
 	"repro/internal/wire"
 )
 
-// Client errors.
+// Client errors. ErrLocked and ErrNotLocked mirror the server's lock
+// errors: the wire protocol carries an error code alongside the message, so
+// the identity survives the round trip and callers can errors.Is-match —
+// a checkout that fails with ErrLocked is retryable once the holder checks
+// in or releases.
 var (
-	ErrRemote = errors.New("client: server error")
+	ErrRemote    = errors.New("client: server error")
+	ErrLocked    = errors.New("client: object is checked out by another client")
+	ErrNotLocked = errors.New("client: object is not checked out by this client")
 )
 
 // Client is one connection to a SEED server.
@@ -55,9 +61,22 @@ func (c *Client) roundTrip(req *wire.Request) (*wire.Response, error) {
 		return nil, err
 	}
 	if resp.Err != "" {
-		return nil, fmt.Errorf("%w: %s", ErrRemote, resp.Err)
+		return nil, remoteError(&resp)
 	}
 	return &resp, nil
+}
+
+// remoteError rebuilds a matchable error from a failure response: every
+// remote error wraps ErrRemote, and responses carrying a wire code
+// additionally wrap the corresponding sentinel.
+func remoteError(resp *wire.Response) error {
+	switch resp.Code {
+	case wire.CodeLocked:
+		return fmt.Errorf("%w: %w: %s", ErrRemote, ErrLocked, resp.Err)
+	case wire.CodeNotLocked:
+		return fmt.Errorf("%w: %w: %s", ErrRemote, ErrNotLocked, resp.Err)
+	}
+	return fmt.Errorf("%w: %s", ErrRemote, resp.Err)
 }
 
 // Get retrieves object subtrees by name (no locks).

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/item"
+	"repro/internal/schema"
+)
+
+// Frozen views: immutable, self-contained copies of the engine's raw view.
+// The engine itself is single-writer and its rawView reads the live maps, so
+// a reader that walks several items can observe a half-applied batch. A
+// frozen view copies the live state once, under the caller's lock, and is
+// thereafter safe for any number of concurrent readers while the engine
+// keeps mutating — the seed database builds one per mutation generation and
+// shares it between all snapshot views of that generation.
+
+// FrozenView copies the engine's current raw view (deleted items hidden,
+// patterns visible) into an immutable item.View. The caller must hold
+// whatever lock protects the engine during the copy; the returned view needs
+// no locking at all.
+func (en *Engine) FrozenView() item.View {
+	f := &frozenView{
+		sch:      en.sch,
+		objects:  make(map[item.ID]item.Object, len(en.objects)),
+		rels:     make(map[item.ID]item.Relationship, len(en.rels)),
+		byName:   make(map[string]item.ID, len(en.byName)),
+		children: make(map[item.ID]map[string][]item.ID, len(en.children)),
+		relsOf:   make(map[item.ID][]item.ID, len(en.relsOf)),
+	}
+	for id, o := range en.objects {
+		if o.Deleted {
+			continue
+		}
+		f.objects[id] = *o
+		f.objIDs = append(f.objIDs, id)
+	}
+	sort.Slice(f.objIDs, func(i, j int) bool { return f.objIDs[i] < f.objIDs[j] })
+	for id, r := range en.rels {
+		if r.Deleted {
+			continue
+		}
+		f.rels[id] = r.Clone()
+		f.relIDs = append(f.relIDs, id)
+	}
+	sort.Slice(f.relIDs, func(i, j int) bool { return f.relIDs[i] < f.relIDs[j] })
+	for name, id := range en.byName {
+		f.byName[name] = id
+	}
+	for parent, byRole := range en.children {
+		m := make(map[string][]item.ID, len(byRole))
+		for role, ids := range byRole {
+			m[role] = append([]item.ID(nil), ids...)
+		}
+		f.children[parent] = m
+	}
+	for obj, ids := range en.relsOf {
+		f.relsOf[obj] = append([]item.ID(nil), ids...)
+	}
+	return f
+}
+
+// frozenView is the immutable copy. It mirrors rawView's semantics exactly:
+// only live items resolve, sibling lists are index-ordered, relationship
+// lists are ID-ordered. Methods return fresh slices (and cloned
+// relationships), so callers may modify results freely.
+type frozenView struct {
+	sch      *schema.Schema
+	objects  map[item.ID]item.Object
+	rels     map[item.ID]item.Relationship
+	byName   map[string]item.ID
+	children map[item.ID]map[string][]item.ID
+	relsOf   map[item.ID][]item.ID
+	objIDs   []item.ID // live objects, ascending
+	relIDs   []item.ID // live relationships, ascending
+}
+
+func (f *frozenView) Schema() *schema.Schema { return f.sch }
+
+func (f *frozenView) Object(id item.ID) (item.Object, bool) {
+	o, ok := f.objects[id]
+	return o, ok
+}
+
+func (f *frozenView) Relationship(id item.ID) (item.Relationship, bool) {
+	r, ok := f.rels[id]
+	if !ok {
+		return item.Relationship{}, false
+	}
+	return r.Clone(), true
+}
+
+func (f *frozenView) ObjectByName(name string) (item.ID, bool) {
+	id, ok := f.byName[name]
+	return id, ok
+}
+
+func (f *frozenView) Children(parent item.ID, role string) []item.ID {
+	byRole, ok := f.children[parent]
+	if !ok {
+		return nil
+	}
+	if role != "" {
+		return append([]item.ID(nil), byRole[role]...)
+	}
+	roles := make([]string, 0, len(byRole))
+	for r := range byRole {
+		roles = append(roles, r)
+	}
+	sort.Strings(roles)
+	var out []item.ID
+	for _, r := range roles {
+		out = append(out, byRole[r]...)
+	}
+	return out
+}
+
+func (f *frozenView) RelationshipsOf(obj item.ID) []item.ID {
+	return append([]item.ID(nil), f.relsOf[obj]...)
+}
+
+func (f *frozenView) Objects() []item.ID {
+	return append([]item.ID(nil), f.objIDs...)
+}
+
+func (f *frozenView) Relationships() []item.ID {
+	return append([]item.ID(nil), f.relIDs...)
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/item"
+	"repro/internal/value"
+)
+
+// TestFrozenViewIsolation: a frozen view keeps serving the state it was
+// taken from while the engine mutates underneath it.
+func TestFrozenViewIsolation(t *testing.T) {
+	en := newFig2(t)
+	alarms := mustCreate(t, en, "Data", "Alarms")
+	text, err := en.CreateSubObject(alarms, "Text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := en.CreateValueObject(text, "Selector", value.NewString("before"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	frozen := en.FrozenView()
+
+	// Mutate everything the frozen view captured.
+	if err := en.SetValue(sel, value.NewString("after")); err != nil {
+		t.Fatal(err)
+	}
+	handler := mustCreate(t, en, "Action", "AlarmHandler")
+	if _, err := en.CreateRelationship("Read", map[string]item.ID{"from": alarms, "by": handler}); err != nil {
+		t.Fatal(err)
+	}
+	if err := en.Delete(text); err != nil {
+		t.Fatal(err)
+	}
+
+	// The frozen view still shows the old state...
+	if o, ok := frozen.Object(sel); !ok || o.Value.Str() != "before" {
+		t.Errorf("frozen selector = %+v, %v; want \"before\"", o.Value, ok)
+	}
+	if _, ok := frozen.ObjectByName("AlarmHandler"); ok {
+		t.Error("frozen view sees an object created after the freeze")
+	}
+	if _, ok := frozen.Object(text); !ok {
+		t.Error("frozen view lost an object deleted after the freeze")
+	}
+	if got := len(frozen.Children(alarms, "Text")); got != 1 {
+		t.Errorf("frozen children = %d, want 1", got)
+	}
+	if got := len(frozen.RelationshipsOf(alarms)); got != 0 {
+		t.Errorf("frozen relationships = %d, want 0", got)
+	}
+
+	// ...and the live view shows the new one.
+	live := en.View()
+	if o, ok := live.Object(sel); ok && o.Value.Str() == "before" {
+		t.Error("live view stuck on the frozen state")
+	}
+	if _, ok := live.ObjectByName("AlarmHandler"); !ok {
+		t.Error("live view misses the new object")
+	}
+}
+
+// TestFrozenViewMatchesRaw: both views agree item by item when nothing
+// mutates in between.
+func TestFrozenViewMatchesRaw(t *testing.T) {
+	en := newFig3(t)
+	a := mustCreate(t, en, "Data", "A")
+	b := mustCreate(t, en, "Action", "B")
+	if _, err := en.CreateRelationship("Access", map[string]item.ID{"from": a, "by": b}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := en.CreateValueObject(a, "Description", value.NewString("d")); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, frozen := en.View(), en.FrozenView()
+	ro, fo := raw.Objects(), frozen.Objects()
+	if len(ro) != len(fo) {
+		t.Fatalf("objects: raw %d, frozen %d", len(ro), len(fo))
+	}
+	for i := range ro {
+		if ro[i] != fo[i] {
+			t.Fatalf("object order differs at %d: %d vs %d", i, ro[i], fo[i])
+		}
+		r, _ := raw.Object(ro[i])
+		f, _ := frozen.Object(fo[i])
+		if r != f {
+			t.Errorf("object %d state differs: %+v vs %+v", ro[i], r, f)
+		}
+	}
+	rr, fr := raw.Relationships(), frozen.Relationships()
+	if len(rr) != 1 || len(fr) != 1 || rr[0] != fr[0] {
+		t.Fatalf("relationships: raw %v, frozen %v", rr, fr)
+	}
+	if got := frozen.RelationshipsOf(a); len(got) != 1 || got[0] != rr[0] {
+		t.Errorf("RelationshipsOf = %v", got)
+	}
+	if id, ok := frozen.ObjectByName("A"); !ok || id != a {
+		t.Errorf("ObjectByName(A) = %d, %v", id, ok)
+	}
+}

@@ -72,6 +72,13 @@ type Origin struct {
 // Spliced is the user-facing view: pattern items and inherits-relationships
 // are hidden; for every inherits link the pattern's sub-objects and
 // relationships appear as virtual items in the inheritor's context.
+//
+// A Spliced is immutable after NewSpliced and therefore safe for
+// unsynchronized concurrent use — the seed database shares one per
+// mutation generation between all snapshot readers. That guarantee only
+// holds as far as the base view's does: over a frozen base (or any other
+// immutable view) the whole splice is a consistent snapshot; over a live
+// view its reads track the underlying state.
 type Spliced struct {
 	base item.View
 

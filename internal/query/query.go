@@ -9,8 +9,13 @@
 // Taking joins or cartesian products is not affected by undefined items.
 // This is due to the fact that entity-relationship based models define
 // these operations on existing relationships only." This package implements
-// those semantics over any item.View — the live user view, a version view,
-// or a pattern-spliced view.
+// those semantics over any item.View — a snapshot user view, a version
+// view, or a pattern-spliced view.
+//
+// Queries never mutate the view they run over, and the views the seed
+// database hands out are immutable snapshots, so any number of queries may
+// run concurrently over one view — and a query's whole run observes one
+// consistent state, never a half-applied batch.
 package query
 
 import (

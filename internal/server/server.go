@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -18,16 +19,23 @@ import (
 	"repro/seed"
 )
 
-// Server errors (returned to clients as response strings).
+// Server errors (returned to clients with a wire error code, so clients can
+// match them with errors.Is and retry lock conflicts).
 var (
 	ErrLocked    = errors.New("server: object is checked out by another client")
 	ErrNotLocked = errors.New("server: object is not checked out by this client")
 )
 
-// Server serves one SEED database to many clients.
+// Server serves one SEED database to many clients. Retrieval operations run
+// in parallel on snapshot views; check-ins queue on the transaction gate,
+// which serializes lock verification and Begin→apply→Commit as one atomic
+// critical section — the database's single global transaction is never
+// contended, so clients never see a transaction-state error.
 type Server struct {
 	db *seed.Database
 	ln net.Listener
+
+	txGate sync.Mutex // serializes whole check-ins (the write path)
 
 	mu      sync.Mutex
 	locks   map[string]string // object name -> client ID
@@ -142,7 +150,11 @@ func (s *Server) handle(clientID string, req *wire.Request) *wire.Response {
 	case wire.OpRelease:
 		return s.handleRelease(clientID, req)
 	case wire.OpSaveVersion:
+		// Version freezes queue on the transaction gate like check-ins:
+		// a version must never capture a half-applied batch.
+		s.txGate.Lock()
 		num, err := s.db.SaveVersion(req.Note)
+		s.txGate.Unlock()
 		if err != nil {
 			return fail(err)
 		}
@@ -172,12 +184,30 @@ func (s *Server) handle(clientID string, req *wire.Request) *wire.Response {
 	return fail(fmt.Errorf("server: unknown op %q", req.Op))
 }
 
-func fail(err error) *wire.Response { return &wire.Response{Err: err.Error()} }
+// fail converts an error into a response, preserving the error's identity
+// as a wire code where one is defined.
+func fail(err error) *wire.Response {
+	return &wire.Response{Err: err.Error(), Code: codeOf(err)}
+}
+
+// codeOf maps server errors onto wire error codes.
+func codeOf(err error) string {
+	switch {
+	case errors.Is(err, ErrLocked):
+		return wire.CodeLocked
+	case errors.Is(err, ErrNotLocked):
+		return wire.CodeNotLocked
+	}
+	return ""
+}
 
 func (s *Server) handleGet(req *wire.Request) *wire.Response {
+	// One snapshot for the whole request: every returned subtree comes
+	// from the same consistent state.
+	v := s.db.View()
 	var snaps []wire.Snapshot
 	for _, name := range req.Names {
-		snap, err := s.snapshotOf(name)
+		snap, err := snapshotOf(v, name)
 		if err != nil {
 			return fail(err)
 		}
@@ -202,30 +232,40 @@ func (s *Server) handleList(req *wire.Request) *wire.Response {
 			names = append(names, o.Name)
 		}
 	}
+	// Stable output: repeated OpList calls return the same order no matter
+	// which snapshot or query path produced the IDs.
+	sort.Strings(names)
 	return &wire.Response{Names: names}
 }
 
 func (s *Server) handleCheckout(clientID string, req *wire.Request) *wire.Response {
 	s.mu.Lock()
-	// All-or-nothing locking.
+	// All-or-nothing locking. Track which locks this request newly
+	// acquires: a failure must roll back only those, never locks the
+	// client already held from an earlier checkout.
 	for _, name := range req.Names {
 		if owner, locked := s.locks[name]; locked && owner != clientID {
 			s.mu.Unlock()
 			return fail(fmt.Errorf("%w: %q held by %s", ErrLocked, name, owner))
 		}
 	}
+	var acquired []string
 	for _, name := range req.Names {
-		s.locks[name] = clientID
+		if _, held := s.locks[name]; !held {
+			s.locks[name] = clientID
+			acquired = append(acquired, name)
+		}
 	}
 	s.mu.Unlock()
 
+	v := s.db.View()
 	var snaps []wire.Snapshot
 	for _, name := range req.Names {
-		snap, err := s.snapshotOf(name)
+		snap, err := snapshotOf(v, name)
 		if err != nil {
-			// Roll the locks back.
+			// Roll back the locks acquired by this request.
 			s.mu.Lock()
-			for _, n := range req.Names {
+			for _, n := range acquired {
 				if s.locks[n] == clientID {
 					delete(s.locks, n)
 				}
@@ -252,8 +292,14 @@ func (s *Server) handleRelease(clientID string, req *wire.Request) *wire.Respons
 
 // handleCheckin applies the staged updates as one transaction. Every
 // updated item must be covered by this client's locks (new independent
-// objects need no lock; their names must be free).
+// objects need no lock; their names must be free). Check-ins queue on the
+// transaction gate: lock verification and Begin→apply→Commit form one
+// atomic critical section, so concurrent check-ins serialize instead of
+// colliding on the database's single global transaction.
 func (s *Server) handleCheckin(clientID string, req *wire.Request) *wire.Response {
+	s.txGate.Lock()
+	defer s.txGate.Unlock()
+
 	// Verify lock coverage first: every touched root must be locked by this
 	// client or created within this batch.
 	created := make(map[string]bool)
@@ -379,9 +425,10 @@ func (s *Server) applyUpdate(u wire.Update) error {
 	return fmt.Errorf("server: unknown update kind %q", u.Kind)
 }
 
-// snapshotOf copies an object subtree plus its relationships into wire form.
-func (s *Server) snapshotOf(name string) (wire.Snapshot, error) {
-	v := s.db.View()
+// snapshotOf copies an object subtree plus its relationships into wire
+// form. The view is an immutable snapshot, so the whole walk is consistent
+// and needs no locking.
+func snapshotOf(v seed.View, name string) (wire.Snapshot, error) {
 	root, ok := v.ObjectByName(name)
 	if !ok {
 		return wire.Snapshot{}, fmt.Errorf("server: no object named %q", name)

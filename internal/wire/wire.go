@@ -107,6 +107,18 @@ type Finding struct {
 	Detail string `json:"detail"`
 }
 
+// Error codes carried in Response.Code. A plain error string loses its
+// identity across the wire; the code preserves it, so clients can rebuild
+// a matchable sentinel (errors.Is) and, for lock conflicts, retry.
+const (
+	// CodeLocked: a checkout or check-in lost against another client's
+	// write lock. Retryable once that client checks in or releases.
+	CodeLocked = "locked"
+	// CodeNotLocked: a check-in touched an object the client never
+	// checked out. Not retryable — the client must check the object out.
+	CodeNotLocked = "not-locked"
+)
+
 // Request is one client request frame.
 type Request struct {
 	Op      Op       `json:"op"`
@@ -119,6 +131,7 @@ type Request struct {
 // Response is one server response frame.
 type Response struct {
 	Err       string        `json:"err,omitempty"`
+	Code      string        `json:"code,omitempty"` // error code (CodeLocked, ...)
 	ClientID  string        `json:"client,omitempty"`
 	Names     []string      `json:"names,omitempty"`
 	Snapshots []Snapshot    `json:"snapshots,omitempty"`

@@ -2,15 +2,18 @@ package seed
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/consistency"
 	"repro/internal/item"
 	"repro/internal/pattern"
 )
 
-// Data manipulation: thin, mutex-guarded wrappers over the engine's
-// operational interface. Every operation is validated eagerly; a returned
-// error means the database state is unchanged.
+// Data manipulation: thin, write-locked wrappers over the engine's
+// operational interface, plus snapshot retrieval. Every operation is
+// validated eagerly; a returned error means the database state is
+// unchanged. Mutations serialize on the write lock; retrieval pins
+// immutable snapshots and runs in parallel (see DESIGN.md section 6).
 
 // guardWrite returns a helpful error for updates addressed to inherited
 // (virtual) items, which are updatable only in the pattern itself.
@@ -174,30 +177,52 @@ func (db *Database) Disinherit(patternID, inheritorID ID) error {
 }
 
 // Begin opens a transaction: subsequent operations commit or roll back as a
-// unit. Consistency is still checked per operation.
+// unit. Consistency is still checked per operation. Begin pins the current
+// snapshot: while the transaction applies, View and RawView keep serving
+// the last committed state — readers never observe a half-applied batch.
 func (db *Database) Begin() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
 		return ErrClosed
 	}
-	return db.engine.Begin()
+	if err := db.engine.Begin(); err != nil {
+		return err
+	}
+	db.snapshotLocked()
+	return nil
 }
 
-// Commit makes the open transaction permanent.
+// Commit makes the open transaction permanent. The mutation generation
+// advances only here (not per in-transaction operation), which is what
+// makes the whole batch become visible to snapshot views atomically.
 func (db *Database) Commit() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
 		return ErrClosed
 	}
-	if err := db.engine.Commit(); err != nil {
+	if !db.engine.InTx() {
+		return db.engine.Commit() // ErrTxState; nothing changed, no bump
+	}
+	err := db.engine.Commit()
+	// Advance the generation even on a journaling error: the operations
+	// are applied in memory either way, and the snapshot cache must not
+	// keep serving the pre-transaction state.
+	db.gen++
+	db.txSeq++
+	if err != nil {
 		return err
 	}
-	db.gen++
 	// Durability is the storage layer's business: under SyncGroupCommit
 	// every journal append was already fsynced before it returned; under
 	// SyncOnRequest durability waits for Sync/SaveVersion/Compact/Close.
+	// Compaction deferred by in-transaction operations runs now that the
+	// batch's journal records are appended — best-effort: the batch IS
+	// committed, so a compaction failure (which leaves the log intact and
+	// retries on the next trigger) must not be reported as a failed
+	// commit, or callers would re-apply an already-applied batch.
+	_ = db.maybeCompact()
 	return nil
 }
 
@@ -212,13 +237,23 @@ func (db *Database) Rollback() error {
 		return err
 	}
 	db.gen++
+	db.txSeq++
 	return nil
 }
 
-// finish bumps the mutation generation on success.
+// finish bumps the mutation generation on success. Inside a transaction the
+// generation does not move — snapshot views keep showing the last committed
+// state until Commit advances it once for the whole batch — and compaction
+// is deferred to Commit: a snapshot written mid-transaction would persist
+// uncommitted operations and truncate the log before their buffered journal
+// records exist.
 func (db *Database) finish(id ID, err error) (ID, error) {
 	if err != nil {
 		return NoID, err
+	}
+	if db.engine.InTx() {
+		db.txSeq++
+		return id, nil
 	}
 	db.gen++
 	if cerr := db.maybeCompact(); cerr != nil {
@@ -229,100 +264,103 @@ func (db *Database) finish(id ID, err error) (ID, error) {
 
 // ---- Retrieval ----
 
+// snapshotCache is one immutable snapshot of a mutation generation: the
+// frozen raw view plus the lazily built user (pattern-spliced) view over
+// it. Both are safe for unsynchronized concurrent use and stay consistent
+// while mutations proceed on the engine.
+type snapshotCache struct {
+	gen      uint64
+	raw      View // core.FrozenView of the generation
+	userOnce sync.Once
+	user     *pattern.Spliced
+}
+
+// userView builds the spliced view on first use. The base is frozen, so
+// the splice is consistent no matter when it is built.
+func (c *snapshotCache) userView() *pattern.Spliced {
+	c.userOnce.Do(func() { c.user = pattern.NewSpliced(c.raw) })
+	return c.user
+}
+
+// snapshotLocked returns the snapshot of the current generation, building
+// and caching it if necessary. Callers hold db.mu in either mode — the
+// generation cannot advance while they do. While a transaction is open the
+// generation does not advance either, so the snapshot pinned by Begin keeps
+// serving readers the last committed state until Commit.
+func (db *Database) snapshotLocked() *snapshotCache {
+	if c := db.snap.Load(); c != nil && c.gen == db.gen {
+		return c
+	}
+	db.snapMu.Lock()
+	defer db.snapMu.Unlock()
+	if c := db.snap.Load(); c != nil && c.gen == db.gen {
+		return c
+	}
+	c := &snapshotCache{gen: db.gen, raw: db.engine.FrozenView()}
+	db.snap.Store(c)
+	return c
+}
+
 // View returns the user-facing view of the current state: deleted items
 // and patterns are invisible; inherited pattern data appears in the context
-// of the inheritors. The view is cached until the next mutation and is safe
-// for concurrent use: every method call synchronizes with mutations.
-func (db *Database) View() View { return lockedView{db: db, user: true} }
-
-func (db *Database) userViewLocked() *pattern.Spliced {
-	if db.splice == nil || db.spliceGen != db.gen {
-		db.splice = pattern.NewSpliced(db.engine.View())
-		db.spliceGen = db.gen
-	}
-	return db.splice
+// of the inheritors. The view is an immutable snapshot pinned at the time
+// of the call: it acquires the lock once, and every subsequent method call
+// is lock-free and consistent — a walk over the view can never observe a
+// half-applied batch. Snapshots are cached per mutation generation, so
+// repeated calls between mutations share one copy.
+func (db *Database) View() View {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.snapshotLocked().userView()
 }
 
 // RawView returns the administrative view: patterns visible, inherited data
-// not spliced. Like View, it synchronizes per method call.
-func (db *Database) RawView() View { return lockedView{db: db} }
-
-// lockedView adapts the engine's (or the spliced) view to concurrent use
-// by taking the database mutex around every read.
-type lockedView struct {
-	db   *Database
-	user bool
+// not spliced. Like View, it is an immutable snapshot pinned at call time.
+func (db *Database) RawView() View {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.snapshotLocked().raw
 }
 
-func (v lockedView) inner() View {
-	if v.user {
-		return v.db.userViewLocked()
+// txSpliceCache caches the spliced view over an open transaction's live
+// state, keyed by the in-transaction operation counter: a check-in batch
+// resolves one path per update, and without the cache every resolution
+// would rebuild the whole splice.
+type txSpliceCache struct {
+	seq  uint64
+	user *pattern.Spliced
+}
+
+// updateViewLocked returns the view path resolution for updates runs
+// against: normally the current snapshot, but while a transaction is open a
+// view over the live engine state, so that a batch can address items it
+// created earlier in the same transaction (the server's check-in path
+// relies on this). Callers hold db.mu and must not let a live view escape
+// the lock.
+func (db *Database) updateViewLocked(user bool) View {
+	if db.engine.InTx() {
+		if !user {
+			return db.engine.View()
+		}
+		if c := db.txSplice.Load(); c != nil && c.seq == db.txSeq {
+			return c.user
+		}
+		sp := pattern.NewSpliced(db.engine.View())
+		db.txSplice.Store(&txSpliceCache{seq: db.txSeq, user: sp})
+		return sp
 	}
-	return v.db.engine.View()
-}
-
-// Schema implements View.
-func (v lockedView) Schema() *Schema {
-	v.db.mu.Lock()
-	defer v.db.mu.Unlock()
-	return v.db.engine.Schema()
-}
-
-// Object implements View.
-func (v lockedView) Object(id ID) (Object, bool) {
-	v.db.mu.Lock()
-	defer v.db.mu.Unlock()
-	return v.inner().Object(id)
-}
-
-// Relationship implements View.
-func (v lockedView) Relationship(id ID) (Relationship, bool) {
-	v.db.mu.Lock()
-	defer v.db.mu.Unlock()
-	return v.inner().Relationship(id)
-}
-
-// ObjectByName implements View.
-func (v lockedView) ObjectByName(name string) (ID, bool) {
-	v.db.mu.Lock()
-	defer v.db.mu.Unlock()
-	return v.inner().ObjectByName(name)
-}
-
-// Children implements View.
-func (v lockedView) Children(parent ID, role string) []ID {
-	v.db.mu.Lock()
-	defer v.db.mu.Unlock()
-	return v.inner().Children(parent, role)
-}
-
-// RelationshipsOf implements View.
-func (v lockedView) RelationshipsOf(obj ID) []ID {
-	v.db.mu.Lock()
-	defer v.db.mu.Unlock()
-	return v.inner().RelationshipsOf(obj)
-}
-
-// Objects implements View.
-func (v lockedView) Objects() []ID {
-	v.db.mu.Lock()
-	defer v.db.mu.Unlock()
-	return v.inner().Objects()
-}
-
-// Relationships implements View.
-func (v lockedView) Relationships() []ID {
-	v.db.mu.Lock()
-	defer v.db.mu.Unlock()
-	return v.inner().Relationships()
+	if user {
+		return db.snapshotLocked().userView()
+	}
+	return db.snapshotLocked().raw
 }
 
 // Origin reports the provenance of a virtual (inherited) item in the
 // current user view.
 func (db *Database) Origin(id ID) (source, patternRoot, inheritor ID, ok bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	org, ok := db.userViewLocked().Origin(id)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	org, ok := db.snapshotLocked().userView().Origin(id)
 	if !ok {
 		return NoID, NoID, NoID, false
 	}
@@ -341,13 +379,16 @@ func (db *Database) GetObject(name string) (Object, bool) {
 }
 
 // ResolvePath navigates a qualified name ("Alarms.Text[0].Selector") in the
-// user view.
+// user view. Inside an open transaction resolution sees the transaction's
+// own effects, so a batch can address items it created earlier.
 func (db *Database) ResolvePath(path string) (ID, error) {
 	p, err := ParsePath(path)
 	if err != nil {
 		return NoID, err
 	}
-	id, ok := item.Resolve(db.View(), p)
+	db.mu.RLock()
+	id, ok := item.Resolve(db.updateViewLocked(true), p)
+	db.mu.RUnlock()
 	if !ok {
 		return NoID, fmt.Errorf("seed: no object at path %q", path)
 	}
@@ -363,7 +404,9 @@ func (db *Database) ResolvePathRaw(path string) (ID, error) {
 	if err != nil {
 		return NoID, err
 	}
-	id, ok := item.Resolve(db.RawView(), p)
+	db.mu.RLock()
+	id, ok := item.Resolve(db.updateViewLocked(false), p)
+	db.mu.RUnlock()
 	if !ok {
 		return NoID, fmt.Errorf("seed: no object at path %q", path)
 	}

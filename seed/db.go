@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/consistency"
@@ -22,6 +23,10 @@ var (
 	ErrUnsavedChanges  = errors.New("seed: current state has unsaved changes; save a version first")
 	ErrInheritedData   = pattern.ErrInheritedData
 	ErrBadSchemaChange = errors.New("seed: schema evolution invalidates existing data")
+	// ErrTxOpen rejects whole-database operations (version save/select,
+	// schema evolution, compaction) while a transaction is open: they
+	// would freeze or persist a half-applied batch.
+	ErrTxOpen = errors.New("seed: operation not allowed while a transaction is open")
 )
 
 // SnapshotMode selects how versions store item states.
@@ -46,9 +51,9 @@ const (
 	// (the default).
 	SyncOnRequest = storage.SyncOnRequest
 	// SyncGroupCommit makes every journaled operation durable before it
-	// returns. Note that Database methods serialize on one mutex, so fsync
-	// coalescing across concurrent committers happens at the storage layer
-	// (storage.Store.Commit), not between Database callers.
+	// returns. Note that Database mutations serialize on the write lock,
+	// so fsync coalescing across concurrent committers happens at the
+	// storage layer (storage.Store.Commit), not between Database callers.
 	SyncGroupCommit = storage.SyncGroupCommit
 )
 
@@ -87,10 +92,13 @@ func (o Options) storage() storage.Options {
 
 // Database is a SEED database: the current state, the version tree, and —
 // when file-backed — a write-ahead log plus snapshot in one directory.
-// Methods are safe for use from multiple goroutines; SEED remains logically
-// single-user (the client/server layer serializes whole check-ins).
+// Methods are safe for use from multiple goroutines: mutations serialize on
+// a write lock, retrieval runs in parallel on a read lock, and View/RawView
+// return immutable snapshots that stay consistent while mutations proceed.
+// SEED remains logically single-user (the client/server layer serializes
+// whole check-ins behind its transaction gate).
 type Database struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 
 	schemas []*schema.Schema // index = version-1
 	engine  *core.Engine
@@ -99,9 +107,12 @@ type Database struct {
 	opts    Options
 	clock   func() time.Time
 
-	splice    *pattern.Spliced // cached user view
-	spliceGen uint64           // mutation generation the cache was built at
-	gen       uint64
+	snapMu sync.Mutex                    // serializes snapshot builds
+	snap   atomic.Pointer[snapshotCache] // snapshot of the last built generation
+	gen    uint64                        // mutation generation (bumped per visible change)
+
+	txSeq    uint64                        // in-transaction operation counter
+	txSplice atomic.Pointer[txSpliceCache] // spliced view over the open transaction's state
 
 	transitions map[string]TransitionRule // history-sensitive consistency rules
 
@@ -203,10 +214,12 @@ func (db *Database) Close() error {
 	return nil
 }
 
-// Sync makes all journaled operations durable.
+// Sync makes all journaled operations durable. The storage layer has its
+// own locking, so Sync only needs the read lock and runs in parallel with
+// retrieval.
 func (db *Database) Sync() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.store == nil {
 		return nil
 	}
@@ -215,22 +228,22 @@ func (db *Database) Sync() error {
 
 // Schema returns the current schema version.
 func (db *Database) Schema() *Schema {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.engine.Schema()
 }
 
 // SchemaVersion returns the current schema version number.
 func (db *Database) SchemaVersion() int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.engine.Schema().Version()
 }
 
 // SchemaAt returns a historical schema version (1-based).
 func (db *Database) SchemaAt(ver int) (*Schema, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.schemaAt(ver)
 }
 
@@ -268,6 +281,9 @@ func (db *Database) EvolveSchema(edit func(*Schema) error) error {
 	defer db.mu.Unlock()
 	if db.closed {
 		return ErrClosed
+	}
+	if db.engine.InTx() {
+		return ErrTxOpen
 	}
 	next, err := db.engine.Schema().Evolve()
 	if err != nil {
@@ -308,10 +324,11 @@ func (db *Database) EvolveSchema(edit func(*Schema) error) error {
 
 // ValidateAll re-checks every consistency rule for every live item — the
 // deferred whole-database validation the ablation study A2 compares against
-// SEED's eager per-update checking.
+// SEED's eager per-update checking. It only reads, so it runs in parallel
+// with retrieval.
 func (db *Database) ValidateAll() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.validateAllLocked()
 }
 
@@ -351,8 +368,8 @@ type Stats struct {
 
 // Stats reports current state statistics.
 func (db *Database) Stats() Stats {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	s := Stats{
 		Core:    db.engine.Stats(),
 		SchemaV: db.engine.Schema().Version(),
@@ -376,17 +393,28 @@ func (db *Database) appendRecord(payload []byte) error {
 }
 
 // maybeCompact runs auto-compaction when the log grows past the threshold.
+// Never inside an open transaction: the snapshot would capture uncommitted
+// operations and truncate the log before their buffered journal records
+// exist — Commit re-triggers the check once the batch is journaled.
 func (db *Database) maybeCompact() error {
+	if db.engine.InTx() {
+		return nil
+	}
 	if db.store == nil || db.opts.CompactAfter <= 0 || db.store.LogSize() < db.opts.CompactAfter {
 		return nil
 	}
 	return db.compactLocked()
 }
 
-// Compact writes a full snapshot and truncates the write-ahead log.
+// Compact writes a full snapshot and truncates the write-ahead log. It is
+// rejected while a transaction is open — the snapshot would persist the
+// half-applied batch.
 func (db *Database) Compact() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.engine.InTx() {
+		return ErrTxOpen
+	}
 	if db.store == nil {
 		return nil
 	}

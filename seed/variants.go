@@ -61,14 +61,14 @@ func (f *VariantFamily) Variants() []ID { return append([]ID(nil), f.variants...
 
 // InheritorsOf lists the items inheriting a pattern in the current state.
 func (db *Database) InheritorsOf(patternID ID) []ID {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return pattern.InheritorsOf(db.engine.View(), patternID)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return pattern.InheritorsOf(db.snapshotLocked().raw, patternID)
 }
 
 // PatternsOf lists the patterns an item inherits in the current state.
 func (db *Database) PatternsOf(inheritorID ID) []ID {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return pattern.PatternsOf(db.engine.View(), inheritorID)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return pattern.PatternsOf(db.snapshotLocked().raw, inheritorID)
 }

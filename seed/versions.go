@@ -33,6 +33,11 @@ func (db *Database) SaveVersion(note string) (VersionNumber, error) {
 	if db.closed {
 		return nil, ErrClosed
 	}
+	if db.engine.InTx() {
+		// A version must never freeze a half-applied batch, and the gen
+		// bump would let readers snapshot mid-transaction state.
+		return nil, ErrTxOpen
+	}
 	if err := db.checkTransitions(); err != nil {
 		return nil, err
 	}
@@ -119,10 +124,13 @@ func (db *Database) SelectVersionDiscard(num VersionNumber) error {
 }
 
 func (db *Database) selectVersionJournaled(num VersionNumber) error {
+	if db.engine.InTx() {
+		return ErrTxOpen // Restore would clobber the open transaction
+	}
 	if err := db.selectVersionLocked(num); err != nil {
 		return err
 	}
-	db.gen++
+	// selectVersionLocked already bumped the generation.
 	if db.store != nil {
 		if err := db.store.Append(encSelectVersion(num)); err != nil {
 			return err
@@ -147,6 +155,9 @@ func (db *Database) selectVersionLocked(num VersionNumber) error {
 		}
 	}
 	db.engine.Restore(objs, rels)
+	// The engine state is replaced from here on: bump the generation so
+	// stale snapshots are never served, even when a later step fails.
+	db.gen++
 	// Frozen states carry schema bindings from their creation time;
 	// re-bind them to the current schema (selection fails if evolution
 	// removed a class the version still uses).
@@ -166,6 +177,9 @@ func (db *Database) DeleteVersion(num VersionNumber) error {
 	defer db.mu.Unlock()
 	if db.closed {
 		return ErrClosed
+	}
+	if db.engine.InTx() {
+		return ErrTxOpen // the gen bump would expose mid-transaction state
 	}
 	if err := db.vers.Delete(num); err != nil {
 		return err
@@ -189,6 +203,9 @@ func (db *Database) Vacuum() (int, error) {
 	defer db.mu.Unlock()
 	if db.closed {
 		return 0, ErrClosed
+	}
+	if db.engine.InTx() {
+		return 0, ErrTxOpen
 	}
 	n, err := db.vacuumLocked()
 	if err != nil {
@@ -218,9 +235,10 @@ func (db *Database) vacuumLocked() (int, error) {
 // VersionView returns the user-facing view to a saved version: retrieval
 // from an old version works exactly like retrieval from the current one.
 // The view is interpreted under the schema version recorded by the version.
+// Version views are immutable and need no further synchronization.
 func (db *Database) VersionView(num VersionNumber) (View, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	node, err := db.vers.Lookup(num)
 	if err != nil {
 		return nil, err
@@ -238,8 +256,8 @@ func (db *Database) VersionView(num VersionNumber) (View, error) {
 
 // Versions lists all saved versions sorted by number.
 func (db *Database) Versions() []VersionInfo {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	nodes := db.vers.List()
 	out := make([]VersionInfo, 0, len(nodes))
 	for _, n := range nodes {
@@ -251,8 +269,8 @@ func (db *Database) Versions() []VersionInfo {
 // BaseVersion returns the version the current work is based on (ok=false
 // before the first snapshot).
 func (db *Database) BaseVersion() (VersionInfo, bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	b := db.vers.Base()
 	if b == nil {
 		return VersionInfo{}, false
@@ -262,8 +280,8 @@ func (db *Database) BaseVersion() (VersionInfo, bool) {
 
 // NextVersionNumber previews the number SaveVersion would assign.
 func (db *Database) NextVersionNumber() VersionNumber {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.vers.NextNumber()
 }
 
@@ -271,8 +289,8 @@ func (db *Database) NextVersionNumber() VersionNumber {
 // optionally restricted to the classification subtree rooted at prefix —
 // "find all versions of object 'AlarmHandler', beginning with version 2.0".
 func (db *Database) HistoryOf(id ID, prefix VersionNumber) []VersionInfo {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	nodes := db.vers.VersionsOf(id, prefix)
 	out := make([]VersionInfo, 0, len(nodes))
 	for _, n := range nodes {
