@@ -3,16 +3,22 @@
 //
 // Usage:
 //
-//	seedbench            # run everything
-//	seedbench -exp e3    # run one experiment
-//	seedbench -list      # list experiments
+//	seedbench                       # run everything
+//	seedbench -exp e3               # run one experiment
+//	seedbench -list                 # list experiments
+//	seedbench -exp e8 -json BENCH_E8.json  # export E8 machine-readable
+//	seedbench -short                # reduced workloads (CI smoke)
 //
 // E1-E5 reproduce the paper's evaluation artifacts; E6 measures the
-// storage engine's group-commit pipeline and E7 the snapshot-read/check-in
-// concurrency engine beyond the paper.
+// storage engine's group-commit pipeline, E7 the snapshot-read/check-in
+// concurrency engine, and E8 the copy-on-write snapshot generations plus
+// the class-indexed query path beyond the paper. With -json, the E8 data
+// is written as BENCH_E8.json so the perf trajectory is tracked across
+// PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,11 +38,14 @@ var experiments = []struct {
 	{"e5", "SPADES on SEED vs. direct data structures", bench.E5},
 	{"e6", "storage: group commit vs per-record fsync", bench.E6},
 	{"e7", "concurrency: parallel snapshot reads vs serialized check-ins", bench.E7},
+	{"e8", "snapshots: COW generations and the class-indexed read path", nil}, // wired in main
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1..e7 or all)")
+	exp := flag.String("exp", "all", "experiment to run (e1..e8 or all)")
 	list := flag.Bool("list", false, "list experiments")
+	short := flag.Bool("short", false, "reduced workloads (CI smoke)")
+	jsonPath := flag.String("json", "", "write the E8 machine-readable data to this file")
 	flag.Parse()
 
 	if *list {
@@ -46,17 +55,43 @@ func main() {
 		return
 	}
 
+	e8Workload := bench.DefaultChurnWorkload
+	if *short {
+		e8Workload = bench.ShortChurnWorkload
+	}
+	var e8Data *bench.E8Data
+
 	failed := false
 	for _, e := range experiments {
 		if *exp != "all" && !strings.EqualFold(*exp, e.id) {
 			continue
 		}
-		r := e.run()
+		var r *bench.Result
+		if e.id == "e8" {
+			r, e8Data = bench.E8Stats(e8Workload)
+		} else {
+			r = e.run()
+		}
 		fmt.Print(r.String())
 		fmt.Println()
 		if r.Failed {
 			failed = true
 		}
+	}
+	if *jsonPath != "" {
+		if e8Data == nil {
+			fmt.Fprintf(os.Stderr, "seedbench: -json given but experiment e8 did not run (-exp %s)\n", *exp)
+			os.Exit(1)
+		}
+		buf, err := json.MarshalIndent(e8Data, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seedbench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 	if failed {
 		fmt.Fprintln(os.Stderr, "seedbench: some assertions FAILED")

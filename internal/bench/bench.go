@@ -658,5 +658,5 @@ func E7() *Result {
 
 // All runs every experiment.
 func All() []*Result {
-	return []*Result{E1(), E2(), E3(), E4(), E5(), E6(), E7()}
+	return []*Result{E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8()}
 }

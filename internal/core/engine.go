@@ -93,6 +93,10 @@ type Engine struct {
 
 	dirty map[item.ID]bool // items changed since the last version freeze
 
+	snapDirty  map[item.ID]bool // items changed since the last frozen generation
+	lastFrozen *frozenView      // previous frozen generation (COW base); nil forces a full build
+	cowOff     bool             // ablation: rebuild every frozen view from scratch
+
 	inheritsLive int // live inherits-relationships (fast path when zero)
 
 	procs   map[string]Procedure
@@ -112,16 +116,17 @@ func NewEngine(sch *schema.Schema) (*Engine, error) {
 		return nil, schema.ErrNotFrozen
 	}
 	return &Engine{
-		sch:      sch,
-		objects:  make(map[item.ID]*item.Object),
-		rels:     make(map[item.ID]*item.Relationship),
-		nextID:   1,
-		byName:   make(map[string]item.ID),
-		children: make(map[item.ID]map[string][]item.ID),
-		relsOf:   make(map[item.ID][]item.ID),
-		indexCtr: make(map[item.ID]map[string]int),
-		dirty:    make(map[item.ID]bool),
-		procs:    make(map[string]Procedure),
+		sch:       sch,
+		objects:   make(map[item.ID]*item.Object),
+		rels:      make(map[item.ID]*item.Relationship),
+		nextID:    1,
+		byName:    make(map[string]item.ID),
+		children:  make(map[item.ID]map[string][]item.ID),
+		relsOf:    make(map[item.ID][]item.ID),
+		indexCtr:  make(map[item.ID]map[string]int),
+		dirty:     make(map[item.ID]bool),
+		snapDirty: make(map[item.ID]bool),
+		procs:     make(map[string]Procedure),
 	}, nil
 }
 
@@ -136,6 +141,7 @@ func (en *Engine) SetSchema(sch *schema.Schema) error {
 		return schema.ErrNotFrozen
 	}
 	en.sch = sch
+	en.invalidateFrozen() // frozen copies bind the old schema's classes
 	return nil
 }
 
@@ -143,6 +149,9 @@ func (en *Engine) SetSchema(sch *schema.Schema) error {
 // the current schema. It fails if an item's class no longer exists, which
 // makes removing a populated class an invalid schema evolution.
 func (en *Engine) RebindSchema() error {
+	// Class pointers change in place underneath every frozen copy's index;
+	// the next snapshot must rebuild rather than patch.
+	en.invalidateFrozen()
 	for _, o := range en.objects {
 		c, err := en.sch.Class(o.Class.QualifiedName())
 		if err != nil {

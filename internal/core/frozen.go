@@ -7,122 +7,514 @@ import (
 	"repro/internal/schema"
 )
 
-// Frozen views: immutable, self-contained copies of the engine's raw view.
-// The engine itself is single-writer and its rawView reads the live maps, so
-// a reader that walks several items can observe a half-applied batch. A
-// frozen view copies the live state once, under the caller's lock, and is
-// thereafter safe for any number of concurrent readers while the engine
-// keeps mutating — the seed database builds one per mutation generation and
-// shares it between all snapshot views of that generation.
+// Frozen views: immutable snapshots of the engine's raw view. The engine
+// itself is single-writer and its rawView reads the live maps, so a reader
+// that walks several items can observe a half-applied batch. A frozen view
+// captures the state once, under the caller's lock, and is thereafter safe
+// for any number of concurrent readers while the engine keeps mutating — the
+// seed database builds one per mutation generation and shares it between all
+// snapshot views of that generation.
+//
+// Snapshots are generational and copy-on-write: the engine tracks the items
+// dirtied since the last freeze (every mutation funnels through markDirty),
+// and a new frozen view patches only those entries over the previous
+// generation as an overlay, sharing every untouched map entry and slice
+// structurally. A small commit therefore freezes in O(delta), not O(n).
+// Overlay chains are collapsed into a self-contained copy when they grow
+// deeper than maxFrozenDepth or when the delta stops being small relative to
+// the database, which bounds both lookup cost and retained memory.
+//
+// Alongside the base maps each generation maintains two secondary indexes
+// incrementally: byClass (exact qualified class name -> live object IDs,
+// ascending) backing item.IndexedView for the query engine, and the byName
+// map it always had. It also keeps the live inherits-relationships as a
+// ready-made list (item.InheritsLister), so pattern splicing never scans all
+// relationships.
+//
+// Accessors return shared, immutable slices and relationship values whose
+// Ends are shared — callers must not modify results (the item.View
+// contract); anyone needing a mutable copy clones explicitly.
 
-// FrozenView copies the engine's current raw view (deleted items hidden,
-// patterns visible) into an immutable item.View. The caller must hold
-// whatever lock protects the engine during the copy; the returned view needs
-// no locking at all.
+// maxFrozenDepth bounds the overlay chain before a full rebuild collapses
+// it: lookups walk at most this many maps, and at most this many generations
+// of overlays are retained by the newest view.
+const maxFrozenDepth = 16
+
+// FrozenView returns the frozen snapshot of the engine's current raw view
+// (deleted items hidden, patterns visible) as an immutable item.View. The
+// caller must hold whatever lock protects the engine during the call —
+// FrozenView also updates the engine's snapshot bookkeeping, so concurrent
+// FrozenView calls must be serialized by the caller (the seed database uses
+// a dedicated snapshot mutex). The returned view needs no locking at all.
 func (en *Engine) FrozenView() item.View {
+	if en.cowOff {
+		// Ablation/bench mode: rebuild from scratch every time, and drop the
+		// bookkeeping so re-enabling starts from a clean full build.
+		en.lastFrozen = nil
+		en.snapDirty = make(map[item.ID]bool)
+		return en.fullFreeze()
+	}
+	prev := en.lastFrozen
+	if prev != nil && len(en.snapDirty) == 0 {
+		return prev // nothing changed: the previous generation is current
+	}
+	var f *frozenView
+	if prev == nil || prev.sch != en.sch || prev.depth+1 > maxFrozenDepth ||
+		4*len(en.snapDirty) >= prev.liveCount() {
+		f = en.fullFreeze()
+	} else {
+		f = en.deltaFreeze(prev)
+	}
+	en.lastFrozen = f
+	en.snapDirty = make(map[item.ID]bool)
+	return f
+}
+
+// FrozenViewRebuild builds a self-contained frozen view from scratch,
+// bypassing the copy-on-write path and leaving the incremental bookkeeping
+// untouched. The differential tests compare it against FrozenView after
+// every operation, and the E8 ablation measures it as the pre-COW baseline.
+func (en *Engine) FrozenViewRebuild() item.View { return en.fullFreeze() }
+
+// SetSnapshotCOW switches incremental copy-on-write snapshots on or off
+// (they are on by default). With COW off every FrozenView call rebuilds the
+// snapshot from scratch — the ablation baseline the E8 experiment measures.
+func (en *Engine) SetSnapshotCOW(enabled bool) {
+	en.cowOff = !enabled
+	en.lastFrozen = nil
+}
+
+// invalidateFrozen drops the incremental snapshot base: the next FrozenView
+// rebuilds from scratch. Called whenever the engine changes in ways the
+// dirty-set does not capture (whole-state restore, schema rebinding).
+func (en *Engine) invalidateFrozen() {
+	en.lastFrozen = nil
+	en.snapDirty = make(map[item.ID]bool)
+}
+
+// frozenChildren is one parent's frozen child lists: the per-role slices
+// plus the flattened all-roles list (roles in name order, each in index
+// order), precomputed once at freeze time so Children(parent, "") never
+// re-sorts role names per call.
+type frozenChildren struct {
+	byRole map[string][]item.ID
+	flat   []item.ID
+}
+
+// frozenView is one immutable generation. A view with base == nil is
+// self-contained: its maps hold every live entry. A view with a base holds
+// only the entries that changed since that base, with nil values (or NoID in
+// byName) marking entries that disappeared; lookups walk the chain and the
+// first map that knows the key wins. It mirrors rawView's semantics exactly:
+// only live items resolve, sibling lists are index-ordered, relationship
+// lists are ID-ordered.
+type frozenView struct {
+	sch   *schema.Schema
+	base  *frozenView // previous generation; nil when self-contained
+	depth int         // chain length (0 when self-contained)
+
+	objects  map[item.ID]*item.Object       // nil entry: hidden since base
+	rels     map[item.ID]*item.Relationship // nil entry: hidden since base
+	byName   map[string]item.ID             // NoID entry: name gone since base
+	children map[item.ID]*frozenChildren    // nil entry: no live children
+	relsOf   map[item.ID][]item.ID          // nil entry: no live relationships
+	byClass  map[string][]item.ID           // nil entry: class emptied since base
+
+	objIDs   []item.ID // live objects, ascending (shared when unchanged)
+	relIDs   []item.ID // live relationships, ascending (shared when unchanged)
+	inherits []item.ID // live inherits-relationships, ascending (shared when unchanged)
+}
+
+func (f *frozenView) liveCount() int { return len(f.objIDs) + len(f.relIDs) }
+
+// fullFreeze builds a self-contained frozen view from the live maps.
+func (en *Engine) fullFreeze() *frozenView {
 	f := &frozenView{
 		sch:      en.sch,
-		objects:  make(map[item.ID]item.Object, len(en.objects)),
-		rels:     make(map[item.ID]item.Relationship, len(en.rels)),
+		objects:  make(map[item.ID]*item.Object, len(en.objects)),
+		rels:     make(map[item.ID]*item.Relationship, len(en.rels)),
 		byName:   make(map[string]item.ID, len(en.byName)),
-		children: make(map[item.ID]map[string][]item.ID, len(en.children)),
+		children: make(map[item.ID]*frozenChildren, len(en.children)),
 		relsOf:   make(map[item.ID][]item.ID, len(en.relsOf)),
+		byClass:  make(map[string][]item.ID),
 	}
 	for id, o := range en.objects {
 		if o.Deleted {
 			continue
 		}
-		f.objects[id] = *o
+		c := *o
+		f.objects[id] = &c
 		f.objIDs = append(f.objIDs, id)
+		f.byClass[o.Class.QualifiedName()] = append(f.byClass[o.Class.QualifiedName()], id)
 	}
-	sort.Slice(f.objIDs, func(i, j int) bool { return f.objIDs[i] < f.objIDs[j] })
+	sortIDs(f.objIDs)
+	for _, ids := range f.byClass {
+		sortIDs(ids)
+	}
+	for name, id := range en.byName {
+		f.byName[name] = id
+	}
 	for id, r := range en.rels {
 		if r.Deleted {
 			continue
 		}
-		f.rels[id] = r.Clone()
+		c := r.Clone()
+		f.rels[id] = &c
 		f.relIDs = append(f.relIDs, id)
-	}
-	sort.Slice(f.relIDs, func(i, j int) bool { return f.relIDs[i] < f.relIDs[j] })
-	for name, id := range en.byName {
-		f.byName[name] = id
-	}
-	for parent, byRole := range en.children {
-		m := make(map[string][]item.ID, len(byRole))
-		for role, ids := range byRole {
-			m[role] = append([]item.ID(nil), ids...)
+		if r.Inherits {
+			f.inherits = append(f.inherits, id)
 		}
-		f.children[parent] = m
+	}
+	sortIDs(f.relIDs)
+	sortIDs(f.inherits)
+	for parent, byRole := range en.children {
+		if fc := freezeChildren(byRole); fc != nil {
+			f.children[parent] = fc
+		}
 	}
 	for obj, ids := range en.relsOf {
-		f.relsOf[obj] = append([]item.ID(nil), ids...)
+		if len(ids) > 0 {
+			f.relsOf[obj] = copyIDs(ids)
+		}
 	}
 	return f
 }
 
-// frozenView is the immutable copy. It mirrors rawView's semantics exactly:
-// only live items resolve, sibling lists are index-ordered, relationship
-// lists are ID-ordered. Methods return fresh slices (and cloned
-// relationships), so callers may modify results freely.
-type frozenView struct {
-	sch      *schema.Schema
-	objects  map[item.ID]item.Object
-	rels     map[item.ID]item.Relationship
-	byName   map[string]item.ID
-	children map[item.ID]map[string][]item.ID
-	relsOf   map[item.ID][]item.ID
-	objIDs   []item.ID // live objects, ascending
-	relIDs   []item.ID // live relationships, ascending
-}
-
-func (f *frozenView) Schema() *schema.Schema { return f.sch }
-
-func (f *frozenView) Object(id item.ID) (item.Object, bool) {
-	o, ok := f.objects[id]
-	return o, ok
-}
-
-func (f *frozenView) Relationship(id item.ID) (item.Relationship, bool) {
-	r, ok := f.rels[id]
-	if !ok {
-		return item.Relationship{}, false
+// deltaFreeze patches the items dirtied since prev over prev, sharing every
+// untouched entry. Cost is proportional to the delta (plus the sizes of the
+// directly affected adjacency and index entries), never to the database.
+func (en *Engine) deltaFreeze(prev *frozenView) *frozenView {
+	f := &frozenView{
+		sch:      en.sch,
+		base:     prev,
+		depth:    prev.depth + 1,
+		objects:  make(map[item.ID]*item.Object, len(en.snapDirty)),
+		rels:     make(map[item.ID]*item.Relationship),
+		byName:   make(map[string]item.ID),
+		children: make(map[item.ID]*frozenChildren),
+		relsOf:   make(map[item.ID][]item.ID),
+		byClass:  make(map[string][]item.ID),
 	}
-	return r.Clone(), true
+
+	// Derived entries to recompute from the live maps after the item pass.
+	touchedParents := make(map[item.ID]bool)
+	touchedRelsOf := make(map[item.ID]bool)
+	touchedNames := make(map[string]bool)
+	classAdd := make(map[string][]item.ID)
+	classDel := make(map[string]map[item.ID]bool)
+	var objAdd, objDel, relAdd, relDel, inhAdd, inhDel []item.ID
+	delClass := func(name string, id item.ID) {
+		set := classDel[name]
+		if set == nil {
+			set = make(map[item.ID]bool)
+			classDel[name] = set
+		}
+		set[id] = true
+	}
+
+	for id := range en.snapDirty {
+		if o, ok := en.objects[id]; ok {
+			prevO, had := prev.Object(id)
+			if o.Deleted {
+				if !had {
+					continue // rolled-back create or deleted before prev froze
+				}
+				f.objects[id] = nil
+				f.children[id] = nil
+				f.relsOf[id] = nil
+				objDel = append(objDel, id)
+				delClass(prevO.Class.QualifiedName(), id)
+				if o.Independent() {
+					touchedNames[o.Name] = true
+				} else {
+					touchedParents[o.Parent] = true
+				}
+				continue
+			}
+			c := *o
+			f.objects[id] = &c
+			if !had {
+				objAdd = append(objAdd, id)
+				classAdd[o.Class.QualifiedName()] = append(classAdd[o.Class.QualifiedName()], id)
+				if o.Independent() {
+					touchedNames[o.Name] = true
+				} else {
+					touchedParents[o.Parent] = true
+				}
+			} else if prevO.Class != o.Class { // reclassified
+				delClass(prevO.Class.QualifiedName(), id)
+				classAdd[o.Class.QualifiedName()] = append(classAdd[o.Class.QualifiedName()], id)
+			}
+			continue
+		}
+		if r, ok := en.rels[id]; ok {
+			_, had := prev.Relationship(id)
+			if r.Deleted {
+				if !had {
+					continue
+				}
+				f.rels[id] = nil
+				f.children[id] = nil // attribute sub-objects die with it
+				relDel = append(relDel, id)
+				for _, e := range r.Ends {
+					touchedRelsOf[e.Object] = true
+				}
+				if r.Inherits {
+					inhDel = append(inhDel, id)
+				}
+				continue
+			}
+			c := r.Clone()
+			f.rels[id] = &c
+			if !had {
+				relAdd = append(relAdd, id)
+				for _, e := range r.Ends {
+					touchedRelsOf[e.Object] = true
+				}
+				if r.Inherits {
+					inhAdd = append(inhAdd, id)
+				}
+			}
+			continue
+		}
+		// The item vanished from the engine maps entirely (physically purged
+		// after its deletion was already frozen, or created and rolled back
+		// within the delta) — nothing visible can have changed, but hide a
+		// prev entry defensively if one exists.
+		if prevO, had := prev.Object(id); had {
+			f.objects[id] = nil
+			f.children[id] = nil
+			f.relsOf[id] = nil
+			objDel = append(objDel, id)
+			delClass(prevO.Class.QualifiedName(), id)
+			if prevO.Independent() {
+				touchedNames[prevO.Name] = true
+			} else {
+				touchedParents[prevO.Parent] = true
+			}
+		} else if prevR, had := prev.Relationship(id); had {
+			f.rels[id] = nil
+			f.children[id] = nil
+			relDel = append(relDel, id)
+			for _, e := range prevR.Ends {
+				touchedRelsOf[e.Object] = true
+			}
+			if prevR.Inherits {
+				inhDel = append(inhDel, id)
+			}
+		}
+	}
+
+	// Recompute the touched adjacency and index entries from the live maps.
+	for parent := range touchedParents {
+		if _, tombstoned := f.children[parent]; !tombstoned {
+			f.children[parent] = freezeChildren(en.children[parent])
+		}
+	}
+	for obj := range touchedRelsOf {
+		if _, tombstoned := f.relsOf[obj]; !tombstoned {
+			f.relsOf[obj] = copyIDs(en.relsOf[obj])
+		}
+	}
+	for name := range touchedNames {
+		if id, ok := en.byName[name]; ok {
+			f.byName[name] = id
+		} else {
+			f.byName[name] = item.NoID
+		}
+	}
+	for name, ids := range classAdd {
+		sortIDs(ids)
+		f.byClass[name] = patchSorted(prev.objectsOfClass(name), ids, classDel[name])
+		delete(classDel, name)
+	}
+	for name, del := range classDel {
+		f.byClass[name] = patchSorted(prev.objectsOfClass(name), nil, del)
+	}
+
+	f.objIDs = patchMembers(prev.objIDs, objAdd, objDel)
+	f.relIDs = patchMembers(prev.relIDs, relAdd, relDel)
+	f.inherits = patchMembers(prev.inherits, inhAdd, inhDel)
+	return f
 }
 
-func (f *frozenView) ObjectByName(name string) (item.ID, bool) {
-	id, ok := f.byName[name]
-	return id, ok
-}
-
-func (f *frozenView) Children(parent item.ID, role string) []item.ID {
-	byRole, ok := f.children[parent]
-	if !ok {
+// freezeChildren copies one parent's live role map into a frozenChildren,
+// with the flattened all-roles list precomputed. Returns nil when the parent
+// has no live children.
+func freezeChildren(byRole map[string][]item.ID) *frozenChildren {
+	total := 0
+	for _, ids := range byRole {
+		total += len(ids)
+	}
+	if total == 0 {
 		return nil
 	}
-	if role != "" {
-		return append([]item.ID(nil), byRole[role]...)
-	}
+	fc := &frozenChildren{byRole: make(map[string][]item.ID, len(byRole))}
 	roles := make([]string, 0, len(byRole))
-	for r := range byRole {
-		roles = append(roles, r)
+	for role, ids := range byRole {
+		if len(ids) == 0 {
+			continue
+		}
+		fc.byRole[role] = copyIDs(ids)
+		roles = append(roles, role)
 	}
 	sort.Strings(roles)
-	var out []item.ID
-	for _, r := range roles {
-		out = append(out, byRole[r]...)
+	fc.flat = make([]item.ID, 0, total)
+	for _, role := range roles {
+		fc.flat = append(fc.flat, fc.byRole[role]...)
+	}
+	return fc
+}
+
+// patchMembers shares base when nothing changed, and otherwise merges the
+// sorted additions in and filters the removals out in one pass.
+func patchMembers(base, add, del []item.ID) []item.ID {
+	if len(add) == 0 && len(del) == 0 {
+		return base
+	}
+	sortIDs(add)
+	delSet := make(map[item.ID]bool, len(del))
+	for _, id := range del {
+		delSet[id] = true
+	}
+	return patchSorted(base, add, delSet)
+}
+
+// patchSorted returns base minus del plus add (both ascending), ascending.
+func patchSorted(base, add []item.ID, del map[item.ID]bool) []item.ID {
+	out := make([]item.ID, 0, len(base)+len(add))
+	ai := 0
+	for _, id := range base {
+		for ai < len(add) && add[ai] < id {
+			out = append(out, add[ai])
+			ai++
+		}
+		if del[id] {
+			continue
+		}
+		if ai < len(add) && add[ai] == id {
+			ai++ // already present; keep one copy
+		}
+		out = append(out, id)
+	}
+	for ; ai < len(add); ai++ {
+		out = append(out, add[ai])
+	}
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
 
+func sortIDs(ids []item.ID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+func copyIDs(ids []item.ID) []item.ID {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]item.ID, len(ids))
+	copy(out, ids)
+	return out
+}
+
+// ---- item.View ----
+
+func (f *frozenView) Schema() *schema.Schema { return f.sch }
+
+func (f *frozenView) Object(id item.ID) (item.Object, bool) {
+	for v := f; v != nil; v = v.base {
+		if o, ok := v.objects[id]; ok {
+			if o == nil {
+				return item.Object{}, false
+			}
+			return *o, true
+		}
+	}
+	return item.Object{}, false
+}
+
+// Relationship returns the shared frozen value: the Ends slice is immutable
+// shared data. Callers that need to mutate ends clone explicitly (see
+// item.Relationship.Clone).
+func (f *frozenView) Relationship(id item.ID) (item.Relationship, bool) {
+	for v := f; v != nil; v = v.base {
+		if r, ok := v.rels[id]; ok {
+			if r == nil {
+				return item.Relationship{}, false
+			}
+			return *r, true
+		}
+	}
+	return item.Relationship{}, false
+}
+
+func (f *frozenView) ObjectByName(name string) (item.ID, bool) {
+	for v := f; v != nil; v = v.base {
+		if id, ok := v.byName[name]; ok {
+			if id == item.NoID {
+				return item.NoID, false
+			}
+			return id, true
+		}
+	}
+	return item.NoID, false
+}
+
+func (f *frozenView) childEntry(parent item.ID) *frozenChildren {
+	for v := f; v != nil; v = v.base {
+		if fc, ok := v.children[parent]; ok {
+			return fc
+		}
+	}
+	return nil
+}
+
+// Children returns shared immutable slices; the empty role uses the
+// flattened list precomputed at freeze time.
+func (f *frozenView) Children(parent item.ID, role string) []item.ID {
+	fc := f.childEntry(parent)
+	if fc == nil {
+		return nil
+	}
+	if role != "" {
+		return fc.byRole[role]
+	}
+	return fc.flat
+}
+
 func (f *frozenView) RelationshipsOf(obj item.ID) []item.ID {
-	return append([]item.ID(nil), f.relsOf[obj]...)
+	for v := f; v != nil; v = v.base {
+		if ids, ok := v.relsOf[obj]; ok {
+			return ids
+		}
+	}
+	return nil
 }
 
-func (f *frozenView) Objects() []item.ID {
-	return append([]item.ID(nil), f.objIDs...)
+func (f *frozenView) Objects() []item.ID { return f.objIDs }
+
+func (f *frozenView) Relationships() []item.ID { return f.relIDs }
+
+// ---- item.IndexedView / item.InheritsLister ----
+
+func (f *frozenView) objectsOfClass(qualified string) []item.ID {
+	for v := f; v != nil; v = v.base {
+		if ids, ok := v.byClass[qualified]; ok {
+			return ids
+		}
+	}
+	return nil
 }
 
-func (f *frozenView) Relationships() []item.ID {
-	return append([]item.ID(nil), f.relIDs...)
+// ObjectsOfClass implements item.IndexedView over the incrementally
+// maintained class index: live objects whose exact class has the given
+// qualified name, ascending, as a shared immutable slice.
+func (f *frozenView) ObjectsOfClass(qualified string) ([]item.ID, bool) {
+	return f.objectsOfClass(qualified), true
 }
+
+// InheritsRelationships implements item.InheritsLister: the live
+// inherits-relationships, ascending, as a shared immutable slice.
+func (f *frozenView) InheritsRelationships() []item.ID { return f.inherits }

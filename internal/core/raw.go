@@ -30,8 +30,13 @@ func (en *Engine) rollbackTo(mark int) {
 	en.undo = en.undo[:mark]
 }
 
-// markDirty remembers that an item changed since the last version freeze.
+// markDirty remembers that an item changed since the last version freeze and
+// since the last frozen snapshot generation. The snapshot mark is
+// deliberately not undone on rollback: a rolled-back change leaves the item
+// in its pre-change state, and the next delta freeze re-reads that state
+// from the live maps, so a conservative mark only costs one spurious patch.
 func (en *Engine) markDirty(id item.ID) {
+	en.snapDirty[id] = true
 	if en.dirty[id] {
 		return
 	}

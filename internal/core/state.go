@@ -70,6 +70,8 @@ func (en *Engine) Restore(objs []item.Object, rels []item.Relationship) {
 	en.indexCtr = make(map[item.ID]map[string]int)
 	en.dirty = make(map[item.ID]bool)
 	en.undo = en.undo[:0]
+	en.inheritsLive = 0
+	en.invalidateFrozen() // wholesale replacement: the COW base is meaningless
 
 	for i := range objs {
 		o := objs[i] // copy
@@ -105,6 +107,9 @@ func (en *Engine) Restore(objs []item.Object, rels []item.Relationship) {
 			for _, e := range r.Ends {
 				en.linkRel(e.Object, r.ID)
 			}
+			if r.Inherits {
+				en.inheritsLive++
+			}
 		}
 	}
 }
@@ -118,6 +123,10 @@ func (en *Engine) PurgeDeleted(keep func(item.ID) bool) (int, error) {
 	if en.txOpen {
 		return 0, fmt.Errorf("%w: purge inside transaction", ErrTxState)
 	}
+	// snapDirty marks are deliberately kept: a purged item may have been
+	// deleted after the last frozen generation, and the next delta freeze
+	// needs the mark to tombstone it (it finds the item in neither live map
+	// and hides the previous generation's entry).
 	purged := 0
 	for id, o := range en.objects {
 		if o.Deleted && !keep(id) {

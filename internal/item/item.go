@@ -158,6 +158,16 @@ func (r Relationship) Clone() Relationship {
 // concrete view: the engine's raw view shows them (the checkers need them),
 // the user-facing spliced view hides them and shows inherited items in the
 // context of their inheritors instead.
+//
+// Mutability contract: every result a View hands out — ID slices from
+// Children, RelationshipsOf, Objects, and Relationships, and the Ends slice
+// inside a returned Relationship — is shared, immutable data. Callers must
+// not modify results in place; a caller that needs a mutable copy clones
+// explicitly (append to a nil slice, or Relationship.Clone). Implementations
+// may return freshly allocated slices, but callers cannot rely on it: the
+// frozen snapshot views share one backing array between all readers of a
+// generation, and a write through a result would race every other reader.
+// The race-mode differential tests in internal/core enforce this contract.
 type View interface {
 	// Schema returns the schema this state is interpreted under.
 	Schema() *schema.Schema
@@ -184,6 +194,31 @@ type View interface {
 
 	// Relationships lists all visible relationships in ascending ID order.
 	Relationships() []ID
+}
+
+// IndexedView is an optional View extension implemented by views that
+// maintain a secondary class index. The query engine starts a by-class
+// selection from the index instead of scanning Objects(); views without the
+// extension (or wrapping a base without it) keep working through the scan
+// path.
+type IndexedView interface {
+	View
+
+	// ObjectsOfClass lists the visible objects whose exact class has the
+	// given qualified name, in ascending ID order, as a shared immutable
+	// slice (callers must not modify it). Specializations do not match; the
+	// caller expands the class family itself. ok reports whether the view
+	// actually maintains an index — false means the caller must fall back
+	// to scanning, not that the class is empty.
+	ObjectsOfClass(qualified string) (ids []ID, ok bool)
+}
+
+// InheritsLister is an optional View extension enumerating the live
+// inherits-relationships directly, in ascending ID order, as a shared
+// immutable slice. Pattern splicing uses it to avoid scanning every
+// relationship of the view per generation.
+type InheritsLister interface {
+	InheritsRelationships() []ID
 }
 
 // PathOf reconstructs the qualified name of an object by walking parents.

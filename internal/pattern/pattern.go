@@ -86,12 +86,16 @@ type Spliced struct {
 	vRels     map[item.ID]item.Relationship
 	vChildren map[item.ID]map[string][]item.ID
 	vRelsOf   map[item.ID][]item.ID
+	vByClass  map[string][]item.ID // virtual objects per exact class, ascending
 	origins   map[item.ID]Origin
 	nextVID   item.ID
 }
 
 // NewSpliced builds the spliced view over a base (raw) view. The splice is
-// computed eagerly; build a fresh view after mutations.
+// computed eagerly; build a fresh view after mutations. When the base
+// implements item.InheritsLister (the engine's frozen snapshots do), the
+// construction cost is proportional to the inherited information, not to
+// the whole relationship population.
 func NewSpliced(base item.View) *Spliced {
 	s := &Spliced{
 		base:      base,
@@ -99,11 +103,18 @@ func NewSpliced(base item.View) *Spliced {
 		vRels:     make(map[item.ID]item.Relationship),
 		vChildren: make(map[item.ID]map[string][]item.ID),
 		vRelsOf:   make(map[item.ID][]item.ID),
+		vByClass:  make(map[string][]item.ID),
 		origins:   make(map[item.ID]Origin),
 		nextVID:   VirtualBase,
 	}
 	// Deterministic order: inherits relationships in ascending ID order.
-	for _, rid := range base.Relationships() {
+	var inheritsIDs []item.ID
+	if il, ok := base.(item.InheritsLister); ok {
+		inheritsIDs = il.InheritsRelationships()
+	} else {
+		inheritsIDs = base.Relationships()
+	}
+	for _, rid := range inheritsIDs {
 		r, ok := base.Relationship(rid)
 		if !ok || !r.Inherits {
 			continue
@@ -114,6 +125,17 @@ func NewSpliced(base item.View) *Spliced {
 			continue
 		}
 		s.splice(pat, inh)
+	}
+	// Virtual IDs are allocated ascending, so appending in ID order keeps
+	// every class list sorted.
+	vids := make([]item.ID, 0, len(s.vObjects))
+	for id := range s.vObjects {
+		vids = append(vids, id)
+	}
+	sort.Slice(vids, func(i, j int) bool { return vids[i] < vids[j] })
+	for _, id := range vids {
+		name := s.vObjects[id].Class.QualifiedName()
+		s.vByClass[name] = append(s.vByClass[name], id)
 	}
 	return s
 }
@@ -227,14 +249,16 @@ func (s *Spliced) Object(id item.ID) (item.Object, bool) {
 }
 
 // Relationship implements item.View: pattern relationships and
-// inherits-relationships are hidden, virtual relationships resolve.
+// inherits-relationships are hidden, virtual relationships resolve. The
+// returned value shares its Ends slice per the item.View mutability
+// contract — callers that mutate ends clone explicitly.
 func (s *Spliced) Relationship(id item.ID) (item.Relationship, bool) {
 	if IsVirtualID(id) {
 		r, ok := s.vRels[id]
 		if !ok {
 			return item.Relationship{}, false
 		}
-		return r.Clone(), true
+		return r, true
 	}
 	r, ok := s.base.Relationship(id)
 	if !ok || r.Pattern || r.Inherits {
@@ -306,6 +330,30 @@ func (s *Spliced) Objects() []item.ID {
 	}
 	sort.Slice(vids, func(i, j int) bool { return vids[i] < vids[j] })
 	return append(out, vids...)
+}
+
+// ObjectsOfClass implements item.IndexedView over an indexed base: the
+// base's class index with pattern objects filtered out, followed by the
+// virtual objects of the class (virtual IDs are above every real ID, so the
+// result stays ascending). Over a base without an index it reports ok=false
+// and queries fall back to the scan path.
+func (s *Spliced) ObjectsOfClass(qualified string) ([]item.ID, bool) {
+	iv, ok := s.base.(item.IndexedView)
+	if !ok {
+		return nil, false
+	}
+	baseIDs, ok := iv.ObjectsOfClass(qualified)
+	if !ok {
+		return nil, false
+	}
+	virt := s.vByClass[qualified]
+	out := make([]item.ID, 0, len(baseIDs)+len(virt))
+	for _, id := range baseIDs {
+		if o, ok := s.base.Object(id); ok && !o.Pattern {
+			out = append(out, id)
+		}
+	}
+	return append(out, virt...), true
 }
 
 // Relationships lists real non-pattern, non-inherits relationships followed

@@ -1,0 +1,211 @@
+package query_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/item"
+	"repro/internal/query"
+	"repro/seed"
+)
+
+// Differential test for the class-index query path: every query must return
+// identical results whether it starts from the class index of an
+// item.IndexedView or scans Objects(). The dataset is randomized and
+// includes pattern objects, inherited (spliced, virtual) items, and
+// undefined values, so the undefined-matches-nothing semantics and the
+// virtual-ID layering are covered on both paths.
+
+// scanOnly hides the optional index extensions of a view, forcing query.Run
+// onto the scan path while observing the identical state. It also replaces
+// ObjectByName with an independent linear scan, so the literal-NameGlob
+// fast path is compared against a real scan instead of against itself.
+type scanOnly struct{ item.View }
+
+func (s scanOnly) ObjectByName(name string) (item.ID, bool) {
+	for _, id := range s.View.Objects() {
+		if o, ok := s.View.Object(id); ok && o.Independent() && o.Name == name {
+			return id, true
+		}
+	}
+	return item.NoID, false
+}
+
+func buildDataset(t *testing.T) *seed.Database {
+	t.Helper()
+	db, err := seed.NewMemory(seed.Figure3Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	classes := []string{"Thing", "Data", "InputData", "OutputData", "Action"}
+	var data, actions, patterns, bare []seed.ID
+	for i := 0; i < 120; i++ {
+		class := classes[rng.Intn(len(classes))]
+		name := fmt.Sprintf("Obj%03d", i)
+		var id seed.ID
+		var err error
+		isPattern := rng.Intn(8) == 0
+		if isPattern {
+			// Patterns live at the generalization root so any normal item
+			// can inherit them (the inheritor must be a specialization of
+			// the pattern's class).
+			id, err = db.CreatePatternObject("Thing", name)
+			if err == nil {
+				patterns = append(patterns, id)
+			}
+		} else {
+			id, err = db.CreateObject(class, name)
+			if err == nil {
+				switch class {
+				case "Data", "InputData", "OutputData":
+					data = append(data, id)
+				case "Action":
+					actions = append(actions, id)
+				}
+			}
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sub-objects with a mix of defined and undefined values; objects
+		// left bare can inherit a pattern's Description without violating
+		// the 0..1 cardinality. Patterns get theirs in the inherit loop
+		// below (cardinality on patterns is only checked when inherited).
+		if isPattern {
+			continue
+		}
+		switch rng.Intn(4) {
+		case 0:
+			if _, err := db.CreateValueObject(id, "Description",
+				seed.NewString(fmt.Sprintf("desc %d", rng.Intn(4)))); err != nil {
+				t.Fatal(err)
+			}
+		case 1: // created but never given a value: stays undefined
+			if _, err := db.CreateSubObject(id, "Description"); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			bare = append(bare, id)
+		}
+	}
+	for i := 0; i < 60 && len(data) > 0 && len(actions) > 0; i++ {
+		_, err := db.CreateRelationship("Access", map[string]seed.ID{
+			"from": data[rng.Intn(len(data))], "by": actions[rng.Intn(len(actions))]})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Inherited information: patterns with sub-objects, spliced into normal
+	// items — virtual objects must behave identically on both query paths.
+	// Inheritors come from the bare pool so the inherited Description does
+	// not exceed its 0..1 cardinality in any spliced context.
+	inherited := 0
+	for i, pat := range patterns {
+		if _, err := db.CreateValueObject(pat, "Description",
+			seed.NewString(fmt.Sprintf("inherited %d", i))); err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < 2 && len(bare) > 0; n++ {
+			inh := bare[len(bare)-1]
+			bare = bare[:len(bare)-1]
+			if _, err := db.Inherit(pat, inh); err != nil {
+				t.Fatal(err)
+			}
+			inherited++
+		}
+	}
+	if len(patterns) == 0 || inherited == 0 {
+		t.Fatalf("dataset misses pattern coverage: %d patterns, %d inherits",
+			len(patterns), inherited)
+	}
+	return db
+}
+
+func queriesUnderTest() map[string]*query.Query {
+	return map[string]*query.Query{
+		"all":                query.New(),
+		"class-exact":        query.New().Class("Data", false),
+		"class-specs":        query.New().Class("Data", true),
+		"class-root-specs":   query.New().Class("Thing", true),
+		"class-leaf":         query.New().Class("OutputData", false),
+		"class-dependent":    query.New().Class("Thing.Description", false),
+		"class-unknown":      query.New().Class("NoSuchClass", true),
+		"name-literal":       query.New().NameGlob("Obj042"),
+		"name-literal-miss":  query.New().NameGlob("NoSuchName"),
+		"name-glob":          query.New().NameGlob("Obj0*"),
+		"class-and-name":     query.New().Class("Action", false).NameGlob("Obj*"),
+		"where-defined":      query.New().Where("Description", query.Eq, seed.NewString("desc 1")),
+		"where-undef-substr": query.New().Class("Thing", true).Where("Description", query.Contains, seed.NewString("desc")),
+		"where-ne":           query.New().Class("Data", true).Where("Description", query.Ne, seed.NewString("desc 0")),
+		"limited":            query.New().Class("Thing", true).Limit(5),
+		"class-name-where": query.New().Class("Data", false).NameGlob("Obj1*").
+			Where("Description", query.Contains, seed.NewString("e")),
+	}
+}
+
+// TestQueryIndexedMatchesScan runs every query over the user (spliced) view
+// and the raw view, each once through the index and once through the forced
+// scan, and requires identical results.
+func TestQueryIndexedMatchesScan(t *testing.T) {
+	db := buildDataset(t)
+	defer db.Close()
+
+	views := map[string]item.View{"user": db.View(), "raw": db.RawView()}
+	for vname, v := range views {
+		if _, ok := v.(item.IndexedView); !ok {
+			t.Fatalf("%s view does not implement item.IndexedView", vname)
+		}
+		for qname, q := range queriesUnderTest() {
+			indexed, err1 := q.Run(v)
+			scanned, err2 := q.Run(scanOnly{v})
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s/%s: errors %v, %v", vname, qname, err1, err2)
+			}
+			if !reflect.DeepEqual(indexed, scanned) {
+				t.Errorf("%s/%s: indexed %v != scanned %v", vname, qname, indexed, scanned)
+			}
+		}
+	}
+}
+
+// TestQueryIndexedAfterChurn re-checks equality after mutations have run
+// several copy-on-write snapshot generations, including deletions and
+// reclassifications that move objects between class index entries.
+func TestQueryIndexedAfterChurn(t *testing.T) {
+	db := buildDataset(t)
+	defer db.Close()
+	rng := rand.New(rand.NewSource(23))
+
+	v := db.View()
+	all, err := query.New().Class("Thing", true).Run(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 8; round++ {
+		for i := 0; i < 10 && len(all) > 0; i++ {
+			id := all[rng.Intn(len(all))]
+			switch rng.Intn(3) {
+			case 0:
+				_ = db.Delete(id)
+			case 1:
+				_ = db.Reclassify(id, "OutputData")
+			default:
+				_ = db.Reclassify(id, "Data")
+			}
+		}
+		v = db.View()
+		for qname, q := range queriesUnderTest() {
+			indexed, err1 := q.Run(v)
+			scanned, err2 := q.Run(scanOnly{v})
+			if err1 != nil || err2 != nil {
+				t.Fatalf("round %d %s: errors %v, %v", round, qname, err1, err2)
+			}
+			if !reflect.DeepEqual(indexed, scanned) {
+				t.Fatalf("round %d %s: indexed %v != scanned %v", round, qname, indexed, scanned)
+			}
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"repro/internal/item"
+	"repro/internal/schema"
 	"repro/internal/value"
 )
 
@@ -142,12 +143,40 @@ func (q *Query) Limit(n int) *Query {
 
 // Run evaluates the query over a view, returning matching object IDs in
 // ascending order.
+//
+// Selection starts from the cheapest access path the view supports: a
+// literal name restriction resolves through the view's name index
+// (ObjectByName), and a class restriction over an item.IndexedView starts
+// from the class index — cost proportional to the candidate classes, not
+// the database. Every candidate still runs through the full predicate set,
+// so all paths return identical results; views without an index fall back
+// to the scan over Objects().
 func (q *Query) Run(v item.View) ([]item.ID, error) {
 	if q.err != nil {
 		return nil, q.err
 	}
+	if q.nameGlob != "" && literalGlob(q.nameGlob) {
+		// Exact-name selection: at most one candidate, on any view.
+		id, ok := v.ObjectByName(q.nameGlob)
+		if !ok {
+			return nil, nil
+		}
+		o, ok := v.Object(id)
+		if !ok || !q.matches(v, o) {
+			return nil, nil
+		}
+		return []item.ID{id}, nil
+	}
+	var candidates []item.ID
+	narrowed := false
+	if q.className != "" {
+		candidates, narrowed = q.classCandidates(v)
+	}
+	if !narrowed {
+		candidates = v.Objects()
+	}
 	var out []item.ID
-	for _, id := range v.Objects() {
+	for _, id := range candidates {
 		o, ok := v.Object(id)
 		if !ok {
 			continue
@@ -161,6 +190,89 @@ func (q *Query) Run(v item.View) ([]item.ID, error) {
 		}
 	}
 	return out, nil
+}
+
+// classCandidates narrows the candidate set through the view's class index:
+// the restriction class itself plus, with includeSpecializations, its whole
+// specialization subtree. ok=false means the view maintains no usable index
+// and the caller scans.
+func (q *Query) classCandidates(v item.View) ([]item.ID, bool) {
+	iv, ok := v.(item.IndexedView)
+	if !ok {
+		return nil, false
+	}
+	if !q.includeSpecs {
+		ids, ok := iv.ObjectsOfClass(q.className)
+		return ids, ok
+	}
+	// A class name outside the schema matches nothing — the scan path
+	// compares qualified-name strings and never finds it either.
+	cls, err := v.Schema().Class(q.className)
+	if err != nil {
+		return nil, true
+	}
+	var lists [][]item.ID
+	var collect func(c *schema.Class) bool
+	collect = func(c *schema.Class) bool {
+		ids, ok := iv.ObjectsOfClass(c.QualifiedName())
+		if !ok {
+			return false
+		}
+		if len(ids) > 0 {
+			lists = append(lists, ids)
+		}
+		for _, s := range c.Specializations() {
+			if !collect(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if !collect(cls) {
+		return nil, false
+	}
+	return mergeSorted(lists), true
+}
+
+// mergeSorted merges ascending, mutually disjoint ID lists (every object has
+// exactly one class) into one ascending list.
+func mergeSorted(lists [][]item.ID) []item.ID {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]item.ID, 0, total)
+	for len(lists) > 0 {
+		best := 0
+		for i := 1; i < len(lists); i++ {
+			if lists[i][0] < lists[best][0] {
+				best = i
+			}
+		}
+		out = append(out, lists[best][0])
+		if lists[best] = lists[best][1:]; len(lists[best]) == 0 {
+			lists = append(lists[:best], lists[best+1:]...)
+		}
+	}
+	return out
+}
+
+// literalGlob reports whether a glob pattern contains no metacharacters and
+// therefore matches exactly one name.
+func literalGlob(pattern string) bool {
+	for i := 0; i < len(pattern); i++ {
+		switch pattern[i] {
+		case '*', '?', '[', '\\':
+			return false
+		}
+	}
+	return true
 }
 
 func (q *Query) matches(v item.View, o item.Object) bool {
