@@ -7,14 +7,17 @@
 //	seedbench -exp e3               # run one experiment
 //	seedbench -list                 # list experiments
 //	seedbench -exp e8 -json BENCH_E8.json  # export E8 machine-readable
+//	seedbench -exp e9 -json BENCH_E9.json  # export E9 machine-readable
 //	seedbench -short                # reduced workloads (CI smoke)
 //
 // E1-E5 reproduce the paper's evaluation artifacts; E6 measures the
 // storage engine's group-commit pipeline, E7 the snapshot-read/check-in
-// concurrency engine, and E8 the copy-on-write snapshot generations plus
-// the class-indexed query path beyond the paper. With -json, the E8 data
-// is written as BENCH_E8.json so the perf trajectory is tracked across
-// PRs.
+// concurrency engine, E8 the copy-on-write snapshot generations plus the
+// class-indexed query path beyond the paper, and E9 the concurrent
+// lock-scoped check-in path against the old serialized write gate. With
+// -json, the machine-readable data of the selected measurement experiment
+// (e8, or e9 when -exp e9) is written out so the perf trajectory is
+// tracked across PRs.
 package main
 
 import (
@@ -38,14 +41,15 @@ var experiments = []struct {
 	{"e5", "SPADES on SEED vs. direct data structures", bench.E5},
 	{"e6", "storage: group commit vs per-record fsync", bench.E6},
 	{"e7", "concurrency: parallel snapshot reads vs serialized check-ins", bench.E7},
-	{"e8", "snapshots: COW generations and the class-indexed read path", nil}, // wired in main
+	{"e8", "snapshots: COW generations and the class-indexed read path", nil},  // wired in main
+	{"e9", "check-ins: lock-scoped concurrency vs the global write gate", nil}, // wired in main
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1..e8 or all)")
+	exp := flag.String("exp", "all", "experiment to run (e1..e9 or all)")
 	list := flag.Bool("list", false, "list experiments")
 	short := flag.Bool("short", false, "reduced workloads (CI smoke)")
-	jsonPath := flag.String("json", "", "write the E8 machine-readable data to this file")
+	jsonPath := flag.String("json", "", "write the selected measurement experiment's machine-readable data to this file")
 	flag.Parse()
 
 	if *list {
@@ -56,10 +60,13 @@ func main() {
 	}
 
 	e8Workload := bench.DefaultChurnWorkload
+	e9Workload := bench.DefaultCheckinWorkload
 	if *short {
 		e8Workload = bench.ShortChurnWorkload
+		e9Workload = bench.ShortCheckinWorkload
 	}
 	var e8Data *bench.E8Data
+	var e9Data *bench.E9Data
 
 	failed := false
 	for _, e := range experiments {
@@ -67,9 +74,12 @@ func main() {
 			continue
 		}
 		var r *bench.Result
-		if e.id == "e8" {
+		switch e.id {
+		case "e8":
 			r, e8Data = bench.E8Stats(e8Workload)
-		} else {
+		case "e9":
+			r, e9Data = bench.E9Stats(e9Workload)
+		default:
 			r = e.run()
 		}
 		fmt.Print(r.String())
@@ -79,11 +89,24 @@ func main() {
 		}
 	}
 	if *jsonPath != "" {
-		if e8Data == nil {
-			fmt.Fprintf(os.Stderr, "seedbench: -json given but experiment e8 did not run (-exp %s)\n", *exp)
-			os.Exit(1)
+		// -exp e9 exports the E9 data; everything else keeps the historical
+		// behavior of exporting E8.
+		var payload any
+		switch {
+		case strings.EqualFold(*exp, "e9"):
+			if e9Data == nil {
+				fmt.Fprintf(os.Stderr, "seedbench: -json given but experiment e9 did not run (-exp %s)\n", *exp)
+				os.Exit(1)
+			}
+			payload = e9Data
+		default:
+			if e8Data == nil {
+				fmt.Fprintf(os.Stderr, "seedbench: -json given but experiment e8 did not run (-exp %s)\n", *exp)
+				os.Exit(1)
+			}
+			payload = e8Data
 		}
-		buf, err := json.MarshalIndent(e8Data, "", "  ")
+		buf, err := json.MarshalIndent(payload, "", "  ")
 		if err == nil {
 			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
 		}

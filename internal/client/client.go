@@ -22,6 +22,10 @@ var (
 	ErrRemote    = errors.New("client: server error")
 	ErrLocked    = errors.New("client: object is checked out by another client")
 	ErrNotLocked = errors.New("client: object is not checked out by this client")
+	// ErrConflict mirrors the server's transaction-conflict error: two
+	// concurrently staged check-ins overlapped. Retryable — check out
+	// again and re-stage the batch.
+	ErrConflict = errors.New("client: check-in conflicted with a concurrent check-in")
 )
 
 // Client is one connection to a SEED server.
@@ -75,6 +79,8 @@ func remoteError(resp *wire.Response) error {
 		return fmt.Errorf("%w: %w: %s", ErrRemote, ErrLocked, resp.Err)
 	case wire.CodeNotLocked:
 		return fmt.Errorf("%w: %w: %s", ErrRemote, ErrNotLocked, resp.Err)
+	case wire.CodeConflict:
+		return fmt.Errorf("%w: %w: %s", ErrRemote, ErrConflict, resp.Err)
 	}
 	return fmt.Errorf("%w: %s", ErrRemote, resp.Err)
 }

@@ -77,8 +77,10 @@ type Event struct {
 type Procedure func(Event) error
 
 // Engine is the current database state plus the operational interface.
-// It is not safe for concurrent use; SEED is a single-user system and the
-// server layer serializes access.
+// It is externally synchronized: the seed database holds its write lock
+// around every operation. Several transactions may be staged at once (see
+// tx.go); the claim discipline keeps their write sets disjoint, so the
+// server can interleave lock-scoped check-ins without a global write gate.
 type Engine struct {
 	sch *schema.Schema
 
@@ -104,10 +106,14 @@ type Engine struct {
 
 	replaying bool
 
-	undo    []func()
-	txOpen  bool
-	txMark  int
-	pending [][]byte
+	undo []func() // auto-commit undo scope (per-transaction undo lives on Tx)
+
+	open      map[*Tx]bool       // transactions currently open
+	curTx     *Tx                // transaction the current operation belongs to
+	legacyTx  *Tx                // transaction opened by the legacy Begin
+	commitGen uint64             // bumped per committed transaction or auto-commit write
+	modGen    map[item.ID]uint64 // last commit generation that changed each item
+	nameGen   map[string]uint64  // last commit generation that changed each root name
 }
 
 // NewEngine creates an empty engine over a frozen schema.
@@ -127,6 +133,9 @@ func NewEngine(sch *schema.Schema) (*Engine, error) {
 		dirty:     make(map[item.ID]bool),
 		snapDirty: make(map[item.ID]bool),
 		procs:     make(map[string]Procedure),
+		open:      make(map[*Tx]bool),
+		modGen:    make(map[item.ID]uint64),
+		nameGen:   make(map[string]uint64),
 	}, nil
 }
 

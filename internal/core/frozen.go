@@ -47,23 +47,46 @@ const maxFrozenDepth = 16
 // FrozenView calls must be serialized by the caller (the seed database uses
 // a dedicated snapshot mutex). The returned view needs no locking at all.
 func (en *Engine) FrozenView() item.View {
-	if en.cowOff {
-		// Ablation/bench mode: rebuild from scratch every time, and drop the
-		// bookkeeping so re-enabling starts from a clean full build.
-		en.lastFrozen = nil
+	if en.cowOff && len(en.open) == 0 {
+		// Ablation/bench mode: rebuild from scratch every time. The
+		// bookkeeping stays maintained — the rebuild still becomes the COW
+		// base — so if a transaction is staged on the next call, the
+		// normal path below has a valid base to patch over. Never rebuild
+		// while transactions are staged: a rebuild reads the live maps
+		// wholesale, uncommitted state included.
+		f := en.fullFreeze()
+		en.lastFrozen = f
 		en.snapDirty = make(map[item.ID]bool)
-		return en.fullFreeze()
+		return f
 	}
 	prev := en.lastFrozen
 	if prev != nil && len(en.snapDirty) == 0 {
 		return prev // nothing changed: the previous generation is current
 	}
+	// While transactions are staged, the live maps hold their uncommitted
+	// state, so a full rebuild would freeze it. The delta path is safe: the
+	// dirty set only ever names committed changes (transaction dirt stays
+	// on the Tx until commit), and the claim discipline keeps staged items
+	// disjoint from it — so the freeze never reads an uncommitted entry.
+	// The depth cap is enforced either way: a quiescent freeze collapses
+	// by rebuilding from the live maps, a staged one by merging the frozen
+	// overlay chain itself (pure frozen data, no live-map reads), so
+	// sustained concurrent check-ins cannot grow lookup chains without
+	// bound. A nil base cannot coincide with staged changes: BeginTx pins
+	// a snapshot before any staging, and the invalidating operations
+	// (restore, schema change) are rejected while transactions are open.
 	var f *frozenView
-	if prev == nil || prev.sch != en.sch || prev.depth+1 > maxFrozenDepth ||
-		4*len(en.snapDirty) >= prev.liveCount() {
+	switch {
+	case prev == nil:
 		f = en.fullFreeze()
-	} else {
+	case len(en.open) == 0 &&
+		(prev.sch != en.sch || prev.depth+1 > maxFrozenDepth || 4*len(en.snapDirty) >= prev.liveCount()):
+		f = en.fullFreeze()
+	default:
 		f = en.deltaFreeze(prev)
+		if f.depth > maxFrozenDepth {
+			f = f.collapse()
+		}
 	}
 	en.lastFrozen = f
 	en.snapDirty = make(map[item.ID]bool)
@@ -77,11 +100,14 @@ func (en *Engine) FrozenView() item.View {
 func (en *Engine) FrozenViewRebuild() item.View { return en.fullFreeze() }
 
 // SetSnapshotCOW switches incremental copy-on-write snapshots on or off
-// (they are on by default). With COW off every FrozenView call rebuilds the
-// snapshot from scratch — the ablation baseline the E8 experiment measures.
+// (they are on by default). With COW off every quiescent FrozenView call
+// rebuilds the snapshot from scratch — the ablation baseline the E8
+// experiment measures. The COW base stays maintained in both modes (and is
+// deliberately not dropped here), so toggling while transactions are
+// staged can never force a full rebuild that would read their uncommitted
+// state.
 func (en *Engine) SetSnapshotCOW(enabled bool) {
 	en.cowOff = !enabled
-	en.lastFrozen = nil
 }
 
 // invalidateFrozen drops the incremental snapshot base: the next FrozenView
@@ -336,6 +362,80 @@ func (en *Engine) deltaFreeze(prev *frozenView) *frozenView {
 	f.relIDs = patchMembers(prev.relIDs, relAdd, relDel)
 	f.inherits = patchMembers(prev.inherits, inhAdd, inhDel)
 	return f
+}
+
+// collapse flattens an overlay chain into an equivalent self-contained
+// view by merging the patches oldest to newest — pure frozen data, no
+// live-map reads, so it is safe while transactions are staged (when a
+// fullFreeze would capture their uncommitted state). Entry values are
+// shared with the chain, not copied; cost is O(live entries + patches).
+func (f *frozenView) collapse() *frozenView {
+	if f.base == nil {
+		return f
+	}
+	var chain []*frozenView // newest first; last element is self-contained
+	for v := f; v != nil; v = v.base {
+		chain = append(chain, v)
+	}
+	root := chain[len(chain)-1]
+	out := &frozenView{
+		sch:      f.sch,
+		objects:  make(map[item.ID]*item.Object, len(root.objects)),
+		rels:     make(map[item.ID]*item.Relationship, len(root.rels)),
+		byName:   make(map[string]item.ID, len(root.byName)),
+		children: make(map[item.ID]*frozenChildren, len(root.children)),
+		relsOf:   make(map[item.ID][]item.ID, len(root.relsOf)),
+		byClass:  make(map[string][]item.ID, len(root.byClass)),
+		objIDs:   f.objIDs,
+		relIDs:   f.relIDs,
+		inherits: f.inherits,
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		v := chain[i]
+		for id, o := range v.objects {
+			if o == nil {
+				delete(out.objects, id)
+			} else {
+				out.objects[id] = o
+			}
+		}
+		for id, r := range v.rels {
+			if r == nil {
+				delete(out.rels, id)
+			} else {
+				out.rels[id] = r
+			}
+		}
+		for name, id := range v.byName {
+			if id == item.NoID {
+				delete(out.byName, name)
+			} else {
+				out.byName[name] = id
+			}
+		}
+		for parent, fc := range v.children {
+			if fc == nil {
+				delete(out.children, parent)
+			} else {
+				out.children[parent] = fc
+			}
+		}
+		for obj, ids := range v.relsOf {
+			if ids == nil {
+				delete(out.relsOf, obj)
+			} else {
+				out.relsOf[obj] = ids
+			}
+		}
+		for name, ids := range v.byClass {
+			if ids == nil {
+				delete(out.byClass, name)
+			} else {
+				out.byClass[name] = ids
+			}
+		}
+	}
+	return out
 }
 
 // freezeChildren copies one parent's live role map into a frozenChildren,

@@ -42,6 +42,12 @@ func (en *Engine) createObject(className, name string, asPattern bool) (item.ID,
 	if err := ident.CheckName(name); err != nil {
 		return item.NoID, err
 	}
+	// Claim before the duplicate check: a name held by another open
+	// transaction (created or deleted in flight) is a retryable conflict,
+	// not a hard duplicate — the outcome depends on how that batch ends.
+	if err := en.claimName(name); err != nil {
+		return item.NoID, err
+	}
 	if _, exists := en.byName[name]; exists {
 		return item.NoID, fmt.Errorf("%w: %q", ErrDuplicateName, name)
 	}
@@ -68,6 +74,9 @@ func (en *Engine) createObject(className, name string, asPattern bool) (item.ID,
 func (en *Engine) CreateSubObject(parent item.ID, role string) (item.ID, error) {
 	cls, parentPattern, err := en.resolveSubObjectClass(parent, role)
 	if err != nil {
+		return item.NoID, err
+	}
+	if err := en.claimItems(parent); err != nil {
 		return item.NoID, err
 	}
 	mark := en.mark()
@@ -155,6 +164,9 @@ func (en *Engine) SetValue(id item.ID, v value.Value) error {
 	if !o.Class.HasValue() {
 		return fmt.Errorf("%w: class %q", ErrNotValueObject, o.Class.QualifiedName())
 	}
+	if err := en.claimItems(id); err != nil {
+		return err
+	}
 	mark := en.mark()
 	old := o.Value
 	o.Value = v
@@ -184,6 +196,15 @@ func (en *Engine) CreateRelationship(assocName string, ends map[string]item.ID) 
 			r.Pattern = true
 			break
 		}
+	}
+	// Creating a relationship perturbs the relationship lists (and the
+	// participation counts) of every end: claim them all.
+	endIDs := make([]item.ID, 0, len(r.Ends))
+	for _, e := range r.Ends {
+		endIDs = append(endIDs, e.Object)
+	}
+	if err := en.claimItems(endIDs...); err != nil {
+		return item.NoID, err
 	}
 	mark := en.mark()
 	r.ID = en.allocID()
@@ -215,6 +236,9 @@ func (en *Engine) Inherit(patternID, inheritorID item.ID) (item.ID, error) {
 		},
 	}
 	r.SortEnds()
+	if err := en.claimItems(patternID, inheritorID); err != nil {
+		return item.NoID, err
+	}
 	mark := en.mark()
 	r.ID = en.allocID()
 	en.insertRelRaw(r)
@@ -234,6 +258,10 @@ func (en *Engine) MarkPattern(id item.ID) error { return en.setPattern(id, true)
 func (en *Engine) ClearPattern(id item.ID) error { return en.setPattern(id, false) }
 
 func (en *Engine) setPattern(id item.ID, pat bool) error {
+	// The pattern flag flips on the item and its whole live subtree.
+	if err := en.claimItems(append([]item.ID{id}, en.subtreeObjects(id)...)...); err != nil {
+		return err
+	}
 	mark := en.mark()
 	if o, err := en.liveObject(id); err == nil {
 		if !o.Independent() {
@@ -316,6 +344,27 @@ func (en *Engine) Delete(id item.ID) error {
 				if !victimSet[inh] {
 					return fmt.Errorf("%w: object %d is inherited by %d", ErrHasInheritors, vid, inh)
 				}
+			}
+		}
+	}
+	// The cascade perturbs every victim, the relationship lists of every
+	// victim relationship's ends (unlinking), and the name index entries of
+	// deleted independent roots: claim the full write set before applying.
+	claims := append([]item.ID(nil), victims...)
+	for _, vid := range victims {
+		if r, ok := en.rels[vid]; ok {
+			for _, e := range r.Ends {
+				claims = append(claims, e.Object)
+			}
+		}
+	}
+	if err := en.claimItems(claims...); err != nil {
+		return err
+	}
+	for _, vid := range victims {
+		if o, ok := en.objects[vid]; ok && o.Independent() {
+			if err := en.claimName(o.Name); err != nil {
+				return err
 			}
 		}
 	}
@@ -455,6 +504,9 @@ func (en *Engine) reclassifyObject(o *item.Object, newName string) error {
 	if ncls == o.Class {
 		return nil
 	}
+	if err := en.claimItems(o.ID); err != nil {
+		return err
+	}
 	mark := en.mark()
 	old := o.Class
 	obj := o
@@ -498,6 +550,9 @@ func (en *Engine) reclassifyRel(r *item.Relationship, newName string) error {
 	}
 	if nas == r.Assoc {
 		return nil
+	}
+	if err := en.claimItems(r.ID); err != nil {
+		return err
 	}
 	mark := en.mark()
 	old := r.Assoc

@@ -72,6 +72,10 @@ func (en *Engine) Restore(objs []item.Object, rels []item.Relationship) {
 	en.undo = en.undo[:0]
 	en.inheritsLive = 0
 	en.invalidateFrozen() // wholesale replacement: the COW base is meaningless
+	// Conflict stamps refer to the replaced state; callers guarantee no
+	// transaction is open across a restore (seed rejects it with ErrTxOpen).
+	en.modGen = make(map[item.ID]uint64)
+	en.nameGen = make(map[string]uint64)
 
 	for i := range objs {
 		o := objs[i] // copy
@@ -120,7 +124,7 @@ func (en *Engine) Restore(objs []item.Object, rels []item.Relationship) {
 // it (or no version ever saw the item), the tombstone can go. Returns the
 // number of purged items. Must not run inside a transaction.
 func (en *Engine) PurgeDeleted(keep func(item.ID) bool) (int, error) {
-	if en.txOpen {
+	if len(en.open) > 0 {
 		return 0, fmt.Errorf("%w: purge inside transaction", ErrTxState)
 	}
 	// snapDirty marks are deliberately kept: a purged item may have been
@@ -135,6 +139,7 @@ func (en *Engine) PurgeDeleted(keep func(item.ID) bool) (int, error) {
 			delete(en.children, id)
 			delete(en.relsOf, id)
 			delete(en.indexCtr, id)
+			delete(en.modGen, id)
 			purged++
 		}
 	}
@@ -143,6 +148,7 @@ func (en *Engine) PurgeDeleted(keep func(item.ID) bool) (int, error) {
 			delete(en.rels, id)
 			delete(en.dirty, id)
 			delete(en.children, id)
+			delete(en.modGen, id)
 			purged++
 		}
 	}

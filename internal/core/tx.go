@@ -1,6 +1,11 @@
 package core
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/item"
+)
 
 // Transactions group several operations into one atomic unit: the paper's
 // client/server sketch requires the server to put a whole updated copy back
@@ -8,60 +13,269 @@ import "fmt"
 // operation — SEED never holds inconsistent intermediate states — so a
 // transaction is an undo scope plus deferred journaling, not a deferred
 // validation scope.
+//
+// Several transactions may be open at once (the server stages one per
+// concurrent check-in). Each Tx carries its own undo log, its own pending
+// journal records, and its own write set of touched items and names. The
+// engine itself remains externally synchronized: the caller (seed.Database)
+// holds its write lock around every operation and tells the engine which
+// transaction the operation belongs to via SetActiveTx. What makes the
+// interleaving safe is the claim discipline: every operation claims the
+// items (and independent-object names) it will perturb before mutating, and
+// a claim conflicts — ErrTxConflict, retryable — when another open
+// transaction holds it or when the item changed after this transaction's
+// pinned base generation. Disjoint write sets therefore stage and roll back
+// independently; overlapping ones are rejected at validation time, never
+// half-applied.
 
-// Begin opens a transaction. Transactions do not nest.
-func (en *Engine) Begin() error {
-	if en.txOpen {
-		return fmt.Errorf("%w: transaction already open", ErrTxState)
+// ErrTxConflict reports an overlap between concurrent transactions (or a
+// commit that landed after this transaction's base generation). It is
+// retryable: roll back, re-read, and re-stage.
+var ErrTxConflict = errors.New("core: conflicting concurrent transaction")
+
+// Tx is one open transaction: a private undo log, the journal records
+// pending for commit, and the write set used for conflict detection. A Tx is
+// created by BeginTx and finished by exactly one CommitTx or RollbackTx.
+type Tx struct {
+	baseGen uint64            // engine commit generation pinned at begin
+	touched map[item.ID]bool  // items this transaction may have perturbed
+	names   map[string]bool   // independent-object names claimed
+	undo    []func()          // inverse steps, in application order
+	pending [][]byte          // validated journal records awaiting commit
+	seq     uint64            // operation counter (seed keys view caches off it)
+}
+
+// Seq returns the transaction's operation counter; it advances once per
+// buffered record and lets callers key caches off "did this transaction
+// change anything since".
+func (tx *Tx) Seq() uint64 { return tx.seq }
+
+// BeginTx opens a new transaction. Any number may be open concurrently;
+// operations are attributed to one of them via SetActiveTx.
+func (en *Engine) BeginTx() *Tx {
+	tx := &Tx{
+		baseGen: en.commitGen,
+		touched: make(map[item.ID]bool),
+		names:   make(map[string]bool),
 	}
-	en.txOpen = true
-	en.txMark = len(en.undo)
-	en.pending = en.pending[:0]
+	en.open[tx] = true
+	return tx
+}
+
+// SetActiveTx attributes subsequent operations to tx (nil for auto-commit).
+// The caller owns the engine's synchronization and must keep the active
+// transaction set for the duration of each operation.
+func (en *Engine) SetActiveTx(tx *Tx) { en.curTx = tx }
+
+// ClearActiveTx restores the engine's default attribution: the legacy
+// transaction if one is open (see Begin), auto-commit otherwise.
+func (en *Engine) ClearActiveTx() { en.curTx = en.legacyTx }
+
+// InTx reports whether any transaction is open.
+func (en *Engine) InTx() bool { return len(en.open) > 0 }
+
+// OpenTxs returns the number of open transactions.
+func (en *Engine) OpenTxs() int { return len(en.open) }
+
+// CommitTx makes tx's operations permanent and returns its journal records
+// in application order. The caller is responsible for appending them to the
+// log as one atomic batch; the engine's own journal sink is not invoked (the
+// records were encoded against it at staging time).
+func (en *Engine) CommitTx(tx *Tx) ([][]byte, error) {
+	if tx == nil || !en.open[tx] {
+		return nil, fmt.Errorf("%w: no such open transaction", ErrTxState)
+	}
+	en.closeTx(tx)
+	// Publish: the write set becomes part of the next frozen generation's
+	// delta, and every touched item and name is stamped with a fresh commit
+	// generation so transactions that began earlier can no longer claim it.
+	en.commitGen++
+	for id := range tx.touched {
+		en.snapDirty[id] = true
+		en.modGen[id] = en.commitGen
+	}
+	for name := range tx.names {
+		en.nameGen[name] = en.commitGen
+	}
+	records := tx.pending
+	tx.pending, tx.undo = nil, nil
+	return records, nil
+}
+
+// RollbackTx undoes every operation of tx and discards its records.
+func (en *Engine) RollbackTx(tx *Tx) error {
+	if tx == nil || !en.open[tx] {
+		return fmt.Errorf("%w: no such open transaction", ErrTxState)
+	}
+	en.closeTx(tx)
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		tx.undo[i]()
+	}
+	// Conservative snapshot marks: the touched items are back in their
+	// pre-transaction state, and the next delta freeze re-reads that state
+	// from the live maps — a spurious patch, never a wrong one.
+	for id := range tx.touched {
+		en.snapDirty[id] = true
+	}
+	tx.pending, tx.undo = nil, nil
 	return nil
 }
 
-// InTx reports whether a transaction is open.
-func (en *Engine) InTx() bool { return en.txOpen }
+// closeTx removes tx from the open set and from the attribution fields.
+func (en *Engine) closeTx(tx *Tx) {
+	delete(en.open, tx)
+	if en.curTx == tx {
+		en.curTx = nil
+	}
+	if en.legacyTx == tx {
+		en.legacyTx = nil
+	}
+	if len(en.open) == 0 {
+		// No transaction is open, so every conflict stamp predates every
+		// future transaction's base generation and can never conflict
+		// again — drop them once they outgrow a small working set, or the
+		// maps would accumulate one entry per item and name ever touched.
+		if len(en.modGen) > staleStampCap {
+			en.modGen = make(map[item.ID]uint64)
+		}
+		if len(en.nameGen) > staleStampCap {
+			en.nameGen = make(map[string]uint64)
+		}
+	}
+}
 
-// Commit makes the transaction's operations permanent and flushes their
-// journal records.
+// staleStampCap bounds the dead conflict-stamp maps retained across
+// quiescent moments (an allocation-churn/memory tradeoff, not semantics).
+const staleStampCap = 1024
+
+// ---- Claims ----
+
+// claimItems records the given items in the active transaction's write set,
+// rejecting the operation when another open transaction already holds one of
+// them or when one changed after the active transaction began. Outside a
+// transaction it only checks that no open transaction holds the items —
+// auto-commit operations must not perturb state a staged batch depends on.
+// Claims survive a failed (rolled-back) operation until the transaction
+// ends: conservative, and exactly the two-phase-locking shape the server's
+// check-out locks already impose.
+func (en *Engine) claimItems(ids ...item.ID) error {
+	if len(en.open) == 0 {
+		return nil
+	}
+	tx := en.curTx
+	for _, id := range ids {
+		if id == item.NoID || (tx != nil && tx.touched[id]) {
+			continue
+		}
+		for other := range en.open {
+			if other != tx && other.touched[id] {
+				return fmt.Errorf("%w: item %d is claimed by a concurrent transaction", ErrTxConflict, id)
+			}
+		}
+		if tx != nil {
+			if en.modGen[id] > tx.baseGen {
+				return fmt.Errorf("%w: item %d changed since the transaction began", ErrTxConflict, id)
+			}
+			tx.touched[id] = true
+		}
+	}
+	return nil
+}
+
+// claimName is claimItems for independent-object names: creation and
+// deletion of a named root perturb the name index, and two transactions
+// racing on one name (create/create or delete/create) must conflict instead
+// of corrupting each other's undo. Like item stamps, auto-commit name
+// stamps are applied at claim time, before the operation validates —
+// conservative: an operation that then fails can leave a stamp that makes
+// an already-open transaction's later claim conflict spuriously
+// (retryable, never wrong, and unreachable through the server, which only
+// writes through transactions).
+func (en *Engine) claimName(name string) error {
+	if len(en.open) == 0 {
+		return nil
+	}
+	tx := en.curTx
+	if tx != nil && tx.names[name] {
+		return nil
+	}
+	for other := range en.open {
+		if other != tx && other.names[name] {
+			return fmt.Errorf("%w: name %q is claimed by a concurrent transaction", ErrTxConflict, name)
+		}
+	}
+	if tx != nil {
+		if en.nameGen[name] > tx.baseGen {
+			return fmt.Errorf("%w: name %q changed since the transaction began", ErrTxConflict, name)
+		}
+		tx.names[name] = true
+	} else {
+		en.commitGen++
+		en.nameGen[name] = en.commitGen
+	}
+	return nil
+}
+
+// ---- Legacy single-transaction interface ----
+
+// Begin opens the legacy transaction: every subsequent operation is
+// attributed to it until Commit or Rollback, mirroring the single global
+// transaction SEED had before concurrent check-ins. It does not nest.
+func (en *Engine) Begin() error {
+	if en.legacyTx != nil {
+		return fmt.Errorf("%w: transaction already open", ErrTxState)
+	}
+	en.legacyTx = en.BeginTx()
+	en.curTx = en.legacyTx
+	return nil
+}
+
+// Commit commits the legacy transaction and flushes its journal records.
+// The records are journaled individually, without the database layer's
+// crash-atomic batch framing (the framing tags belong to seed, one layer
+// up) — multi-record crash atomicity is provided by seed.Tx.Commit, which
+// is the production path; this legacy interface exists for in-process
+// engine use and tests.
 func (en *Engine) Commit() error {
-	if !en.txOpen {
+	if en.legacyTx == nil {
 		return fmt.Errorf("%w: no transaction open", ErrTxState)
 	}
-	en.txOpen = false
+	records, err := en.CommitTx(en.legacyTx)
+	if err != nil {
+		return err
+	}
 	if en.journal != nil {
-		for _, rec := range en.pending {
+		for _, rec := range records {
 			if err := en.journal(rec); err != nil {
 				return fmt.Errorf("core: journaling committed transaction: %w", err)
 			}
 		}
 	}
-	en.pending = en.pending[:0]
 	en.undo = en.undo[:0] // committed work can no longer be undone
 	return nil
 }
 
-// Rollback undoes every operation of the open transaction and discards
-// their journal records.
+// LegacyTx returns the transaction opened by Begin (nil outside one), so
+// wrappers can address it through the handle-based interface.
+func (en *Engine) LegacyTx() *Tx { return en.legacyTx }
+
+// Rollback undoes the legacy transaction.
 func (en *Engine) Rollback() error {
-	if !en.txOpen {
+	if en.legacyTx == nil {
 		return fmt.Errorf("%w: no transaction open", ErrTxState)
 	}
-	en.rollbackTo(en.txMark)
-	en.txOpen = false
-	en.pending = en.pending[:0]
-	return nil
+	return en.RollbackTx(en.legacyTx)
 }
 
 // commitRecord finalizes a validated operation: inside a transaction the
-// record is buffered; otherwise it is journaled immediately and the undo
-// stack is cleared (auto-commit).
+// record is buffered on that transaction; otherwise it is journaled
+// immediately and the undo stack is cleared (auto-commit).
 func (en *Engine) commitRecord(record []byte) error {
-	if en.txOpen {
+	if tx := en.curTx; tx != nil {
 		if record != nil {
-			en.pending = append(en.pending, record)
+			tx.pending = append(tx.pending, record)
 		}
+		tx.seq++
 		return nil
 	}
 	if en.journal != nil && record != nil {

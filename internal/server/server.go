@@ -24,22 +24,39 @@ import (
 var (
 	ErrLocked    = errors.New("server: object is checked out by another client")
 	ErrNotLocked = errors.New("server: object is not checked out by this client")
+	ErrConflict  = errors.New("server: check-in conflicted with a concurrent check-in")
 )
 
 // Server serves one SEED database to many clients. Retrieval operations run
-// in parallel on snapshot views; check-ins queue on the transaction gate,
-// which serializes lock verification and Begin→apply→Commit as one atomic
-// critical section — the database's single global transaction is never
-// contended, so clients never see a transaction-state error.
+// in parallel on snapshot views. Check-ins are lock-scoped and concurrent:
+// each stages its batch in its own database transaction after validating
+// that every touched root is covered by the client's check-out locks (new
+// object names are reserved against concurrent creators), so check-ins with
+// disjoint lock sets validate, stage, and commit in parallel, their commits
+// coalescing into shared fsyncs in the group-commit write-ahead log.
+// Whole-database operations (OpSaveVersion) take the barrier, which waits
+// out in-flight check-ins and blocks new ones — a version can never freeze
+// a half-applied batch, and clients never see a transaction-state error.
 type Server struct {
 	db *seed.Database
 	ln net.Listener
 
-	txGate sync.Mutex // serializes whole check-ins (the write path)
+	// barrier separates lock-scoped check-ins (readers) from whole-database
+	// operations (writers): SaveVersion must never interleave with a
+	// staged batch.
+	barrier sync.RWMutex
 
-	mu      sync.Mutex
-	locks   map[string]string // object name -> client ID
-	nextCli int
+	// serialize restores the pre-concurrency global write gate (one
+	// check-in at a time, durability wait included) — the E9 baseline and
+	// a differential-testing mode. Set before Listen.
+	serialize bool
+	gate      sync.Mutex
+
+	mu       sync.Mutex
+	locks    map[string]string   // object name -> client ID holding the lock
+	creating map[string]string   // object name -> client ID creating it in an in-flight check-in
+	inflight map[string]*seed.Tx // client ID -> staged check-in transaction
+	nextCli  int
 
 	wg     sync.WaitGroup
 	closed bool
@@ -49,11 +66,19 @@ type Server struct {
 // New creates a server over a database.
 func New(db *seed.Database) *Server {
 	return &Server{
-		db:    db,
-		locks: make(map[string]string),
-		logf:  func(string, ...any) {},
+		db:       db,
+		locks:    make(map[string]string),
+		creating: make(map[string]string),
+		inflight: make(map[string]*seed.Tx),
+		logf:     func(string, ...any) {},
 	}
 }
+
+// SetSerializedCheckins switches the server back to the global write gate
+// that predated lock-scoped concurrent check-ins: every check-in holds the
+// gate from lock verification through durable commit. It exists as the E9
+// benchmark baseline and for differential testing; call it before Listen.
+func (s *Server) SetSerializedCheckins(on bool) { s.serialize = on }
 
 // SetLogger installs a log function (e.g. log.Printf).
 func (s *Server) SetLogger(logf func(format string, args ...any)) {
@@ -124,14 +149,28 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// releaseAll drops every lock a disconnecting client still holds.
+// releaseAll cleans up after a disconnecting client: every lock it still
+// holds, every name it reserved for creation, and — crucially for the
+// concurrent check-in path — its in-flight staged transaction. A batch
+// abandoned mid-stage must be rolled back here, or its claims would block
+// every later check-in touching the same items forever.
 func (s *Server) releaseAll(clientID string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for name, owner := range s.locks {
 		if owner == clientID {
 			delete(s.locks, name)
 		}
+	}
+	for name, owner := range s.creating {
+		if owner == clientID {
+			delete(s.creating, name)
+		}
+	}
+	tx := s.inflight[clientID]
+	delete(s.inflight, clientID)
+	s.mu.Unlock()
+	if tx != nil {
+		_ = tx.Rollback() // no-op when already finished
 	}
 }
 
@@ -150,11 +189,13 @@ func (s *Server) handle(clientID string, req *wire.Request) *wire.Response {
 	case wire.OpRelease:
 		return s.handleRelease(clientID, req)
 	case wire.OpSaveVersion:
-		// Version freezes queue on the transaction gate like check-ins:
-		// a version must never capture a half-applied batch.
-		s.txGate.Lock()
+		// Version freezes take the whole-database barrier: in-flight
+		// check-ins drain first and new ones wait, so a version can never
+		// capture a half-applied batch (and the database never returns
+		// ErrTxOpen to a client).
+		s.barrier.Lock()
 		num, err := s.db.SaveVersion(req.Note)
-		s.txGate.Unlock()
+		s.barrier.Unlock()
 		if err != nil {
 			return fail(err)
 		}
@@ -197,6 +238,8 @@ func codeOf(err error) string {
 		return wire.CodeLocked
 	case errors.Is(err, ErrNotLocked):
 		return wire.CodeNotLocked
+	case errors.Is(err, ErrConflict), errors.Is(err, seed.ErrTxConflict):
+		return wire.CodeConflict
 	}
 	return ""
 }
@@ -292,41 +335,88 @@ func (s *Server) handleRelease(clientID string, req *wire.Request) *wire.Respons
 
 // handleCheckin applies the staged updates as one transaction. Every
 // updated item must be covered by this client's locks (new independent
-// objects need no lock; their names must be free). Check-ins queue on the
-// transaction gate: lock verification and Begin→apply→Commit form one
-// atomic critical section, so concurrent check-ins serialize instead of
-// colliding on the database's single global transaction.
+// objects need no lock; their names must be free, and they are reserved
+// against concurrent creators for the duration of the check-in). Validation
+// happens before staging: a batch whose roots are covered by the client's
+// locks can neither overlap another in-flight batch nor fail conflict
+// validation, so non-overlapping check-ins stage and commit fully in
+// parallel, and their commits coalesce into shared fsyncs in the
+// group-commit write-ahead log.
 func (s *Server) handleCheckin(clientID string, req *wire.Request) *wire.Response {
-	s.txGate.Lock()
-	defer s.txGate.Unlock()
+	if s.serialize {
+		// E9 baseline / differential mode: the old global write gate,
+		// held through the durable commit.
+		s.gate.Lock()
+		defer s.gate.Unlock()
+	}
+	// Check-ins are readers of the whole-database barrier: many at once,
+	// but never interleaved with a version freeze.
+	s.barrier.RLock()
+	defer s.barrier.RUnlock()
 
-	// Verify lock coverage first: every touched root must be locked by this
-	// client or created within this batch.
+	// Collect the batch's touched roots and created names in order (a name
+	// created earlier in the batch needs no lock).
 	created := make(map[string]bool)
+	var roots []string
 	for _, u := range req.Updates {
 		for _, root := range updateRoots(u, created) {
-			if root == "" || created[root] {
-				continue
-			}
-			s.mu.Lock()
-			owner, locked := s.locks[root]
-			s.mu.Unlock()
-			if !locked || owner != clientID {
-				return fail(fmt.Errorf("%w: %q", ErrNotLocked, root))
+			if root != "" && !created[root] {
+				roots = append(roots, root)
 			}
 		}
 	}
 
-	if err := s.db.Begin(); err != nil {
+	// Validate lock coverage and reserve created names in one atomic step.
+	s.mu.Lock()
+	for _, root := range roots {
+		if owner, locked := s.locks[root]; !locked || owner != clientID {
+			s.mu.Unlock()
+			return fail(fmt.Errorf("%w: %q", ErrNotLocked, root))
+		}
+	}
+	var reserved []string
+	for name := range created {
+		if owner, locked := s.locks[name]; locked && owner != clientID {
+			s.mu.Unlock()
+			s.unreserve(reserved)
+			return fail(fmt.Errorf("%w: cannot create %q", ErrLocked, name))
+		}
+		if other, busy := s.creating[name]; busy && other != clientID {
+			s.mu.Unlock()
+			s.unreserve(reserved)
+			return fail(fmt.Errorf("%w: %q is being created by %s", ErrConflict, name, other))
+		}
+		s.creating[name] = clientID
+		reserved = append(reserved, name)
+	}
+	s.mu.Unlock()
+	defer s.unreserve(reserved)
+
+	tx, err := s.db.BeginTx()
+	if err != nil {
 		return fail(err)
 	}
+	// Track the staged transaction so a disconnect (or a panic unwinding
+	// this handler) aborts it instead of leaking its claims, and roll it
+	// back on every early exit below.
+	s.mu.Lock()
+	s.inflight[clientID] = tx
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		if s.inflight[clientID] == tx {
+			delete(s.inflight, clientID)
+		}
+		s.mu.Unlock()
+		_ = tx.Rollback() // no-op once committed
+	}()
+
 	for i, u := range req.Updates {
-		if err := s.applyUpdate(u); err != nil {
-			_ = s.db.Rollback()
+		if err := applyUpdate(tx, u); err != nil {
 			return fail(fmt.Errorf("server: update %d (%s): %w", i, u.Kind, err))
 		}
 	}
-	if err := s.db.Commit(); err != nil {
+	if err := tx.Commit(); err != nil {
 		return fail(err)
 	}
 	// Locks released after a successful check-in.
@@ -339,6 +429,18 @@ func (s *Server) handleCheckin(clientID string, req *wire.Request) *wire.Respons
 	s.mu.Unlock()
 	s.logf("checkin %d updates by %s", len(req.Updates), clientID)
 	return &wire.Response{}
+}
+
+// unreserve drops created-name reservations taken by a check-in.
+func (s *Server) unreserve(names []string) {
+	if len(names) == 0 {
+		return
+	}
+	s.mu.Lock()
+	for _, name := range names {
+		delete(s.creating, name)
+	}
+	s.mu.Unlock()
 }
 
 // updateRoots returns the independent-object names an update touches, and
@@ -368,13 +470,16 @@ func rootOfPath(p string) string {
 	return p
 }
 
-func (s *Server) applyUpdate(u wire.Update) error {
+// applyUpdate stages one wire update in the check-in's transaction. Paths
+// resolve in the transaction's own view, so a batch can address items it
+// created earlier — and never another in-flight batch's staged items.
+func applyUpdate(tx *seed.Tx, u wire.Update) error {
 	switch u.Kind {
 	case wire.UpdateCreateObject:
-		_, err := s.db.CreateObject(u.Class, u.Name)
+		_, err := tx.CreateObject(u.Class, u.Name)
 		return err
 	case wire.UpdateCreateSub:
-		parent, err := s.db.ResolvePath(u.Path)
+		parent, err := tx.ResolvePath(u.Path)
 		if err != nil {
 			return err
 		}
@@ -383,13 +488,13 @@ func (s *Server) applyUpdate(u wire.Update) error {
 			if err != nil {
 				return err
 			}
-			_, err = s.db.CreateValueObject(parent, u.Role, val)
+			_, err = tx.CreateValueObject(parent, u.Role, val)
 			return err
 		}
-		_, err = s.db.CreateSubObject(parent, u.Role)
+		_, err = tx.CreateSubObject(parent, u.Role)
 		return err
 	case wire.UpdateSetValue:
-		id, err := s.db.ResolvePath(u.Path)
+		id, err := tx.ResolvePath(u.Path)
 		if err != nil {
 			return err
 		}
@@ -397,30 +502,30 @@ func (s *Server) applyUpdate(u wire.Update) error {
 		if err != nil {
 			return err
 		}
-		return s.db.SetValue(id, val)
+		return tx.SetValue(id, val)
 	case wire.UpdateCreateRel:
 		ends := make(map[string]seed.ID, len(u.Ends))
 		for role, p := range u.Ends {
-			id, err := s.db.ResolvePath(p)
+			id, err := tx.ResolvePath(p)
 			if err != nil {
 				return err
 			}
 			ends[role] = id
 		}
-		_, err := s.db.CreateRelationship(u.Assoc, ends)
+		_, err := tx.CreateRelationship(u.Assoc, ends)
 		return err
 	case wire.UpdateDelete:
-		id, err := s.db.ResolvePath(u.Path)
+		id, err := tx.ResolvePath(u.Path)
 		if err != nil {
 			return err
 		}
-		return s.db.Delete(id)
+		return tx.Delete(id)
 	case wire.UpdateReclassify:
-		id, err := s.db.ResolvePath(u.Path)
+		id, err := tx.ResolvePath(u.Path)
 		if err != nil {
 			return err
 		}
-		return s.db.Reclassify(id, u.Class)
+		return tx.Reclassify(id, u.Class)
 	}
 	return fmt.Errorf("server: unknown update kind %q", u.Kind)
 }

@@ -39,6 +39,12 @@ type WAL struct {
 	curBatch *batch
 	stopping bool
 
+	// flushMu serializes whole batch flushes (swap + append + fsync): a
+	// drain (Sync, Rotate) must not observe an empty curBatch while the
+	// pipeline goroutine still holds a swapped-out batch it has yet to
+	// append — the batch would land after the drain's cut point.
+	flushMu sync.Mutex
+
 	kick chan struct{}
 	quit chan struct{}
 	wg   sync.WaitGroup
@@ -202,6 +208,20 @@ func (w *WAL) Append(payload []byte) error {
 	return w.appendLocked(payload)
 }
 
+// AppendBatch buffers several records contiguously: no record from another
+// appender can land between them, which is what lets a committed
+// transaction's batch stay atomic in the log.
+func (w *WAL) AppendBatch(payloads [][]byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, p := range payloads {
+		if err := w.appendLocked(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (w *WAL) appendLocked(payload []byte) error {
 	if w.closed {
 		return ErrLogClosed
@@ -258,13 +278,27 @@ func (w *WAL) rotateLocked() error {
 // commits are coalesced: the pipeline goroutine writes the whole batch and
 // fsyncs once, then releases every committer in the batch.
 func (w *WAL) Commit(payload []byte) error {
-	if len(payload) > MaxRecord {
-		return fmt.Errorf("%w: record of %d bytes", ErrOversize, len(payload))
+	return w.CommitBatchAsync([][]byte{payload})()
+}
+
+// CommitBatchAsync stages several records as one contiguous group-commit
+// unit and returns a wait function that blocks until they are durable (or
+// the shared fsync fails). Staging and waiting are split so a caller can
+// stage under its own mutex — fixing the records' position in the log
+// relative to other committers — and pay the fsync latency after releasing
+// it; that is how concurrent check-in commits coalesce into shared fsyncs
+// without serializing on the database write lock.
+func (w *WAL) CommitBatchAsync(payloads [][]byte) func() error {
+	for _, p := range payloads {
+		if len(p) > MaxRecord {
+			err := fmt.Errorf("%w: record of %d bytes", ErrOversize, len(p))
+			return func() error { return err }
+		}
 	}
 	w.batchMu.Lock()
 	if w.stopping {
 		w.batchMu.Unlock()
-		return ErrLogClosed
+		return func() error { return ErrLogClosed }
 	}
 	b := w.curBatch
 	if b == nil {
@@ -275,11 +309,13 @@ func (w *WAL) Commit(payload []byte) error {
 		default:
 		}
 	}
-	b.payloads = append(b.payloads, payload)
+	b.payloads = append(b.payloads, payloads...)
 	w.batchMu.Unlock()
 
-	<-b.done
-	return b.err
+	return func() error {
+		<-b.done
+		return b.err
+	}
 }
 
 // pipeline is the group-commit goroutine: it swaps out the current batch,
@@ -300,6 +336,8 @@ func (w *WAL) pipeline() {
 }
 
 func (w *WAL) flushBatch() {
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
 	w.batchMu.Lock()
 	b := w.curBatch
 	w.curBatch = nil
@@ -323,8 +361,11 @@ func (w *WAL) flushBatch() {
 }
 
 // Sync flushes buffered records and fsyncs the tail segment (sealed
-// segments are already durable).
+// segments are already durable). Records staged by CommitBatchAsync but not
+// yet picked up by the pipeline are drained first, so Sync's durability
+// promise covers everything staged before the call.
 func (w *WAL) Sync() error {
+	w.flushBatch()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.syncLocked()
@@ -351,9 +392,13 @@ func (w *WAL) poisonLocked() {
 }
 
 // Rotate seals the tail and starts a fresh segment, returning the new tail
-// index. Every record appended so far now lives in a sealed segment below
-// the returned index — the compaction cut point.
+// index. Every record appended or staged so far now lives in a sealed
+// segment below the returned index — the compaction cut point. Staged
+// group-commit batches are drained first: a record staged before Rotate
+// must fall below the cut, or the snapshot that motivated the rotation
+// would not cover it and replay would apply it twice.
 func (w *WAL) Rotate() (uint64, error) {
+	w.flushBatch()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {

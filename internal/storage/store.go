@@ -95,6 +95,20 @@ func (s *Store) Append(payload []byte) error {
 // fsync with concurrent committers (group commit).
 func (s *Store) Commit(payload []byte) error { return s.wal.Commit(payload) }
 
+// AppendBatch writes several records contiguously (no other appender's
+// record can land between them) under the configured sync policy. Under
+// SyncGroupCommit the batch is staged as one group-commit unit and the
+// returned wait function blocks until it is durable — callers stage under
+// their own lock and wait after releasing it, so concurrent committers
+// coalesce into shared fsyncs. Under SyncOnRequest the records are buffered
+// and the wait function is nil.
+func (s *Store) AppendBatch(payloads [][]byte) (wait func() error, err error) {
+	if s.opts.SyncPolicy == SyncGroupCommit {
+		return s.wal.CommitBatchAsync(payloads), nil
+	}
+	return nil, s.wal.AppendBatch(payloads)
+}
+
 // Sync makes all appended records durable.
 func (s *Store) Sync() error { return s.wal.Sync() }
 

@@ -660,3 +660,59 @@ func TestSegmentFileNames(t *testing.T) {
 		}
 	}
 }
+
+// TestRotateDrainsStagedBatches: records staged by CommitBatchAsync before
+// a Rotate must land below the rotation cut — a compaction snapshot taken
+// after the rotate covers their effects, so a record surviving above the
+// cut would be double-applied on recovery. The flush mutex makes the drain
+// synchronous even against an in-flight pipeline flush.
+func TestRotateDrainsStagedBatches(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, Options{}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batches = 8
+	var want []string
+	var waits []func() error
+	for i := 0; i < batches; i++ {
+		a, b := fmt.Sprintf("b%d-1", i), fmt.Sprintf("b%d-2", i)
+		want = append(want, a, b)
+		waits = append(waits, w.CommitBatchAsync([][]byte{[]byte(a), []byte(b)}))
+	}
+	if _, err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every staged record is below the cut: the fresh tail holds nothing.
+	w.mu.Lock()
+	tailSize := w.tail.size
+	w.mu.Unlock()
+	if tailSize != segHeaderSize {
+		t.Errorf("tail holds %d bytes after rotate; staged records landed above the cut", tailSize-segHeaderSize)
+	}
+	for i, wait := range waits {
+		if err := wait(); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	w2, err := OpenWAL(dir, Options{}, 1, func(p []byte) error {
+		got = append(got, string(p))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %q, want %q (batch order broken)", i, got[i], want[i])
+		}
+	}
+}

@@ -117,6 +117,11 @@ const (
 	// CodeNotLocked: a check-in touched an object the client never
 	// checked out. Not retryable — the client must check the object out.
 	CodeNotLocked = "not-locked"
+	// CodeConflict: two concurrently staged check-ins overlapped (for
+	// example both creating the same object name, or a batch reaching
+	// outside its lock set into another batch's write set). Retryable:
+	// re-read and re-stage the batch.
+	CodeConflict = "conflict"
 )
 
 // Request is one client request frame.

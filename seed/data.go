@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/consistency"
+	"repro/internal/core"
 	"repro/internal/item"
 	"repro/internal/pattern"
 )
@@ -176,10 +177,219 @@ func (db *Database) Disinherit(patternID, inheritorID ID) error {
 	return fmt.Errorf("seed: item %d does not inherit pattern %d", inheritorID, patternID)
 }
 
-// Begin opens a transaction: subsequent operations commit or roll back as a
-// unit. Consistency is still checked per operation. Begin pins the current
-// snapshot: while the transaction applies, View and RawView keep serving
-// the last committed state — readers never observe a half-applied batch.
+// Tx is one staged transaction: a private batch of validated updates that
+// becomes visible (and durable) atomically at Commit. Any number of
+// transactions may be staged concurrently; transactions with disjoint write
+// sets commit independently, overlapping ones fail with ErrTxConflict at
+// the first overlapping operation (retryable: roll back and re-stage). A Tx
+// is not safe for concurrent use by multiple goroutines — one client, one
+// transaction, one goroutine, which is exactly the server's check-in shape.
+type Tx struct {
+	db   *Database
+	core *core.Tx
+	done bool
+
+	spliceMu  sync.Mutex       // several read-locked resolvers may race on the cache
+	splice    *pattern.Spliced // cached user view over the staged state
+	spliceSeq uint64           // transaction op counter the cache was built at
+	spliceGen uint64           // database generation the cache was built at
+}
+
+// BeginTx opens a new staged transaction. Begin pins the current snapshot:
+// while transactions stage, View and RawView keep serving the last
+// committed state — readers never observe a half-applied batch.
+func (db *Database) BeginTx() (*Tx, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	tx := &Tx{db: db, core: db.engine.BeginTx()}
+	// Freeze any pending auto-committed changes now: once staging starts,
+	// the live maps may hold uncommitted state for the items this
+	// transaction claims, and a lazy freeze must never read those.
+	db.snapshotLocked()
+	return tx, nil
+}
+
+// Done reports whether the transaction was committed or rolled back.
+func (tx *Tx) Done() bool {
+	tx.db.mu.RLock()
+	defer tx.db.mu.RUnlock()
+	return tx.done
+}
+
+// apply runs one staged mutation attributed to this transaction.
+func (tx *Tx) apply(guard []ID, op func() (ID, error)) (ID, error) {
+	db := tx.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if tx.done {
+		return NoID, ErrTxDone
+	}
+	if err := db.guardWrite(guard...); err != nil {
+		return NoID, err
+	}
+	db.engine.SetActiveTx(tx.core)
+	defer db.engine.ClearActiveTx()
+	return op()
+}
+
+// CreateObject stages creation of an independent object.
+func (tx *Tx) CreateObject(className, name string) (ID, error) {
+	return tx.apply(nil, func() (ID, error) { return tx.db.engine.CreateObject(className, name) })
+}
+
+// CreateSubObject stages creation of a dependent object.
+func (tx *Tx) CreateSubObject(parent ID, role string) (ID, error) {
+	return tx.apply([]ID{parent}, func() (ID, error) { return tx.db.engine.CreateSubObject(parent, role) })
+}
+
+// CreateValueObject stages creation of a leaf sub-object carrying a value.
+func (tx *Tx) CreateValueObject(parent ID, role string, v Value) (ID, error) {
+	return tx.apply([]ID{parent}, func() (ID, error) { return tx.db.engine.CreateValueObject(parent, role, v) })
+}
+
+// SetValue stages a value update.
+func (tx *Tx) SetValue(id ID, v Value) error {
+	_, err := tx.apply([]ID{id}, func() (ID, error) { return id, tx.db.engine.SetValue(id, v) })
+	return err
+}
+
+// CreateRelationship stages a relationship of the named association.
+func (tx *Tx) CreateRelationship(assoc string, ends map[string]ID) (ID, error) {
+	all := make([]ID, 0, len(ends))
+	for _, o := range ends {
+		all = append(all, o)
+	}
+	return tx.apply(all, func() (ID, error) { return tx.db.engine.CreateRelationship(assoc, ends) })
+}
+
+// Delete stages a deletion cascade.
+func (tx *Tx) Delete(id ID) error {
+	_, err := tx.apply([]ID{id}, func() (ID, error) { return id, tx.db.engine.Delete(id) })
+	return err
+}
+
+// Reclassify stages a re-classification.
+func (tx *Tx) Reclassify(id ID, newName string) error {
+	_, err := tx.apply([]ID{id}, func() (ID, error) { return id, tx.db.engine.Reclassify(id, newName) })
+	return err
+}
+
+// ResolvePath navigates a qualified name in the transaction's user view:
+// resolution sees the transaction's own staged effects (a batch can address
+// items it created earlier) but never another transaction's.
+func (tx *Tx) ResolvePath(path string) (ID, error) {
+	p, err := ParsePath(path)
+	if err != nil {
+		return NoID, err
+	}
+	db := tx.db
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if tx.done {
+		return NoID, ErrTxDone
+	}
+	id, ok := item.Resolve(tx.viewLocked(), p)
+	if !ok {
+		return NoID, fmt.Errorf("seed: no object at path %q", path)
+	}
+	return id, nil
+}
+
+// viewLocked returns the user-facing spliced view over the live engine
+// state, cached per (transaction op counter, database generation) so a
+// batch of path resolutions rebuilds the splice only after a change. The
+// live state may hold other transactions' staged items, but their write
+// sets are disjoint from this transaction's by the claim discipline, so
+// resolution within this transaction's domain is unaffected. Callers hold
+// db.mu in either mode and must not let the view escape the lock.
+func (tx *Tx) viewLocked() View {
+	tx.spliceMu.Lock()
+	defer tx.spliceMu.Unlock()
+	seq, gen := tx.core.Seq(), tx.db.gen
+	if tx.splice == nil || tx.spliceSeq != seq || tx.spliceGen != gen {
+		tx.splice = pattern.NewSpliced(tx.db.engine.View())
+		tx.spliceSeq, tx.spliceGen = seq, gen
+	}
+	return tx.splice
+}
+
+// Commit makes the staged batch permanent: it publishes atomically into a
+// new snapshot generation (the mutation generation advances once for the
+// whole batch) and appends the batch contiguously to the write-ahead log.
+// Under SyncGroupCommit the durability wait happens after the database
+// lock is released, so concurrent commits coalesce into shared fsyncs.
+func (tx *Tx) Commit() error {
+	db := tx.db
+	db.mu.Lock()
+	if tx.done {
+		db.mu.Unlock()
+		return ErrTxDone
+	}
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	tx.done = true
+	if db.legacy == tx {
+		db.legacy = nil
+	}
+	records, err := db.engine.CommitTx(tx.core)
+	if err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	// The batch is applied in memory: advance the generation even if
+	// journaling fails below, so the snapshot cache cannot keep serving
+	// the pre-transaction state.
+	db.gen++
+	wait, jerr := db.journalBatchLocked(records)
+	if jerr == nil {
+		// Compaction deferred by in-transaction operations runs now that
+		// the batch is in the log — best-effort: the batch IS committed,
+		// so a compaction failure (which leaves the log intact and retries
+		// on the next trigger) must not read as a failed commit, or
+		// callers would re-apply an already-applied batch.
+		_ = db.maybeCompact()
+	}
+	db.mu.Unlock()
+	if jerr != nil {
+		return jerr
+	}
+	if wait != nil {
+		return wait()
+	}
+	return nil
+}
+
+// Rollback undoes the staged batch. Rolling back a finished transaction is
+// a no-op, so cleanup paths can call it unconditionally.
+func (tx *Tx) Rollback() error {
+	db := tx.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if tx.done {
+		return nil
+	}
+	tx.done = true
+	if db.legacy == tx {
+		db.legacy = nil
+	}
+	if err := db.engine.RollbackTx(tx.core); err != nil {
+		return err
+	}
+	// Conservative: the touched items are back in their pre-transaction
+	// state; bumping the generation re-freezes them from the live maps.
+	db.gen++
+	return nil
+}
+
+// Begin opens the legacy global transaction: subsequent Database-level
+// operations commit or roll back as a unit, exactly as before concurrent
+// transactions existed. It is a thin wrapper over BeginTx; the handle is
+// held by the database and finished by Commit or Rollback.
 func (db *Database) Begin() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -189,70 +399,44 @@ func (db *Database) Begin() error {
 	if err := db.engine.Begin(); err != nil {
 		return err
 	}
+	db.legacy = &Tx{db: db, core: db.engine.LegacyTx()}
 	db.snapshotLocked()
 	return nil
 }
 
-// Commit makes the open transaction permanent. The mutation generation
-// advances only here (not per in-transaction operation), which is what
-// makes the whole batch become visible to snapshot views atomically.
+// Commit makes the legacy transaction permanent (see Tx.Commit).
 func (db *Database) Commit() error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
+	lt := db.legacy
+	db.mu.Unlock()
+	if lt == nil {
+		return fmt.Errorf("%w: no transaction open", core.ErrTxState)
 	}
-	if !db.engine.InTx() {
-		return db.engine.Commit() // ErrTxState; nothing changed, no bump
-	}
-	err := db.engine.Commit()
-	// Advance the generation even on a journaling error: the operations
-	// are applied in memory either way, and the snapshot cache must not
-	// keep serving the pre-transaction state.
-	db.gen++
-	db.txSeq++
-	if err != nil {
-		return err
-	}
-	// Durability is the storage layer's business: under SyncGroupCommit
-	// every journal append was already fsynced before it returned; under
-	// SyncOnRequest durability waits for Sync/SaveVersion/Compact/Close.
-	// Compaction deferred by in-transaction operations runs now that the
-	// batch's journal records are appended — best-effort: the batch IS
-	// committed, so a compaction failure (which leaves the log intact and
-	// retries on the next trigger) must not be reported as a failed
-	// commit, or callers would re-apply an already-applied batch.
-	_ = db.maybeCompact()
-	return nil
+	return lt.Commit()
 }
 
-// Rollback undoes the open transaction.
+// Rollback undoes the legacy transaction.
 func (db *Database) Rollback() error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
+	lt := db.legacy
+	db.mu.Unlock()
+	if lt == nil {
+		return fmt.Errorf("%w: no transaction open", core.ErrTxState)
 	}
-	if err := db.engine.Rollback(); err != nil {
-		return err
-	}
-	db.gen++
-	db.txSeq++
-	return nil
+	return lt.Rollback()
 }
 
-// finish bumps the mutation generation on success. Inside a transaction the
-// generation does not move — snapshot views keep showing the last committed
-// state until Commit advances it once for the whole batch — and compaction
-// is deferred to Commit: a snapshot written mid-transaction would persist
-// uncommitted operations and truncate the log before their buffered journal
-// records exist.
+// finish bumps the mutation generation on success. Inside the legacy
+// transaction the generation does not move — snapshot views keep showing
+// the last committed state until Commit advances it once for the whole
+// batch — and compaction is deferred to Commit: a snapshot written
+// mid-transaction would persist uncommitted operations and truncate the
+// log before their buffered journal records exist.
 func (db *Database) finish(id ID, err error) (ID, error) {
 	if err != nil {
 		return NoID, err
 	}
-	if db.engine.InTx() {
-		db.txSeq++
+	if db.legacy != nil {
 		return id, nil
 	}
 	db.gen++
@@ -322,32 +506,18 @@ func (db *Database) RawView() View {
 	return db.snapshotLocked().raw
 }
 
-// txSpliceCache caches the spliced view over an open transaction's live
-// state, keyed by the in-transaction operation counter: a check-in batch
-// resolves one path per update, and without the cache every resolution
-// would rebuild the whole splice.
-type txSpliceCache struct {
-	seq  uint64
-	user *pattern.Spliced
-}
-
 // updateViewLocked returns the view path resolution for updates runs
-// against: normally the current snapshot, but while a transaction is open a
-// view over the live engine state, so that a batch can address items it
-// created earlier in the same transaction (the server's check-in path
-// relies on this). Callers hold db.mu and must not let a live view escape
-// the lock.
+// against: normally the current snapshot, but while the legacy transaction
+// is open a view over the live engine state, so that a batch can address
+// items it created earlier in the same transaction (per-Tx resolution goes
+// through Tx.ResolvePath). Callers hold db.mu and must not let a live view
+// escape the lock.
 func (db *Database) updateViewLocked(user bool) View {
-	if db.engine.InTx() {
+	if lt := db.legacy; lt != nil {
 		if !user {
 			return db.engine.View()
 		}
-		if c := db.txSplice.Load(); c != nil && c.seq == db.txSeq {
-			return c.user
-		}
-		sp := pattern.NewSpliced(db.engine.View())
-		db.txSplice.Store(&txSpliceCache{seq: db.txSeq, user: sp})
-		return sp
+		return lt.viewLocked()
 	}
 	if user {
 		return db.snapshotLocked().userView()

@@ -25,8 +25,19 @@ var (
 	ErrBadSchemaChange = errors.New("seed: schema evolution invalidates existing data")
 	// ErrTxOpen rejects whole-database operations (version save/select,
 	// schema evolution, compaction) while a transaction is open: they
-	// would freeze or persist a half-applied batch.
+	// would freeze or persist a half-applied batch. The server takes a
+	// whole-database barrier around these operations so clients never see
+	// this error.
 	ErrTxOpen = errors.New("seed: operation not allowed while a transaction is open")
+	// ErrTxConflict reports that two concurrently staged transactions
+	// overlap (or that a commit landed under an open transaction's feet).
+	// It is retryable: roll back, re-read, and re-stage. The server's
+	// check-out locks keep disjoint check-ins conflict-free; this surfaces
+	// only for genuinely overlapping write sets.
+	ErrTxConflict = core.ErrTxConflict
+	// ErrTxDone rejects operations on a transaction handle that was
+	// already committed or rolled back.
+	ErrTxDone = errors.New("seed: transaction already committed or rolled back")
 )
 
 // SnapshotMode selects how versions store item states.
@@ -95,8 +106,11 @@ func (o Options) storage() storage.Options {
 // Methods are safe for use from multiple goroutines: mutations serialize on
 // a write lock, retrieval runs in parallel on a read lock, and View/RawView
 // return immutable snapshots that stay consistent while mutations proceed.
-// SEED remains logically single-user (the client/server layer serializes
-// whole check-ins behind its transaction gate).
+// Several transactions may be staged concurrently via BeginTx — each Tx
+// carries its own batch, and transactions with disjoint write sets commit
+// independently (overlaps surface as ErrTxConflict); the server maps
+// check-out lock sets onto transactions, which is what retires its global
+// write gate (DESIGN.md section 8).
 type Database struct {
 	mu sync.RWMutex
 
@@ -111,8 +125,7 @@ type Database struct {
 	snap   atomic.Pointer[snapshotCache] // snapshot of the last built generation
 	gen    uint64                        // mutation generation (bumped per visible change)
 
-	txSeq    uint64                        // in-transaction operation counter
-	txSplice atomic.Pointer[txSpliceCache] // spliced view over the open transaction's state
+	legacy *Tx // transaction opened by the legacy Begin (global operations join it)
 
 	transitions map[string]TransitionRule // history-sensitive consistency rules
 
@@ -146,6 +159,20 @@ func Open(dir string, opts Options) (*Database, error) {
 			return nil, ErrNoSchema
 		}
 		if err := db.initFresh(opts.Schema); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
+	if rec.inBatch {
+		// The log ends in a torn transaction batch (crash mid-append). Its
+		// buffered records were dropped; neutralize the fragment durably so
+		// records appended from now on are never mistaken for its
+		// continuation.
+		if err := st.Append(encTxBoundary(recTxAbort)); err != nil {
+			st.Close()
+			return nil, err
+		}
+		if err := st.Sync(); err != nil {
 			st.Close()
 			return nil, err
 		}
@@ -393,14 +420,36 @@ func (db *Database) Stats() Stats {
 	return s
 }
 
-// appendRecord is the engine's journal sink. Durability is the storage
-// layer's business: under SyncGroupCommit the Append blocks until its batch
-// is fsynced, under SyncOnRequest it only buffers.
+// appendRecord is the engine's journal sink for auto-committed operations.
+// Durability is the storage layer's business: under SyncGroupCommit the
+// Append blocks until its batch is fsynced, under SyncOnRequest it only
+// buffers.
 func (db *Database) appendRecord(payload []byte) error {
 	if db.store == nil {
 		return nil
 	}
 	return db.store.Append(payload)
+}
+
+// journalBatchLocked appends a committed transaction's records to the log
+// as one atomic, contiguous batch (framed with recTxBegin/recTxEnd when it
+// holds more than one record — a single record is atomic by construction).
+// The records' position in the log is fixed while db.mu is held, matching
+// commit order; the returned wait function (nil under SyncOnRequest)
+// reports durability and is called after releasing the lock, so concurrent
+// committers coalesce into shared fsyncs instead of serializing on db.mu.
+func (db *Database) journalBatchLocked(records [][]byte) (func() error, error) {
+	if db.store == nil || len(records) == 0 {
+		return nil, nil
+	}
+	payloads := records
+	if len(records) > 1 {
+		payloads = make([][]byte, 0, len(records)+2)
+		payloads = append(payloads, encTxBoundary(recTxBegin))
+		payloads = append(payloads, records...)
+		payloads = append(payloads, encTxBoundary(recTxEnd))
+	}
+	return db.store.AppendBatch(payloads)
 }
 
 // maybeCompact runs auto-compaction when the log grows past the threshold.

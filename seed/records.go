@@ -19,7 +19,22 @@ const (
 	recSelectVersion byte = 18 // version number
 	recDeleteVersion byte = 19 // version number
 	recVacuum        byte = 20 // purge unreferenced tombstones (no payload)
+
+	// Transaction batch framing. A committed multi-record transaction is
+	// appended as recTxBegin, the data records, recTxEnd — contiguously, so
+	// recovery applies the whole batch or none of it. A crash can tear the
+	// tail mid-batch: replay then buffers records that never see their end
+	// marker and drops them, and the next open neutralizes the fragment
+	// with recTxAbort so later appends are not mistaken for its
+	// continuation. Single-record commits skip the framing (one record is
+	// atomic by construction).
+	recTxBegin byte = 21 // start of a committed transaction batch
+	recTxEnd   byte = 22 // end of a committed transaction batch
+	recTxAbort byte = 23 // torn batch fragment precedes; discard it
 )
+
+// encTxBoundary encodes one of the single-byte batch framing records.
+func encTxBoundary(tag byte) []byte { return []byte{tag} }
 
 // newRecordEncoder starts an encoder with the record tag written.
 func newRecordEncoder(tag byte) *storage.Encoder {
@@ -58,9 +73,14 @@ func encDeleteVersion(num VersionNumber) []byte {
 	return e.Bytes()
 }
 
-// recovery adapts the database to storage.RecoveryHandler.
+// recovery adapts the database to storage.RecoveryHandler. Transaction
+// batches (recTxBegin ... recTxEnd) are buffered and applied only when
+// their end marker arrives: a batch torn by a crash mid-append must never
+// surface half-applied.
 type recovery struct {
-	db *Database
+	db      *Database
+	batch   [][]byte // buffered data records of an open batch
+	inBatch bool
 }
 
 // LoadSnapshot restores the full state written by Compact.
@@ -75,11 +95,57 @@ func (r *recovery) ApplyRecord(payload []byte) error {
 	}
 	db := r.db
 	tag := payload[0]
+	if r.inBatch {
+		switch {
+		case tag == recTxEnd:
+			r.inBatch = false
+			for _, rec := range r.batch {
+				if db.engine == nil {
+					return fmt.Errorf("%w: data record before schema record", core.ErrBadRecord)
+				}
+				if err := db.engine.ApplyRecord(rec); err != nil {
+					return err
+				}
+			}
+			r.batch = r.batch[:0]
+			return nil
+		case tag == recTxBegin:
+			// A new batch while one is open: the previous batch is a torn
+			// fragment (the tail was truncated mid-batch and the database
+			// reopened before batch framing gained the abort record) —
+			// drop it and start buffering the new one.
+			r.batch = r.batch[:0]
+			return nil
+		case tag == recTxAbort:
+			r.inBatch = false
+			r.batch = r.batch[:0]
+			return nil
+		case tag <= core.RecDataMax:
+			// The scan loop reuses its record buffer; keep a copy.
+			r.batch = append(r.batch, append([]byte(nil), payload...))
+			return nil
+		default:
+			// A database-level record can only follow a torn fragment:
+			// discard the fragment and dispatch the record normally.
+			r.inBatch = false
+			r.batch = r.batch[:0]
+		}
+	}
 	if tag <= core.RecDataMax {
 		if db.engine == nil {
 			return fmt.Errorf("%w: data record before schema record", core.ErrBadRecord)
 		}
 		return db.engine.ApplyRecord(payload)
+	}
+	switch tag {
+	case recTxBegin:
+		r.inBatch = true
+		r.batch = r.batch[:0]
+		return nil
+	case recTxEnd, recTxAbort:
+		// An end or abort without an open batch is the benign residue of a
+		// healed fragment; nothing to do.
+		return nil
 	}
 	d := storage.NewDecoder(payload[1:])
 	switch tag {
