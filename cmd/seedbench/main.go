@@ -8,16 +8,18 @@
 //	seedbench -list                 # list experiments
 //	seedbench -exp e8 -json BENCH_E8.json  # export E8 machine-readable
 //	seedbench -exp e9 -json BENCH_E9.json  # export E9 machine-readable
+//	seedbench -exp e10 -json BENCH_E10.json # export E10 machine-readable
 //	seedbench -short                # reduced workloads (CI smoke)
 //
 // E1-E5 reproduce the paper's evaluation artifacts; E6 measures the
 // storage engine's group-commit pipeline, E7 the snapshot-read/check-in
 // concurrency engine, E8 the copy-on-write snapshot generations plus the
-// class-indexed query path beyond the paper, and E9 the concurrent
-// lock-scoped check-in path against the old serialized write gate. With
+// class-indexed query path beyond the paper, E9 the concurrent
+// lock-scoped check-in path against the old serialized write gate, and
+// E10 the pipelined v2 wire protocol with server-side queries. With
 // -json, the machine-readable data of the selected measurement experiment
-// (e8, or e9 when -exp e9) is written out so the perf trajectory is
-// tracked across PRs.
+// (e8, or e9/e10 when selected with -exp) is written out so the perf
+// trajectory is tracked across PRs.
 package main
 
 import (
@@ -43,10 +45,11 @@ var experiments = []struct {
 	{"e7", "concurrency: parallel snapshot reads vs serialized check-ins", bench.E7},
 	{"e8", "snapshots: COW generations and the class-indexed read path", nil},  // wired in main
 	{"e9", "check-ins: lock-scoped concurrency vs the global write gate", nil}, // wired in main
+	{"e10", "wire v2: pipelined frames and server-side queries", nil},          // wired in main
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1..e9 or all)")
+	exp := flag.String("exp", "all", "experiment to run (e1..e10 or all)")
 	list := flag.Bool("list", false, "list experiments")
 	short := flag.Bool("short", false, "reduced workloads (CI smoke)")
 	jsonPath := flag.String("json", "", "write the selected measurement experiment's machine-readable data to this file")
@@ -61,12 +64,15 @@ func main() {
 
 	e8Workload := bench.DefaultChurnWorkload
 	e9Workload := bench.DefaultCheckinWorkload
+	e10Workload := bench.DefaultPipelineWorkload
 	if *short {
 		e8Workload = bench.ShortChurnWorkload
 		e9Workload = bench.ShortCheckinWorkload
+		e10Workload = bench.ShortPipelineWorkload
 	}
 	var e8Data *bench.E8Data
 	var e9Data *bench.E9Data
+	var e10Data *bench.E10Data
 
 	failed := false
 	for _, e := range experiments {
@@ -79,6 +85,8 @@ func main() {
 			r, e8Data = bench.E8Stats(e8Workload)
 		case "e9":
 			r, e9Data = bench.E9Stats(e9Workload)
+		case "e10":
+			r, e10Data = bench.E10Stats(e10Workload)
 		default:
 			r = e.run()
 		}
@@ -89,8 +97,8 @@ func main() {
 		}
 	}
 	if *jsonPath != "" {
-		// -exp e9 exports the E9 data; everything else keeps the historical
-		// behavior of exporting E8.
+		// -exp e9/e10 exports that experiment's data; everything else keeps
+		// the historical behavior of exporting E8.
 		var payload any
 		switch {
 		case strings.EqualFold(*exp, "e9"):
@@ -99,6 +107,12 @@ func main() {
 				os.Exit(1)
 			}
 			payload = e9Data
+		case strings.EqualFold(*exp, "e10"):
+			if e10Data == nil {
+				fmt.Fprintf(os.Stderr, "seedbench: -json given but experiment e10 did not run (-exp %s)\n", *exp)
+				os.Exit(1)
+			}
+			payload = e10Data
 		default:
 			if e8Data == nil {
 				fmt.Fprintf(os.Stderr, "seedbench: -json given but experiment e8 did not run (-exp %s)\n", *exp)

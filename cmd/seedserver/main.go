@@ -5,13 +5,23 @@
 //
 //	seedserver -dir /var/lib/seed -addr 127.0.0.1:7544 [-schema schema.sdl]
 //	           [-segment-size 4194304] [-sync request|group]
+//	           [-idle-timeout 5m] [-write-timeout 30s]
 //
 // A fresh directory requires -schema (an SDL file); an existing database
 // loads its schema from storage. -segment-size caps one write-ahead-log
 // segment file; -sync group makes every operation durable before it is
 // acknowledged (the database serializes operations, so this costs one
 // fsync per operation; fsync coalescing across concurrent committers
-// happens at the storage layer).
+// happens at the storage layer). -idle-timeout disconnects clients that
+// send nothing for the given duration, releasing their locks and aborting
+// their in-flight check-ins; it defaults to off because a checked-out
+// client editing locally is legitimately silent for long stretches —
+// enable it only where clients reconnect and re-checkout on error.
+// -write-timeout bounds how long one response frame may take to reach a
+// client before the connection is reaped — size it generously for slow
+// links, since a near-limit 8 MiB frame needs the whole bound. Zero
+// (the default) disables either; both deadlines preserve pre-v2 behavior
+// unless explicitly armed.
 package main
 
 import (
@@ -31,6 +41,8 @@ func main() {
 	schemaFile := flag.String("schema", "", "SDL schema file (required for a fresh database)")
 	segmentSize := flag.Int64("segment-size", 0, "WAL segment size cap in bytes (0 = storage default)")
 	syncMode := flag.String("sync", "request", "durability policy: request (fsync on save points) or group (group-committed fsync per operation)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "disconnect a client after this silence, releasing its locks and in-flight check-in (0 disables; note a checked-out client editing locally is legitimately silent, so enable only with clients that reconnect and re-checkout on error)")
+	writeTimeout := flag.Duration("write-timeout", 0, "maximum time one response frame may take to reach a client before the connection is reaped (0 disables; bound one frame's transfer, so size it to the slowest link expected to carry an 8 MiB frame)")
 	flag.Parse()
 
 	opts := seed.Options{CompactAfter: 4 << 20, SegmentSize: *segmentSize}
@@ -61,6 +73,7 @@ func main() {
 
 	srv := server.New(db)
 	srv.SetLogger(log.Printf)
+	srv.SetTimeouts(*idleTimeout, *writeTimeout)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("listening: %v", err)

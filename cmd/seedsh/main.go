@@ -17,8 +17,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 
+	"repro/internal/item"
 	"repro/seed"
 )
 
@@ -88,6 +90,8 @@ func (s *shell) exec(line string) error {
 		return nil
 	case "ls":
 		return s.list(rest)
+	case "query":
+		return s.query(rest)
 	case "mk":
 		return s.make(rest, false)
 	case "mkpattern":
@@ -164,6 +168,12 @@ func (s *shell) help() {
   inherit <patternName> <name>  let an object inherit a pattern
 retrieval
   ls [class]                    list independent objects
+  query <clauses>               run a query; clauses (repeatable where/follow):
+                                  class <C> [specs] | name <glob>
+                                  where <rolePath> <op> <value>   (op: = != < <= > >= contains;
+                                    value takes an optional kind prefix str:/int:/real:/bool:/date:)
+                                  follow <assoc> <fromRole> <toRole>
+                                  limit <n> | offset <n>
   show <path>                   show one object
   tree <name>                   show an object subtree with relationships
   check                         completeness report
@@ -195,6 +205,129 @@ func (s *shell) list(rest []string) error {
 		fmt.Fprintf(s.out, "%-24s %s\n", o.Name, o.Class.QualifiedName())
 	}
 	return nil
+}
+
+// query evaluates an ad-hoc retrieval over the current view: the same
+// selection → follow → page shape the wire protocol's query operation
+// executes server-side.
+func (s *shell) query(rest []string) error {
+	q := seed.NewQuery()
+	var follows []seed.FollowStep
+	limit, offset := 0, 0
+	for i := 0; i < len(rest); {
+		clause := rest[i]
+		arg := func(n int) ([]string, error) {
+			if len(rest)-i-1 < n {
+				return nil, fmt.Errorf("clause %q needs %d argument(s); 'help' shows the syntax", clause, n)
+			}
+			args := rest[i+1 : i+1+n]
+			i += 1 + n
+			return args, nil
+		}
+		switch clause {
+		case "class":
+			a, err := arg(1)
+			if err != nil {
+				return err
+			}
+			specs := false
+			if i < len(rest) && rest[i] == "specs" {
+				specs = true
+				i++
+			}
+			q = q.Class(a[0], specs)
+		case "name":
+			a, err := arg(1)
+			if err != nil {
+				return err
+			}
+			q = q.NameGlob(a[0])
+		case "where":
+			a, err := arg(3)
+			if err != nil {
+				return err
+			}
+			op, err := seed.ParseCompareOp(a[1])
+			if err != nil {
+				return err
+			}
+			val, err := parseQueryValue(a[2])
+			if err != nil {
+				return err
+			}
+			q = q.Where(a[0], op, val)
+		case "follow":
+			a, err := arg(3)
+			if err != nil {
+				return err
+			}
+			follows = append(follows, seed.FollowStep{Assoc: a[0], From: a[1], To: a[2]})
+		case "limit", "offset":
+			a, err := arg(1)
+			if err != nil {
+				return err
+			}
+			n, err := strconv.Atoi(a[0])
+			if err != nil || n < 0 {
+				return fmt.Errorf("bad %s %q", clause, a[0])
+			}
+			if clause == "limit" {
+				limit = n
+			} else {
+				offset = n
+			}
+		default:
+			return fmt.Errorf("unknown clause %q ('help' shows the syntax)", clause)
+		}
+	}
+	v := s.db.View()
+	ids, err := q.Run(v)
+	if err != nil {
+		return err
+	}
+	ids, total, err := seed.FollowPage(v, ids, follows, limit, offset)
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		o, ok := v.Object(id)
+		if !ok {
+			continue
+		}
+		label := o.Name
+		if p, ok := item.PathOf(v, id); ok {
+			label = p.String()
+		}
+		fmt.Fprintf(s.out, "%-32s %s", label, o.Class.QualifiedName())
+		if o.Value.IsDefined() {
+			fmt.Fprintf(s.out, " = %s", o.Value.Quote())
+		}
+		fmt.Fprintln(s.out)
+	}
+	fmt.Fprintf(s.out, "%d of %d match(es)\n", len(ids), total)
+	return nil
+}
+
+// parseQueryValue parses a comparison value with an optional kind prefix
+// (int:5, real:1.5, bool:true, date:1986-02-05, str:x); without a prefix
+// the value is a string.
+func parseQueryValue(raw string) (seed.Value, error) {
+	kind := seed.KindString
+	if k, rest, ok := strings.Cut(raw, ":"); ok {
+		switch k {
+		case "str":
+			kind, raw = seed.KindString, rest
+		case "int":
+			kind, raw = seed.KindInteger, rest
+		case "real":
+			kind, raw = seed.KindReal, rest
+		case "bool":
+			kind, raw = seed.KindBoolean, rest
+		case "date":
+			kind, raw = seed.KindDate, rest
+		}
+	}
+	return seed.ParseValue(kind, raw)
 }
 
 func (s *shell) make(rest []string, pattern bool) error {

@@ -135,3 +135,42 @@ func TestShellVersionSelect(t *testing.T) {
 		t.Error("select 1.0 lost A")
 	}
 }
+
+func TestShellQuery(t *testing.T) {
+	sh, output := newShell(t)
+	run(t, sh,
+		"mk InputData Sensors",
+		"mk OutputData Alarms",
+		"mk OutputData Display",
+		"mk Action Handler",
+		"sub Alarms Description alarm display matrix",
+		"ln Write from=Alarms by=Handler",
+		"query class Data specs",
+		"query class OutputData where Description contains display",
+		"query class OutputData follow Write from by",
+		"query class Data specs limit 1 offset 1",
+		"query name Al*",
+	)
+	out := output()
+	for _, want := range []string{
+		"3 of 3 match(es)", // class Data specs: Sensors, Alarms, Display
+		"1 of 1 match(es)", // where on Description; also the name glob
+		"Handler",          // follow Write lands on the Action
+		"1 of 3 match(es)", // paged
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("query output missing %q:\n%s", want, out)
+		}
+	}
+	for _, bad := range []string{
+		"query class",
+		"query where Description ~ x",
+		"query limit nope",
+		"query frobnicate",
+		"query follow Write from",
+	} {
+		if err := sh.exec(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

@@ -2,13 +2,23 @@
 // extension: retrieval goes to the central server; updates are staged
 // against local copies in a Workspace and sent back in one check-in, which
 // the server applies as a single transaction.
+//
+// The client speaks wire protocol v2: requests carry correlation ids, a
+// demultiplexing goroutine routes responses to their callers through an
+// in-flight map, and any number of goroutines may share one Client — the
+// blocking calls (Get, Query, Checkout, ...) pipeline transparently, and
+// Send/Await expose the pipeline directly for callers that want many
+// requests in flight from one goroutine. DialLockstep pins a connection to
+// the v1 one-request-one-response protocol.
 package client
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
 	"sort"
+	"sync"
 
 	"repro/internal/wire"
 )
@@ -28,46 +38,245 @@ var (
 	ErrConflict = errors.New("client: check-in conflicted with a concurrent check-in")
 )
 
-// Client is one connection to a SEED server.
+// Client is one connection to a SEED server. A v2 client is safe for
+// concurrent use: independent goroutines' requests interleave on the wire
+// and their responses demultiplex back through the correlation map. A
+// lockstep (v1) client serializes internally.
 type Client struct {
-	conn net.Conn
-	id   string
+	conn  net.Conn
+	id    string
+	proto int
+
+	// Writes go through a buffered writer that is flushed when a caller
+	// blocks awaiting a response (see flush), so a burst of pipelined sends
+	// leaves the client as one wire write instead of one syscall each.
+	wmu sync.Mutex // serializes frame writes (and, in lockstep mode, whole round trips)
+	bw  *bufio.Writer
+	wr  *wire.Writer
+	rd  *wire.Reader // owned by the demux goroutine once it starts
+
+	mu      sync.Mutex
+	pending map[uint64]chan result // Seq -> caller awaiting the response
+	nextSeq uint64
+	err     error // sticky transport failure; set once the demux dies
 }
 
-// Dial connects and performs the hello handshake.
-func Dial(addr string) (*Client, error) {
+// result is one demultiplexed response delivery.
+type result struct {
+	resp *wire.Response
+	err  error
+}
+
+// Dial connects and performs the hello handshake, negotiating protocol v2.
+func Dial(addr string) (*Client, error) { return dial(addr, wire.ProtoV2) }
+
+// DialLockstep connects with the v1 protocol: no correlation ids, one
+// request and one response at a time. It exists for protocol-compatibility
+// tests and as the E10 pipelining baseline.
+func DialLockstep(addr string) (*Client, error) { return dial(addr, 0) }
+
+func dial(addr string, proto int) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn}
-	resp, err := c.roundTrip(&wire.Request{Op: wire.OpHello})
-	if err != nil {
+	c := &Client{
+		conn:    conn,
+		bw:      bufio.NewWriterSize(conn, 32<<10),
+		rd:      wire.NewReader(bufio.NewReader(conn)),
+		pending: make(map[uint64]chan result),
+	}
+	c.wr = wire.NewWriter(c.bw)
+	// The hello runs lockstep in either mode: the demux starts only after
+	// the server has answered with the negotiated version.
+	if err := c.writeFlush(&wire.Request{Op: wire.OpHello, Proto: proto}); err != nil {
 		conn.Close()
 		return nil, err
 	}
+	var resp wire.Response
+	if err := c.rd.Read(&resp); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if resp.Err != "" {
+		conn.Close()
+		return nil, remoteError(&resp)
+	}
 	c.id = resp.ClientID
+	c.proto = resp.Proto
+	if c.proto >= wire.ProtoV2 {
+		go c.demux()
+	}
 	return c, nil
 }
 
 // ID returns the server-assigned client identity.
 func (c *Client) ID() string { return c.id }
 
-// Close closes the connection; the server drops any remaining locks.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the connection; the server drops any remaining locks, and
+// every request still in flight fails. The failure is marked before the
+// socket closes, so a Send racing with Close can never succeed into a
+// buffer nobody will ever flush.
+func (c *Client) Close() error {
+	c.fail(errors.New("client: connection closed"))
+	return nil
+}
 
-func (c *Client) roundTrip(req *wire.Request) (*wire.Response, error) {
-	if err := wire.WriteFrame(c.conn, req); err != nil {
+// demux routes incoming responses to their awaiting callers by correlation
+// id. When the connection dies — Close, a network error, or a protocol
+// violation — every pending and future request fails with the same sticky
+// error.
+func (c *Client) demux() {
+	for {
+		resp := &wire.Response{}
+		if err := c.rd.Read(resp); err != nil {
+			c.fail(fmt.Errorf("client: connection lost: %w", err))
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.Seq]
+		delete(c.pending, resp.Seq)
+		c.mu.Unlock()
+		if !ok {
+			c.fail(fmt.Errorf("client: response with unmatched seq %d", resp.Seq))
+			return
+		}
+		ch <- result{resp: resp}
+	}
+}
+
+// fail marks the connection broken, closes the socket (a failed client
+// never holds a live connection — the server then drops its locks), and
+// delivers the error to every pending request exactly once.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	stranded := c.pending
+	c.pending = make(map[uint64]chan result)
+	c.mu.Unlock()
+	c.conn.Close()
+	for _, ch := range stranded {
+		ch <- result{err: err}
+	}
+}
+
+// writeFlush writes one frame and pushes it onto the wire immediately.
+func (c *Client) writeFlush(v any) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.wr.Write(v); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// flush pushes buffered sends onto the wire. A flush failure kills the
+// connection: the error reaches every pending request through fail.
+func (c *Client) flush() {
+	c.wmu.Lock()
+	err := c.bw.Flush()
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(fmt.Errorf("client: connection lost: %w", err))
+	}
+}
+
+// Pending is one in-flight request; Await blocks until its response
+// arrives.
+type Pending struct {
+	c  *Client
+	ch chan result
+}
+
+// Send stages a request on the pipeline and returns a handle to await its
+// response; it never waits for the server. The frame is buffered and hits
+// the wire when some caller blocks in Await (or another request flushes),
+// so bursts of sends coalesce into single writes. Mutating requests sent
+// this way still execute in send order — the server preserves per-client
+// FIFO order for them — so a checkout may be followed immediately by the
+// check-in that depends on it. Requires a v2 connection (Dial).
+func (c *Client) Send(req *wire.Request) (*Pending, error) {
+	if c.proto < wire.ProtoV2 {
+		return nil, errors.New("client: pipelining requires protocol v2 (connection is lockstep)")
+	}
+	ch := make(chan result, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
 		return nil, err
 	}
-	var resp wire.Response
-	if err := wire.ReadFrame(c.conn, &resp); err != nil {
+	c.nextSeq++
+	seq := c.nextSeq
+	c.pending[seq] = ch
+	c.mu.Unlock()
+	req.Seq = seq
+
+	c.wmu.Lock()
+	err := c.wr.Write(req)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return &Pending{c: c, ch: ch}, nil
+}
+
+// Await blocks until the response arrives and maps remote failures onto
+// the client's matchable error values. It first flushes the send buffer —
+// the request (and everything staged behind it) cannot be answered while
+// it sits client-side.
+func (p *Pending) Await() (*wire.Response, error) {
+	select {
+	case r := <-p.ch:
+		return p.finish(r)
+	default:
+	}
+	p.c.flush()
+	return p.finish(<-p.ch)
+}
+
+func (p *Pending) finish(r result) (*wire.Response, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.resp.Err != "" {
+		return nil, remoteError(r.resp)
+	}
+	return r.resp, nil
+}
+
+// roundTrip issues one blocking request. On a v2 connection it rides the
+// pipeline (other goroutines' requests interleave freely); on a lockstep
+// connection it holds the write lock across the write and the read.
+func (c *Client) roundTrip(req *wire.Request) (*wire.Response, error) {
+	if c.proto >= wire.ProtoV2 {
+		p, err := c.Send(req)
+		if err != nil {
+			return nil, err
+		}
+		return p.Await()
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.wr.Write(req); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	resp := &wire.Response{}
+	if err := c.rd.Read(resp); err != nil {
 		return nil, err
 	}
 	if resp.Err != "" {
-		return nil, remoteError(&resp)
+		return nil, remoteError(resp)
 	}
-	return &resp, nil
+	return resp, nil
 }
 
 // remoteError rebuilds a matchable error from a failure response: every
@@ -106,6 +315,20 @@ func (c *Client) List(class string) ([]string, error) {
 	return names, nil
 }
 
+// Query executes a query server-side against one consistent indexed
+// snapshot: selection by class (optionally with specializations), name
+// glob, and typed value predicates, then Follow navigation, with
+// limit/offset paging of the final set. It returns the page of matching
+// objects and the total match count before paging, so callers fetching a
+// large result advance Offset until the pages cover Total.
+func (c *Client) Query(q *wire.Query) ([]wire.Object, int, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpQuery, Query: q})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Objects, resp.Total, nil
+}
+
 // SaveVersion snapshots the central database.
 func (c *Client) SaveVersion(note string) (string, error) {
 	resp, err := c.roundTrip(&wire.Request{Op: wire.OpSaveVersion, Note: note})
@@ -140,6 +363,18 @@ func (c *Client) Stats() (string, error) {
 		return "", err
 	}
 	return resp.Stats, nil
+}
+
+// StatsInfo returns the structured state summary.
+func (c *Client) StatsInfo() (wire.Stats, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return wire.Stats{}, err
+	}
+	if resp.StatsV2 == nil {
+		return wire.Stats{}, fmt.Errorf("%w: server sent no structured stats", ErrRemote)
+	}
+	return *resp.StatsV2, nil
 }
 
 // Release drops locks without updating.

@@ -1,11 +1,13 @@
 package client_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
 	"repro/internal/client"
 	"repro/internal/server"
+	"repro/internal/wire"
 	"repro/seed"
 )
 
@@ -136,5 +138,57 @@ func TestRemoteErrorText(t *testing.T) {
 	_, err := c2.Checkout("Doc")
 	if err == nil || !strings.Contains(err.Error(), "checked out") {
 		t.Errorf("lock error text: %v", err)
+	}
+}
+
+// TestSendAwaitPipeline: the async pipeline API keeps many requests in
+// flight on one connection and correlates every response to its own call;
+// closing the connection fails the requests still in flight — and every
+// later one — instead of stranding them.
+func TestSendAwaitPipeline(t *testing.T) {
+	addr, db := startServer(t)
+	for i := 0; i < 4; i++ {
+		if _, err := db.CreateObject("Data", fmt.Sprintf("D%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pends []*client.Pending
+	for i := 0; i < 4; i++ {
+		p, err := c.Send(&wire.Request{Op: wire.OpGet, Names: []string{fmt.Sprintf("D%d", i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pends = append(pends, p)
+	}
+	// Await out of order: correlation, not arrival order, decides.
+	for i := 3; i >= 0; i-- {
+		resp, err := pends[i].Await()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("D%d", i); len(resp.Snapshots) != 1 || resp.Snapshots[0].Root != want {
+			t.Errorf("await %d: got %+v", i, resp.Snapshots)
+		}
+	}
+
+	inflight, err := c.Send(&wire.Request{Op: wire.OpGet, Names: []string{"D0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := inflight.Await(); err == nil {
+		// The response may have already been in flight when Close landed;
+		// but the next request must fail for sure.
+		t.Log("in-flight request won the race against Close")
+	}
+	if _, err := c.Send(&wire.Request{Op: wire.OpStats}); err == nil {
+		t.Error("send on a closed client succeeded")
+	}
+	if _, err := c.Get("D0"); err == nil {
+		t.Error("blocking call on a closed client succeeded")
 	}
 }

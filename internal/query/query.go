@@ -70,6 +70,18 @@ func (op CompareOp) String() string {
 	return "?"
 }
 
+// ParseCompareOp parses the surface spelling of a comparison operator —
+// the inverse of CompareOp.String, and the single table the wire protocol
+// and the shell decode operators through.
+func ParseCompareOp(s string) (CompareOp, error) {
+	for op := Eq; op <= Contains; op++ {
+		if op.String() == s {
+			return op, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: unknown comparison operator %q", ErrBadQuery, s)
+}
+
 // predicate is one sub-object value condition.
 type predicate struct {
 	roles []string // role path below the candidate object
@@ -85,6 +97,7 @@ type Query struct {
 	nameGlob     string
 	preds        []predicate
 	limit        int
+	offset       int
 	err          error
 }
 
@@ -141,6 +154,16 @@ func (q *Query) Limit(n int) *Query {
 	return q
 }
 
+// Offset skips the first n matches before collecting results. Together
+// with Limit it pages a selection in the stable ascending-ID order Run
+// guarantees. Note the wire protocol's query operation pages through
+// FollowPage instead — after the Follow chain, so Total stays accurate —
+// and leaves the builder's limit and offset unset.
+func (q *Query) Offset(n int) *Query {
+	q.offset = n
+	return q
+}
+
 // Run evaluates the query over a view, returning matching object IDs in
 // ascending order.
 //
@@ -157,6 +180,9 @@ func (q *Query) Run(v item.View) ([]item.ID, error) {
 	}
 	if q.nameGlob != "" && literalGlob(q.nameGlob) {
 		// Exact-name selection: at most one candidate, on any view.
+		if q.offset > 0 {
+			return nil, nil
+		}
 		id, ok := v.ObjectByName(q.nameGlob)
 		if !ok {
 			return nil, nil
@@ -176,12 +202,17 @@ func (q *Query) Run(v item.View) ([]item.ID, error) {
 		candidates = v.Objects()
 	}
 	var out []item.ID
+	skip := q.offset
 	for _, id := range candidates {
 		o, ok := v.Object(id)
 		if !ok {
 			continue
 		}
 		if !q.matches(v, o) {
+			continue
+		}
+		if skip > 0 {
+			skip--
 			continue
 		}
 		out = append(out, id)
@@ -378,6 +409,38 @@ func contains(s, sub string) bool {
 		}
 	}
 	return false
+}
+
+// FollowStep names one Follow navigation of a multi-step retrieval.
+type FollowStep struct {
+	Assoc, From, To string
+}
+
+// FollowPage applies a chain of Follow steps to a selected set and pages
+// the final result — the shared post-selection pipeline of the wire
+// protocol's query operation and the shell's query command. Paging applies
+// after the follow chain, so the returned total always reports the unpaged
+// match count.
+func FollowPage(v item.View, ids []item.ID, steps []FollowStep, limit, offset int) ([]item.ID, int, error) {
+	var err error
+	for _, st := range steps {
+		ids, err = Follow(v, ids, st.Assoc, st.From, st.To)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	total := len(ids)
+	if offset > 0 {
+		if offset >= len(ids) {
+			ids = nil
+		} else {
+			ids = ids[offset:]
+		}
+	}
+	if limit > 0 && len(ids) > limit {
+		ids = ids[:limit]
+	}
+	return ids, total, nil
 }
 
 // Follow navigates from a set of objects along an association: for every

@@ -234,3 +234,45 @@ func TestQueryOverVersionView(t *testing.T) {
 		t.Errorf("1.0 OutputData = %v", then)
 	}
 }
+
+// TestOffsetPaging: Offset skips matches in the stable ascending-ID order,
+// composes with Limit into gapless, non-overlapping pages, and empties the
+// exact-name fast path.
+func TestOffsetPaging(t *testing.T) {
+	db, _ := testDB(t)
+	defer db.Close()
+	v := db.View()
+
+	all, err := query.New().Class("Thing", true).Run(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 4 {
+		t.Fatalf("fixture too small: %d objects", len(all))
+	}
+	var paged []item.ID
+	for off := 0; off < len(all); off += 2 {
+		page, err := query.New().Class("Thing", true).Limit(2).Offset(off).Run(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(page) > 2 {
+			t.Fatalf("page at offset %d has %d results", off, len(page))
+		}
+		paged = append(paged, page...)
+	}
+	if len(paged) != len(all) {
+		t.Fatalf("pages reassemble to %d ids, want %d", len(paged), len(all))
+	}
+	for i := range all {
+		if paged[i] != all[i] {
+			t.Errorf("paged[%d] = %d, want %d", i, paged[i], all[i])
+		}
+	}
+	if past, err := query.New().Class("Thing", true).Offset(len(all)).Run(v); err != nil || len(past) != 0 {
+		t.Errorf("offset past the end: %v, %v", past, err)
+	}
+	if one, err := query.New().NameGlob("Alarms").Offset(1).Run(v); err != nil || len(one) != 0 {
+		t.Errorf("offset on the exact-name path: %v, %v", one, err)
+	}
+}

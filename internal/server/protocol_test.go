@@ -1,0 +1,443 @@
+package server_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/server"
+	"repro/internal/wire"
+	"repro/seed"
+)
+
+// TestV1LockstepCompat: a Seq-less client — the v1 protocol — must work
+// against the v2 server unchanged: hello without a version announcement,
+// strict one-request-one-response ordering, and the full checkout/check-in
+// flow. Run once through the lockstep client and once over raw frames.
+func TestV1LockstepCompat(t *testing.T) {
+	_, addr, db := startServer(t)
+	alarms, _ := db.CreateObject("Data", "Alarms")
+	_, _ = db.CreateValueObject(alarms, "Description", seed.NewString("old"))
+
+	t.Run("lockstep client", func(t *testing.T) {
+		c, err := client.DialLockstep(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if c.ID() == "" {
+			t.Error("no client id")
+		}
+		if _, err := c.Send(&wire.Request{Op: wire.OpStats}); err == nil {
+			t.Error("pipelining accepted on a lockstep connection")
+		}
+		names, err := c.List("Data")
+		if err != nil || len(names) != 1 || names[0] != "Alarms" {
+			t.Fatalf("list = %v, %v", names, err)
+		}
+		ws, err := c.Checkout("Alarms")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws.SetValue("Alarms.Description", uint8(seed.KindString), "via v1")
+		if err := ws.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		snaps, err := c.Get("Alarms")
+		if err != nil || len(snaps) != 1 {
+			t.Fatalf("get = %v, %v", snaps, err)
+		}
+		found := false
+		for _, o := range snaps[0].Objects {
+			if o.Value == "via v1" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("v1 check-in not applied: %+v", snaps[0].Objects)
+		}
+	})
+
+	t.Run("raw frames", func(t *testing.T) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		roundTrip := func(req *wire.Request) *wire.Response {
+			t.Helper()
+			if err := wire.WriteFrame(conn, req); err != nil {
+				t.Fatal(err)
+			}
+			var resp wire.Response
+			if err := wire.ReadFrame(conn, &resp); err != nil {
+				t.Fatal(err)
+			}
+			return &resp
+		}
+		hello := roundTrip(&wire.Request{Op: wire.OpHello})
+		if hello.ClientID == "" {
+			t.Error("no client id")
+		}
+		if hello.Proto != 0 {
+			t.Errorf("server pushed protocol %d onto a v1 hello", hello.Proto)
+		}
+		if resp := roundTrip(&wire.Request{Op: wire.OpGet, Names: []string{"Alarms"}}); resp.Err != "" || resp.Seq != 0 {
+			t.Errorf("get = %+v", resp)
+		}
+		if resp := roundTrip(&wire.Request{Op: wire.OpStats}); resp.Stats == "" {
+			t.Errorf("stats = %+v", resp)
+		}
+	})
+}
+
+// TestPipelinedReadsCorrelate is the protocol v2 stress: one shared
+// connection with many goroutines' requests in flight — explicit Send/Await
+// windows and blocking calls mixed — while a writer churns generations on a
+// second connection. Every response must carry the payload of its own
+// request; a correlation slip (or torn snapshot) fails loudly. Run under
+// -race in the CI stress step.
+func TestPipelinedReadsCorrelate(t *testing.T) {
+	_, addr, db := startServer(t)
+	const objects = 16
+	for i := 0; i < objects; i++ {
+		id, err := db.CreateObject("Data", fmt.Sprintf("Obj%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.CreateValueObject(id, "Description", seed.NewString(fmt.Sprintf("desc-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	churn, err := db.CreateObject("Data", "Churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateValueObject(churn, "Description", seed.NewString("gen-0")); err != nil {
+		t.Fatal(err)
+	}
+
+	shared := dial(t, addr)
+	stop := make(chan struct{})
+	var writerErr error
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		w, err := client.Dial(addr)
+		if err != nil {
+			writerErr = err
+			return
+		}
+		defer w.Close()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ws, err := w.Checkout("Churn")
+			if err != nil {
+				writerErr = err
+				return
+			}
+			ws.SetValue("Churn.Description", uint8(seed.KindString), fmt.Sprintf("gen-%d", i))
+			if err := ws.Commit(); err != nil {
+				writerErr = err
+				return
+			}
+		}
+	}()
+
+	const readers = 8
+	const iters = 40
+	errs := make([]error, readers)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for i := 0; i < iters; i++ {
+				// Window of pipelined gets: issue a burst, then check each
+				// response against the name its request asked for.
+				window := 1 + rng.Intn(8)
+				names := make([]string, window)
+				pends := make([]*client.Pending, window)
+				for k := 0; k < window; k++ {
+					names[k] = fmt.Sprintf("Obj%d", rng.Intn(objects))
+					p, err := shared.Send(&wire.Request{Op: wire.OpGet, Names: []string{names[k]}})
+					if err != nil {
+						errs[r] = err
+						return
+					}
+					pends[k] = p
+				}
+				for k := 0; k < window; k++ {
+					resp, err := pends[k].Await()
+					if err != nil {
+						errs[r] = err
+						return
+					}
+					if len(resp.Snapshots) != 1 || resp.Snapshots[0].Root != names[k] {
+						errs[r] = fmt.Errorf("response correlation slipped: asked %q, got %+v", names[k], resp.Snapshots)
+						return
+					}
+					want := "desc-" + strings.TrimPrefix(names[k], "Obj")
+					found := false
+					for _, o := range resp.Snapshots[0].Objects {
+						if o.Value == want {
+							found = true
+						}
+					}
+					if !found {
+						errs[r] = fmt.Errorf("%s: payload of another object (want value %q)", names[k], want)
+						return
+					}
+				}
+				// Interleave a blocking call on the same shared connection.
+				if _, err := shared.StatsInfo(); err != nil {
+					errs[r] = err
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(stop)
+	writerWG.Wait()
+	if writerErr != nil {
+		t.Fatalf("writer: %v", writerErr)
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("reader %d: %v", r, err)
+		}
+	}
+}
+
+// TestPipelinedMutationFIFO: mutating requests sent back to back without
+// awaiting keep their order — a check-in pipelined directly behind the
+// checkout it depends on must see the locks in place.
+func TestPipelinedMutationFIFO(t *testing.T) {
+	_, addr, db := startServer(t)
+	alarms, _ := db.CreateObject("Data", "Alarms")
+	_, _ = db.CreateValueObject(alarms, "Description", seed.NewString("old"))
+
+	c := dial(t, addr)
+	co, err := c.Send(&wire.Request{Op: wire.OpCheckout, Names: []string{"Alarms"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := c.Send(&wire.Request{Op: wire.OpCheckin, Names: []string{"Alarms"}, Updates: []wire.Update{{
+		Kind: wire.UpdateSetValue, Path: "Alarms.Description",
+		ValueKind: uint8(seed.KindString), Value: "pipelined",
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Await(); err != nil {
+		t.Fatalf("checkout: %v", err)
+	}
+	if _, err := ci.Await(); err != nil {
+		t.Fatalf("checkin behind checkout: %v", err)
+	}
+	if o, _ := db.View().Object(alarms); o.ID != alarms {
+		t.Fatal("lost the object")
+	}
+	v := db.View()
+	id, _ := v.ObjectByName("Alarms")
+	var got string
+	for _, ch := range v.Children(id, "Description") {
+		if o, ok := v.Object(ch); ok {
+			got = o.Value.Str()
+		}
+	}
+	if got != "pipelined" {
+		t.Errorf("check-in not applied in order: %q", got)
+	}
+}
+
+// TestIdleTimeoutReleasesLocks: a client that goes silent past the idle
+// read timeout is disconnected, and the disconnect cleanup frees its locks
+// and aborts its in-flight transaction — the next client gets through.
+func TestIdleTimeoutReleasesLocks(t *testing.T) {
+	db, err := seed.NewMemory(seed.Figure3Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateObject("Data", "Root"); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db)
+	srv.SetTimeouts(100*time.Millisecond, time.Second)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	stalled, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+	if _, err := stalled.Checkout("Root"); err != nil {
+		t.Fatal(err)
+	}
+	// Now the client says nothing. The server must reap the connection and
+	// release the lock; a fresh client polls until it wins the checkout.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c, err := client.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, err := c.Checkout("Root")
+		if err == nil {
+			st, serr := c.StatsInfo()
+			if serr != nil {
+				t.Fatal(serr)
+			}
+			if st.OpenTxs != 0 {
+				t.Errorf("reaped connection left %d transactions in flight", st.OpenTxs)
+			}
+			_ = ws.Abandon()
+			c.Close()
+			break
+		}
+		c.Close()
+		if !errors.Is(err, client.ErrLocked) {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lock never released after idle timeout")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The stalled client's connection is gone: its next request fails.
+	if _, err := stalled.Stats(); err == nil {
+		t.Error("stalled connection still answered after the idle timeout")
+	}
+}
+
+// TestStatsStructured pins the schema of the structured stats response and
+// its agreement with the database's own counters.
+func TestStatsStructured(t *testing.T) {
+	_, addr, db := startServer(t)
+	a, _ := db.CreateObject("Data", "A")
+	_, _ = db.CreateValueObject(a, "Description", seed.NewString("x"))
+	b, _ := db.CreateObject("Action", "B")
+	if _, err := db.CreateRelationship("Access", map[string]seed.ID{"from": a, "by": b}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.SaveVersion("v1"); err != nil {
+		t.Fatal(err)
+	}
+
+	c := dial(t, addr)
+	st, err := c.StatsInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := db.Stats()
+	if st.Objects != want.Core.Objects || st.Relationships != want.Core.Relationships {
+		t.Errorf("counts diverge from db.Stats: %+v vs %+v", st, want)
+	}
+	if st.Objects != 3 || st.Relationships != 1 || st.Versions != 1 || st.SchemaVersion != 1 {
+		t.Errorf("unexpected stats: %+v", st)
+	}
+	if st.Generation == 0 {
+		t.Error("generation not reported")
+	}
+	if st.OpenTxs != 0 || st.WALSegments != 0 || st.WALBytes != 0 {
+		t.Errorf("idle in-memory database reports activity: %+v", st)
+	}
+	// The v1 compatibility string still rides along.
+	line, err := c.Stats()
+	if err != nil || !strings.Contains(line, "objects=3") {
+		t.Errorf("compat stats line = %q, %v", line, err)
+	}
+}
+
+// TestStalledClientReleasesLocks: with an idle read timeout armed but NO
+// write deadline, a client that floods requests, stops reading, and goes
+// silent must still be reaped — the teardown closes the connection before
+// draining, so a writer blocked on the stalled client's full TCP window
+// cannot wedge the handlers and keep releaseAll from running.
+func TestStalledClientReleasesLocks(t *testing.T) {
+	db, err := seed.NewMemory(seed.Figure3Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := db.CreateObject("Data", "Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fat object: a handful of un-read responses fills the socket
+	// buffers and blocks the server's writer.
+	if _, err := db.CreateValueObject(root, "Description", seed.NewString(strings.Repeat("x", 1<<20))); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db)
+	srv.SetTimeouts(100*time.Millisecond, 0) // no write deadline
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.WriteFrame(conn, &wire.Request{Op: wire.OpHello, Proto: wire.ProtoV2}); err != nil {
+		t.Fatal(err)
+	}
+	var hello wire.Response
+	if err := wire.ReadFrame(conn, &hello); err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(conn, &wire.Request{Op: wire.OpCheckout, Seq: 1, Names: []string{"Root"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Flood pipelined gets of the fat object — deeper than the dispatch
+	// semaphore plus the write channel together, so the reader ends up
+	// blocked handing off work rather than sitting in Read — and never
+	// read a byte again.
+	for seq := uint64(2); seq < 130; seq++ {
+		if err := wire.WriteFrame(conn, &wire.Request{Op: wire.OpGet, Seq: seq, Names: []string{"Root"}}); err != nil {
+			t.Fatal(err) // 128 small request frames fit in the socket buffers
+		}
+	}
+	// Now silence. The idle deadline must reap the connection and free
+	// the lock even though the writer is stuck on our un-read responses.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c, err := client.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, err := c.Checkout("Root")
+		if err == nil {
+			_ = ws.Abandon()
+			c.Close()
+			return
+		}
+		c.Close()
+		if !errors.Is(err, client.ErrLocked) {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lock never released: stalled connection wedged the teardown")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,279 @@
+package server_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/wire"
+	"repro/seed"
+)
+
+// queryFixture populates a database exercising every selection path the
+// query wire form can take: a class hierarchy (Data with Input/Output
+// specializations), value sub-objects, Text subtrees, relationships over a
+// specialized association, and a pattern whose data appears spliced into an
+// inheritor's context.
+func queryFixture(t *testing.T, db *seed.Database) {
+	t.Helper()
+	mk := func(id seed.ID, err error) seed.ID {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	var acts []seed.ID
+	for i := 0; i < 3; i++ {
+		acts = append(acts, mk(db.CreateObject("Action", fmt.Sprintf("Act%d", i))))
+	}
+	for i := 0; i < 4; i++ {
+		in := mk(db.CreateObject("InputData", fmt.Sprintf("In%d", i)))
+		mk(db.CreateValueObject(in, "Description", seed.NewString(fmt.Sprintf("input-%d", i))))
+		mk(db.CreateRelationship("Read", map[string]seed.ID{"from": in, "by": acts[i%3]}))
+	}
+	for i := 0; i < 5; i++ {
+		out := mk(db.CreateObject("OutputData", fmt.Sprintf("Out%d", i)))
+		mk(db.CreateValueObject(out, "Description", seed.NewString(fmt.Sprintf("output-%d", i))))
+		if i%2 == 0 {
+			text := mk(db.CreateSubObject(out, "Text"))
+			mk(db.CreateValueObject(text, "Selector", seed.NewString(fmt.Sprintf("sel-%d", i))))
+		}
+		rel := mk(db.CreateRelationship("Write", map[string]seed.ID{"from": out, "by": acts[i%3]}))
+		mk(db.CreateValueObject(rel, "NumberOfWrites", seed.NewInteger(int64(i))))
+	}
+	// A pattern contributes a spliced Text subtree to one inheritor: query
+	// predicates must see it in the inheritor's context.
+	pat := mk(db.CreatePatternObject("Data", "Pat"))
+	ptext := mk(db.CreateSubObject(pat, "Text"))
+	mk(db.CreateValueObject(ptext, "Selector", seed.NewString("pattern-sel")))
+	inh := mk(db.CreateObject("Data", "Inheritor"))
+	mk(db.Inherit(pat, inh))
+}
+
+// differentialQueries are the wire queries the remote path is compared
+// against the in-process query engine on.
+func differentialQueries() []*wire.Query {
+	s := uint8(seed.KindString)
+	return []*wire.Query{
+		{},
+		{Class: "Data"},
+		{Class: "Data", Specs: true},
+		{Class: "Thing", Specs: true},
+		{Class: "OutputData"},
+		{Class: "Nonexistent", Specs: true},
+		{NameGlob: "Out*"},
+		{NameGlob: "In2"},
+		{Class: "Data", Specs: true, NameGlob: "*1"},
+		{Class: "Data", Specs: true, Where: []wire.Where{{Path: "Description", Op: wire.CmpContains, ValueKind: s, Value: "put-2"}}},
+		{Where: []wire.Where{{Path: "Text.Selector", Op: wire.CmpEq, ValueKind: s, Value: "sel-2"}}},
+		{Where: []wire.Where{{Path: "Text.Selector", Op: wire.CmpEq, ValueKind: s, Value: "pattern-sel"}}},
+		{Where: []wire.Where{{Path: "Description", Op: wire.CmpGe, ValueKind: s, Value: "output-2"}}},
+		{Class: "OutputData", Follow: []wire.FollowStep{{Assoc: "Write", From: "from", To: "by"}}},
+		{Class: "Data", Specs: true, Follow: []wire.FollowStep{{Assoc: "Access", From: "from", To: "by"}}},
+		{NameGlob: "Out1", Follow: []wire.FollowStep{
+			{Assoc: "Write", From: "from", To: "by"},
+			{Assoc: "Write", From: "by", To: "from"},
+		}},
+		{Class: "Data", Specs: true, Limit: 3},
+		{Class: "Data", Specs: true, Limit: 3, Offset: 2},
+		{Class: "Data", Specs: true, Offset: 7},
+		{Class: "OutputData", Follow: []wire.FollowStep{{Assoc: "Write", From: "from", To: "by"}}, Limit: 2, Offset: 1},
+	}
+}
+
+// runLocal executes a wire query in-process over the same view the server
+// queries: builder selection, follow steps, then paging of the final set.
+func runLocal(t *testing.T, v seed.View, wq *wire.Query) []seed.ID {
+	t.Helper()
+	q := seed.NewQuery()
+	if wq.Class != "" {
+		q = q.Class(wq.Class, wq.Specs)
+	}
+	if wq.NameGlob != "" {
+		q = q.NameGlob(wq.NameGlob)
+	}
+	for _, w := range wq.Where {
+		op := map[string]seed.CompareOp{
+			wire.CmpEq: seed.Eq, wire.CmpNe: seed.Ne, wire.CmpLt: seed.Lt, wire.CmpLe: seed.Le,
+			wire.CmpGt: seed.Gt, wire.CmpGe: seed.Ge, wire.CmpContains: seed.Contains,
+		}[w.Op]
+		val, err := seed.ParseValue(seed.Kind(w.ValueKind), w.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q = q.Where(w.Path, op, val)
+	}
+	ids, err := q.Run(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range wq.Follow {
+		ids, err = seed.Follow(v, ids, f.Assoc, f.From, f.To)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if wq.Offset > 0 {
+		if wq.Offset >= len(ids) {
+			ids = nil
+		} else {
+			ids = ids[wq.Offset:]
+		}
+	}
+	if wq.Limit > 0 && len(ids) > wq.Limit {
+		ids = ids[:wq.Limit]
+	}
+	return ids
+}
+
+// TestRemoteQueryDifferential: Client.Query over the wire returns exactly
+// what the query engine returns in-process on the same database — including
+// spliced pattern views, follow chains, and paged result sets.
+func TestRemoteQueryDifferential(t *testing.T) {
+	_, addr, db := startServer(t)
+	queryFixture(t, db)
+	c := dial(t, addr)
+	v := db.View()
+
+	for qi, wq := range differentialQueries() {
+		remote, total, err := c.Query(wq)
+		if err != nil {
+			t.Fatalf("query %d (%+v): %v", qi, wq, err)
+		}
+		local := runLocal(t, v, wq)
+		if len(remote) != len(local) {
+			t.Fatalf("query %d (%+v): remote %d results, local %d", qi, wq, len(remote), len(local))
+		}
+		for i := range local {
+			if remote[i].ID != uint64(local[i]) {
+				t.Errorf("query %d result %d: remote id %d, local id %d", qi, i, remote[i].ID, local[i])
+			}
+			if p, ok := db.PathOf(local[i]); ok && remote[i].Path != p.String() {
+				t.Errorf("query %d result %d: remote path %q, local %q", qi, i, remote[i].Path, p)
+			}
+			if o, ok := v.Object(local[i]); ok {
+				if remote[i].Class != o.Class.QualifiedName() {
+					t.Errorf("query %d result %d: class %q vs %q", qi, i, remote[i].Class, o.Class.QualifiedName())
+				}
+				if o.Value.IsDefined() && remote[i].Value != o.Value.String() {
+					t.Errorf("query %d result %d: value %q vs %q", qi, i, remote[i].Value, o.Value.String())
+				}
+			}
+		}
+		// Total always reports the unpaged count.
+		unpaged := runLocal(t, v, &wire.Query{
+			Class: wq.Class, Specs: wq.Specs, NameGlob: wq.NameGlob,
+			Where: wq.Where, Follow: wq.Follow,
+		})
+		if total != len(unpaged) {
+			t.Errorf("query %d: total %d, want %d", qi, total, len(unpaged))
+		}
+	}
+}
+
+// TestRemoteQueryPaging: fetching a result set page by page over the wire
+// reassembles exactly the unpaged result, and the builder's own
+// Limit/Offset agree with the server's paging.
+func TestRemoteQueryPaging(t *testing.T) {
+	_, addr, db := startServer(t)
+	queryFixture(t, db)
+	c := dial(t, addr)
+
+	full, total, err := c.Query(&wire.Query{Class: "Data", Specs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != len(full) || total == 0 {
+		t.Fatalf("unpaged query: %d results, total %d", len(full), total)
+	}
+	const page = 3
+	var paged []wire.Object
+	for off := 0; ; off += page {
+		objs, tot, err := c.Query(&wire.Query{Class: "Data", Specs: true, Limit: page, Offset: off})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tot != total {
+			t.Fatalf("total drifted across pages: %d vs %d", tot, total)
+		}
+		if len(objs) > page {
+			t.Fatalf("page overflow: %d > %d", len(objs), page)
+		}
+		paged = append(paged, objs...)
+		if off+len(objs) >= total {
+			break
+		}
+	}
+	if len(paged) != len(full) {
+		t.Fatalf("pages reassemble to %d results, want %d", len(paged), len(full))
+	}
+	for i := range full {
+		if paged[i].ID != full[i].ID {
+			t.Errorf("page element %d: id %d, want %d", i, paged[i].ID, full[i].ID)
+		}
+	}
+
+	// The query builder's Limit/Offset express the same page in-process.
+	v := db.View()
+	ids, err := seed.NewQuery().Class("Data", true).Limit(page).Offset(page).Run(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, _, err := c.Query(&wire.Query{Class: "Data", Specs: true, Limit: page, Offset: page})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(remote) {
+		t.Fatalf("builder page %d results, remote %d", len(ids), len(remote))
+	}
+	for i := range ids {
+		if uint64(ids[i]) != remote[i].ID {
+			t.Errorf("builder page element %d: %d vs %d", i, ids[i], remote[i].ID)
+		}
+	}
+}
+
+// TestRemoteQueryOversizeResult: a query whose unpaged result cannot fit
+// one frame answers with an error telling the client to page — it must not
+// kill the connection (which would fail every other request in flight).
+func TestRemoteQueryOversizeResult(t *testing.T) {
+	_, addr, db := startServer(t)
+	// A handful of objects whose values alone exceed MaxFrame.
+	for i := 0; i < 5; i++ {
+		id, err := db.CreateObject("Data", fmt.Sprintf("Big%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.CreateValueObject(id, "Description", seed.NewString(strings.Repeat("v", 3<<20))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := dial(t, addr)
+	// The unrestricted query's results include the five value sub-objects,
+	// whose values alone blow the frame limit.
+	if _, _, err := c.Query(&wire.Query{}); err == nil {
+		t.Fatal("oversize query result answered instead of erroring")
+	} else if !strings.Contains(err.Error(), "limit/offset") {
+		t.Fatalf("oversize error does not point at paging: %v", err)
+	}
+	// The connection survives, and paged fetches reassemble the full set
+	// one under-the-limit frame at a time.
+	seen := 0
+	for off := 0; ; off++ {
+		objs, total, err := c.Query(&wire.Query{Limit: 1, Offset: off})
+		if err != nil {
+			t.Fatalf("paged fetch at offset %d: %v", off, err)
+		}
+		seen += len(objs)
+		if off+len(objs) >= total || len(objs) == 0 {
+			if seen != total {
+				t.Fatalf("paged reassembly found %d of %d objects", seen, total)
+			}
+			if total != 10 { // 5 roots + 5 value sub-objects
+				t.Fatalf("unexpected total %d", total)
+			}
+			break
+		}
+	}
+}

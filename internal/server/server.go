@@ -6,13 +6,17 @@
 package server
 
 import (
+	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/item"
 	"repro/internal/wire"
@@ -27,7 +31,12 @@ var (
 	ErrConflict  = errors.New("server: check-in conflicted with a concurrent check-in")
 )
 
-// Server serves one SEED database to many clients. Retrieval operations run
+// Server serves one SEED database to many clients over wire protocol v2:
+// each connection runs a reader goroutine, a serialized writer goroutine,
+// and per-request dispatch (serveConn), so one connection can have many
+// requests in flight — retrieval answers out of order against pinned
+// snapshots while mutating requests keep the client's FIFO order.
+// Retrieval operations (including server-side queries, handleQuery) run
 // in parallel on snapshot views. Check-ins are lock-scoped and concurrent:
 // each stages its batch in its own database transaction after validating
 // that every touched root is covered by the client's check-out locks (new
@@ -51,6 +60,16 @@ type Server struct {
 	// a differential-testing mode. Set before Listen.
 	serialize bool
 	gate      sync.Mutex
+
+	// Connection hygiene (SetTimeouts, before Listen). idleTimeout bounds
+	// the gap between two frames from one client; writeTimeout bounds one
+	// response write. A connection that trips either is closed, and its
+	// cleanup (releaseAll) drops the client's locks, name reservations,
+	// and in-flight check-in transaction — a stalled or vanished client
+	// can no longer wedge its handler goroutine and everyone queued behind
+	// its locks forever. Zero disables the respective deadline.
+	idleTimeout  time.Duration
+	writeTimeout time.Duration
 
 	mu       sync.Mutex
 	locks    map[string]string   // object name -> client ID holding the lock
@@ -79,6 +98,17 @@ func New(db *seed.Database) *Server {
 // gate from lock verification through durable commit. It exists as the E9
 // benchmark baseline and for differential testing; call it before Listen.
 func (s *Server) SetSerializedCheckins(on bool) { s.serialize = on }
+
+// SetTimeouts configures the per-connection idle read timeout (maximum gap
+// between two client frames) and write deadline (maximum time one response
+// write may block on a client that stopped reading). Zero disables a
+// deadline — except that an armed idle timeout also bounds writes when no
+// write deadline is given, so a client that stops reading cannot sidestep
+// the idle hygiene by wedging the writer. Call before Listen.
+func (s *Server) SetTimeouts(idleRead, write time.Duration) {
+	s.idleTimeout = idleRead
+	s.writeTimeout = write
+}
 
 // SetLogger installs a log function (e.g. log.Printf).
 func (s *Server) SetLogger(logf func(format string, args ...any)) {
@@ -129,6 +159,22 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// maxPipelinedReads bounds how many retrieval requests one connection may
+// have executing at once; excess pipelined requests queue in arrival order
+// (backpressure eventually reaches the client through the TCP window).
+const maxPipelinedReads = 32
+
+// serveConn is the protocol v2 connection engine: this goroutine reads
+// frames; retrieval requests (get, list, query, versions, completeness,
+// stats) dispatch onto worker goroutines and execute concurrently against
+// pinned frozen snapshots; mutating requests (checkout, checkin, release,
+// save-version) flow through one mutation worker, which preserves the
+// client's FIFO order — the claim discipline then lets different clients'
+// check-ins run in parallel. Every response funnels through the serialized
+// writer goroutine, which owns the connection's write side, so concurrent
+// handlers never interleave frames. A request without a Seq is handled
+// inline before the next frame is acted on — the v1 lockstep behavior —
+// so v1 clients interoperate unchanged.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	s.mu.Lock()
@@ -137,16 +183,147 @@ func (s *Server) serveConn(conn net.Conn) {
 	s.mu.Unlock()
 	defer s.releaseAll(clientID)
 
-	for {
-		var req wire.Request
-		if err := wire.ReadFrame(conn, &req); err != nil {
-			return // disconnect
+	// A stalled client must never disable the idle hygiene: when only the
+	// idle timeout is armed, responses inherit it as the write bound.
+	// Otherwise a client that fills the pipeline and stops reading parks
+	// the writer in a deadline-less Write, the full write channel wedges
+	// every handler, the reader blocks handing off work instead of
+	// sitting in Read — and the armed read deadline never gets to fire.
+	writeTimeout := s.writeTimeout
+	if writeTimeout == 0 {
+		writeTimeout = s.idleTimeout
+	}
+	writeCh := make(chan *wire.Response, maxPipelinedReads*2)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		bw := bufio.NewWriterSize(conn, 32<<10)
+		w := wire.NewWriter(bw)
+		broken := false
+		for {
+			resp, ok := <-writeCh
+			if !ok {
+				return
+			}
+			if broken {
+				continue // drain so blocked handlers can finish
+			}
+			// The deadline is re-armed per response, not once per burst:
+			// it must bound a stalled write, never the total transfer time
+			// of a large coalesced burst to a healthy slow reader.
+			arm := func() {
+				if writeTimeout > 0 {
+					_ = conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+				}
+			}
+			// Coalesce every response already queued into one buffered
+			// burst and flush once — with k requests in flight, the
+			// connection pays one write syscall for up to k responses
+			// instead of one each.
+			arm()
+			err := w.Write(resp)
+			for err == nil {
+				var more *wire.Response
+				select {
+				case more, ok = <-writeCh:
+					if !ok {
+						break
+					}
+					arm()
+					err = w.Write(more)
+					continue
+				default:
+				}
+				break
+			}
+			if err == nil {
+				arm()
+				err = bw.Flush()
+			}
+			if err != nil {
+				broken = true
+				conn.Close() // unblock the reader loop too
+			}
+			if !ok {
+				return // channel closed during the burst; it is flushed
+			}
 		}
-		resp := s.handle(clientID, &req)
-		if err := wire.WriteFrame(conn, resp); err != nil {
-			return
+	}()
+
+	var handlers sync.WaitGroup
+	mutCh := make(chan *wire.Request, maxPipelinedReads)
+	handlers.Add(1)
+	go func() {
+		defer handlers.Done()
+		for req := range mutCh {
+			resp := s.handle(clientID, req)
+			resp.Seq = req.Seq
+			writeCh <- resp
+		}
+	}()
+
+	// Retrieval dispatch: on a multi-processor runtime, pipelined reads
+	// fan out onto goroutines and execute in parallel against their pinned
+	// snapshots. On a single-processor runtime that parallelism cannot
+	// exist — the handlers are CPU-bound on in-memory snapshots — so the
+	// reader runs them inline and saves the scheduling hops; mutations
+	// keep their own FIFO lane and the serialized writer its coalescing
+	// either way, so ordering and framing are identical in both regimes.
+	dispatch := runtime.GOMAXPROCS(0) > 1
+	sem := make(chan struct{}, maxPipelinedReads)
+	rd := wire.NewReader(bufio.NewReader(conn))
+	for {
+		if s.idleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		}
+		req := &wire.Request{}
+		if err := rd.Read(req); err != nil {
+			break // disconnect, protocol error, or idle timeout
+		}
+		switch {
+		case req.Seq == 0:
+			// Lockstep: the response reaches the FIFO write channel before
+			// the next frame is read, exactly the v1 ordering.
+			writeCh <- s.handle(clientID, req)
+		case mutates(req.Op):
+			mutCh <- req
+		case !dispatch:
+			resp := s.handle(clientID, req)
+			resp.Seq = req.Seq
+			writeCh <- resp
+		default:
+			sem <- struct{}{}
+			handlers.Add(1)
+			go func(req *wire.Request) {
+				defer handlers.Done()
+				defer func() { <-sem }()
+				resp := s.handle(clientID, req)
+				resp.Seq = req.Seq
+				writeCh <- resp
+			}(req)
 		}
 	}
+	// The connection is done (disconnect, protocol error, or idle
+	// timeout). Close it before draining: with no write deadline armed, a
+	// stalled client could otherwise block the writer forever, wedge the
+	// handlers behind the full write channel, and keep releaseAll — the
+	// lock and transaction cleanup below — from ever running.
+	conn.Close()
+	close(mutCh)
+	handlers.Wait()
+	close(writeCh)
+	<-writerDone
+}
+
+// mutates reports whether an op changes server or database state and must
+// therefore keep its position in the client's FIFO order. Everything else
+// reads an immutable snapshot and may execute (and answer) out of order.
+func mutates(op wire.Op) bool {
+	switch op {
+	case wire.OpCheckout, wire.OpCheckin, wire.OpRelease, wire.OpSaveVersion:
+		return true
+	}
+	return false
 }
 
 // releaseAll cleans up after a disconnecting client: every lock it still
@@ -177,11 +354,21 @@ func (s *Server) releaseAll(clientID string) {
 func (s *Server) handle(clientID string, req *wire.Request) *wire.Response {
 	switch req.Op {
 	case wire.OpHello:
-		return &wire.Response{ClientID: clientID}
+		// Version negotiation: a client announcing v2 or newer gets v2
+		// (Seq correlation, pipelining, query); a Proto-less hello pins
+		// the connection to v1 semantics on the client side — the server
+		// keys off per-request Seq either way.
+		resp := &wire.Response{ClientID: clientID}
+		if req.Proto >= wire.ProtoV2 {
+			resp.Proto = wire.ProtoV2
+		}
+		return resp
 	case wire.OpGet:
 		return s.handleGet(req)
 	case wire.OpList:
 		return s.handleList(req)
+	case wire.OpQuery:
+		return s.handleQuery(req)
 	case wire.OpCheckout:
 		return s.handleCheckout(clientID, req)
 	case wire.OpCheckin:
@@ -219,8 +406,26 @@ func (s *Server) handle(clientID string, req *wire.Request) *wire.Response {
 		return &wire.Response{Findings: out}
 	case wire.OpStats:
 		st := s.db.Stats()
-		return &wire.Response{Stats: fmt.Sprintf("objects=%d rels=%d versions=%d schema=v%d",
-			st.Core.Objects, st.Core.Relationships, st.Versions, st.SchemaV)}
+		s.mu.Lock()
+		open := len(s.inflight)
+		s.mu.Unlock()
+		return &wire.Response{
+			// The one-line summary stays for v1 clients and shells.
+			Stats: fmt.Sprintf("objects=%d rels=%d versions=%d schema=v%d",
+				st.Core.Objects, st.Core.Relationships, st.Versions, st.SchemaV),
+			StatsV2: &wire.Stats{
+				Objects:       st.Core.Objects,
+				Relationships: st.Core.Relationships,
+				Patterns:      st.Core.Patterns,
+				Deleted:       st.Core.DeletedObjects + st.Core.DeletedRels,
+				Versions:      st.Versions,
+				SchemaVersion: st.SchemaV,
+				Generation:    st.Generation,
+				OpenTxs:       open,
+				WALSegments:   st.LogSegments,
+				WALBytes:      st.LogBytes,
+			},
+		}
 	}
 	return fail(fmt.Errorf("server: unknown op %q", req.Op))
 }
@@ -279,6 +484,81 @@ func (s *Server) handleList(req *wire.Request) *wire.Response {
 	// which snapshot or query path produced the IDs.
 	sort.Strings(names)
 	return &wire.Response{Names: names}
+}
+
+// handleQuery executes the wire form of a query server-side against one
+// consistent indexed snapshot: the retrieval component's class-subtree,
+// name-glob, and value-predicate selection (which starts from the snapshot's
+// class and name indexes), then Follow navigation, then limit/offset paging
+// of the final set — so a client fetches exactly the matching objects
+// instead of downloading subtrees and filtering locally.
+func (s *Server) handleQuery(req *wire.Request) *wire.Response {
+	if req.Query == nil {
+		return fail(fmt.Errorf("server: query request without a query body"))
+	}
+	v := s.db.View()
+	ids, total, err := execQuery(v, req.Query)
+	if err != nil {
+		return fail(err)
+	}
+	objs := make([]wire.Object, 0, len(ids))
+	size := 0
+	for _, id := range ids {
+		o, ok := v.Object(id)
+		if !ok {
+			continue
+		}
+		w := wireObject(v, o)
+		size += len(w.Class) + len(w.Name) + len(w.Path) + len(w.Value) + 96
+		objs = append(objs, w)
+	}
+	resp := &wire.Response{Objects: objs, Total: total}
+	// A result that cannot fit one frame must be paged, not kill the
+	// connection (the per-connection writer treats an oversized frame as a
+	// transport failure). The running size is a cheap lower bound; only a
+	// result near the limit pays for the exact encoding check — a second
+	// encode of an up-to-8 MiB payload, accepted for keeping the writer
+	// path oblivious to response sizes.
+	if size > wire.MaxFrame/8 {
+		if payload, err := json.Marshal(resp); err != nil || len(payload) > wire.MaxFrame {
+			return fail(fmt.Errorf("server: query result (%d objects) exceeds the %d-byte frame limit; page it with limit/offset", len(objs), wire.MaxFrame))
+		}
+	}
+	return resp
+}
+
+// execQuery runs a wire query on a view: selection through the query
+// engine, Follow steps, then paging. Paging applies to the final result set
+// — after the Follow chain — so the selection itself runs unbounded and
+// Total reports the unpaged match count.
+func execQuery(v seed.View, wq *wire.Query) ([]seed.ID, int, error) {
+	q := seed.NewQuery()
+	if wq.Class != "" {
+		q = q.Class(wq.Class, wq.Specs)
+	}
+	if wq.NameGlob != "" {
+		q = q.NameGlob(wq.NameGlob)
+	}
+	for _, w := range wq.Where {
+		op, err := seed.ParseCompareOp(w.Op)
+		if err != nil {
+			return nil, 0, err
+		}
+		val, err := seed.ParseValue(seed.Kind(w.ValueKind), w.Value)
+		if err != nil {
+			return nil, 0, err
+		}
+		q = q.Where(w.Path, op, val)
+	}
+	ids, err := q.Run(v)
+	if err != nil {
+		return nil, 0, err
+	}
+	steps := make([]seed.FollowStep, len(wq.Follow))
+	for i, f := range wq.Follow {
+		steps[i] = seed.FollowStep{Assoc: f.Assoc, From: f.From, To: f.To}
+	}
+	return seed.FollowPage(v, ids, steps, wq.Limit, wq.Offset)
 }
 
 func (s *Server) handleCheckout(clientID string, req *wire.Request) *wire.Response {
@@ -545,20 +825,7 @@ func snapshotOf(v seed.View, name string) (wire.Snapshot, error) {
 		if !ok {
 			return nil
 		}
-		var w wire.Object
-		w.ID = uint64(id)
-		w.Class = o.Class.QualifiedName()
-		if o.Independent() {
-			w.Name = o.Name
-		}
-		if p, ok := seedPath(v, id); ok {
-			w.Path = p
-		}
-		if o.Value.IsDefined() {
-			w.ValueKind = uint8(o.Value.Kind())
-			w.Value = o.Value.String()
-		}
-		snap.Objects = append(snap.Objects, w)
+		snap.Objects = append(snap.Objects, wireObject(v, o))
 		for _, ch := range v.Children(id, "") {
 			if err := walk(ch); err != nil {
 				return err
@@ -583,6 +850,23 @@ func snapshotOf(v seed.View, name string) (wire.Snapshot, error) {
 		snap.Rels = append(snap.Rels, wr)
 	}
 	return snap, nil
+}
+
+// wireObject renders one object in wire form — the single shape the get
+// and query paths both ship.
+func wireObject(v seed.View, o seed.Object) wire.Object {
+	w := wire.Object{ID: uint64(o.ID), Class: o.Class.QualifiedName()}
+	if o.Independent() {
+		w.Name = o.Name
+	}
+	if p, ok := seedPath(v, o.ID); ok {
+		w.Path = p
+	}
+	if o.Value.IsDefined() {
+		w.ValueKind = uint8(o.Value.Kind())
+		w.Value = o.Value.String()
+	}
+	return w
 }
 
 func seedPath(v seed.View, id seed.ID) (string, bool) {

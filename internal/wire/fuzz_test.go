@@ -36,6 +36,24 @@ func FuzzDecodeFrame(f *testing.F) {
 		},
 	}))
 	f.Add(frameBytes(seedT, &Response{Err: "boom", Code: CodeConflict}))
+	// v2 correlated frames: hello negotiation, pipelined Seq ids, the query
+	// wire form with every clause populated, and structured stats.
+	f.Add(frameBytes(seedT, &Request{Op: OpHello, Proto: ProtoV2}))
+	f.Add(frameBytes(seedT, &Request{Op: OpGet, Seq: 17, Names: []string{"Doc"}}))
+	f.Add(frameBytes(seedT, &Request{Op: OpQuery, Seq: 9, Query: &Query{
+		Class: "Data", Specs: true, NameGlob: "Al*",
+		Where:  []Where{{Path: "Text.Selector", Op: CmpEq, ValueKind: 2, Value: "x"}},
+		Follow: []FollowStep{{Assoc: "Read", From: "from", To: "by"}},
+		Limit:  10, Offset: 20,
+	}}))
+	f.Add(frameBytes(seedT, &Response{Seq: 9, Total: 42, Objects: []Object{
+		{ID: 3, Class: "Data", Name: "A", Path: "A"},
+		{ID: 4, Class: "Data.Text", Path: "A.Text[0]", ValueKind: 2, Value: "v"},
+	}}))
+	f.Add(frameBytes(seedT, &Response{Seq: 1, Proto: ProtoV2, ClientID: "client-1"}))
+	f.Add(frameBytes(seedT, &Response{Stats: "objects=1", StatsV2: &Stats{
+		Objects: 1, Relationships: 2, Generation: 9, OpenTxs: 1, WALSegments: 3, WALBytes: 4096,
+	}}))
 	f.Add(frameBytes(seedT, &Response{Names: []string{"A"}, Snapshots: []Snapshot{{
 		Root:    "A",
 		Objects: []Object{{ID: 1, Class: "Data", Name: "A", ValueKind: 2, Value: "x"}},
@@ -63,6 +81,23 @@ func FuzzDecodeFrame(f *testing.F) {
 		}
 		if !reflect.DeepEqual(req, again) {
 			t.Fatalf("round trip diverged:\n first %#v\nsecond %#v", req, again)
+		}
+		// The buffer-reusing Reader and Writer must agree with the
+		// package-level functions byte for byte: same acceptance, same
+		// decoding, same encoding.
+		var viaReader Request
+		if err := (NewReader(bytes.NewReader(data))).Read(&viaReader); err != nil {
+			t.Fatalf("Reader rejects what ReadFrame accepted: %v", err)
+		}
+		if !reflect.DeepEqual(req, viaReader) {
+			t.Fatalf("Reader decoded differently:\n ReadFrame %#v\n Reader    %#v", req, viaReader)
+		}
+		var wbuf bytes.Buffer
+		if err := NewWriter(&wbuf).Write(&req); err != nil {
+			t.Fatalf("Writer rejects what WriteFrame accepted: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), wbuf.Bytes()) {
+			t.Fatalf("Writer encoded differently:\n WriteFrame %q\n Writer     %q", buf.Bytes(), wbuf.Bytes())
 		}
 		// The same bytes must also decode as a Response without panicking
 		// (the two frame types share the transport).

@@ -7,9 +7,20 @@
 // database in a single transaction.
 //
 // Messages are length-prefixed JSON frames over any byte stream.
+//
+// Protocol v2 adds correlated, pipelined frames: a request may carry a
+// nonzero Seq, which the server echoes in the matching response, so one
+// connection can have many requests in flight and receive retrieval
+// responses out of order. Mutating operations keep per-client FIFO order.
+// A request without a Seq gets protocol v1's lockstep behavior — the
+// response is written before the next request is acted on — so v1 clients
+// interoperate unchanged. The version is negotiated at hello: a client
+// announcing Proto >= 2 is answered with the server's protocol version and
+// may pipeline; a hello without Proto pins the connection to v1 semantics.
 package wire
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -19,6 +30,14 @@ import (
 
 // MaxFrame bounds one protocol frame (8 MiB).
 const MaxFrame = 8 << 20
+
+// Protocol versions negotiated at hello.
+const (
+	// ProtoV1 is the lockstep protocol: one request, one response, in order.
+	ProtoV1 = 1
+	// ProtoV2 adds Seq correlation (pipelining) and the query operation.
+	ProtoV2 = 2
+)
 
 // Frame errors.
 var (
@@ -41,6 +60,7 @@ const (
 	OpVersions     Op = "versions"     // list versions
 	OpCompleteness Op = "completeness" // run the completeness check
 	OpStats        Op = "stats"
+	OpQuery        Op = "query" // server-side query on the indexed snapshot (v2)
 )
 
 // Object is the wire form of one object.
@@ -92,6 +112,68 @@ const (
 	UpdateReclassify   = "reclassify"
 )
 
+// Comparison operator spellings for Where.Op. They match the query
+// package's CompareOp.String so shells and logs read the same either side
+// of the wire.
+const (
+	CmpEq       = "="
+	CmpNe       = "!="
+	CmpLt       = "<"
+	CmpLe       = "<="
+	CmpGt       = ">"
+	CmpGe       = ">="
+	CmpContains = "contains"
+)
+
+// Where is one sub-object value predicate of a wire query: some sub-object
+// reached by the role path must have a value for which `value op given`
+// holds. Undefined values match nothing.
+type Where struct {
+	Path      string `json:"path"`  // role path below the candidate ("Text.Selector")
+	Op        string `json:"op"`    // one of the Cmp* spellings
+	ValueKind uint8  `json:"vkind"` // kind the comparison value parses as
+	Value     string `json:"value"`
+}
+
+// FollowStep navigates the selected set along an association: for every
+// relationship of Assoc (or a specialization) where a selected object fills
+// From, the object filling To is collected.
+type FollowStep struct {
+	Assoc string `json:"assoc"`
+	From  string `json:"from"`
+	To    string `json:"to"`
+}
+
+// Query is the wire form of the retrieval component's query builder,
+// executed server-side against one consistent indexed snapshot. Limit and
+// Offset page the final result set (after Follow steps), so result sets
+// larger than MaxFrame are fetched in slices; Response.Total reports the
+// unpaged match count so clients know when they have everything.
+type Query struct {
+	Class    string       `json:"class,omitempty"`
+	Specs    bool         `json:"specs,omitempty"` // include specializations of Class
+	NameGlob string       `json:"glob,omitempty"`
+	Where    []Where      `json:"where,omitempty"`
+	Follow   []FollowStep `json:"follow,omitempty"`
+	Limit    int          `json:"limit,omitempty"`
+	Offset   int          `json:"offset,omitempty"`
+}
+
+// Stats is the structured form of the server's state summary. The legacy
+// one-line string stays in Response.Stats for v1 clients and shells.
+type Stats struct {
+	Objects       int    `json:"objects"`
+	Relationships int    `json:"rels"`
+	Patterns      int    `json:"patterns"`
+	Deleted       int    `json:"deleted"`
+	Versions      int    `json:"versions"`
+	SchemaVersion int    `json:"schema"`
+	Generation    uint64 `json:"generation"`   // mutation generation of the snapshot
+	OpenTxs       int    `json:"open_txs"`     // check-ins staged right now
+	WALSegments   int    `json:"wal_segments"` // 0 for in-memory databases
+	WALBytes      int64  `json:"wal_bytes"`
+}
+
 // VersionInfo is the wire form of a saved version.
 type VersionInfo struct {
 	Num       string `json:"num"`
@@ -124,17 +206,27 @@ const (
 	CodeConflict = "conflict"
 )
 
-// Request is one client request frame.
+// Request is one client request frame. Seq correlates the request with its
+// response under protocol v2: a nonzero Seq is echoed in the response and
+// allows the server to answer retrieval requests out of order; Seq zero
+// requests the v1 lockstep behavior. Proto is sent at hello to announce the
+// client's protocol version.
 type Request struct {
 	Op      Op       `json:"op"`
+	Seq     uint64   `json:"seq,omitempty"`
+	Proto   int      `json:"proto,omitempty"` // hello only
 	Names   []string `json:"names,omitempty"`
 	Class   string   `json:"class,omitempty"`
 	Note    string   `json:"note,omitempty"`
 	Updates []Update `json:"updates,omitempty"`
+	Query   *Query   `json:"query,omitempty"`
 }
 
-// Response is one server response frame.
+// Response is one server response frame. Seq echoes the request's Seq (zero
+// for lockstep requests); Proto answers a hello's version announcement.
 type Response struct {
+	Seq       uint64        `json:"seq,omitempty"`
+	Proto     int           `json:"proto,omitempty"` // hello only
 	Err       string        `json:"err,omitempty"`
 	Code      string        `json:"code,omitempty"` // error code (CodeLocked, ...)
 	ClientID  string        `json:"client,omitempty"`
@@ -144,6 +236,9 @@ type Response struct {
 	Findings  []Finding     `json:"findings,omitempty"`
 	Version   string        `json:"version,omitempty"`
 	Stats     string        `json:"stats,omitempty"`
+	StatsV2   *Stats        `json:"statsv2,omitempty"`
+	Objects   []Object      `json:"objects,omitempty"` // query results
+	Total     int           `json:"total,omitempty"`   // query matches before paging
 }
 
 // WriteFrame writes one length-prefixed JSON frame.
@@ -182,4 +277,87 @@ func ReadFrame(r io.Reader, v any) error {
 		return fmt.Errorf("%w: %v", ErrBadFrame, err)
 	}
 	return nil
+}
+
+// Reader decodes frames from one connection, reusing a growable payload
+// buffer across frames instead of allocating one per frame. Decoded values
+// never alias the buffer (encoding/json copies what it keeps), so a frame's
+// result stays valid after the next Read. Not safe for concurrent use; a
+// connection has exactly one reading goroutine.
+type Reader struct {
+	r      io.Reader
+	header [4]byte
+	buf    []byte
+}
+
+// NewReader returns a frame reader over r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Read decodes the next frame into v.
+func (rd *Reader) Read(v any) error {
+	if _, err := io.ReadFull(rd.r, rd.header[:]); err != nil {
+		return err
+	}
+	// Bound-check before the int conversion: on a 32-bit platform a length
+	// >= 2^31 would convert negative and panic the slice below.
+	n32 := binary.LittleEndian.Uint32(rd.header[:])
+	if n32 > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	n := int(n32)
+	if cap(rd.buf) < n {
+		rd.buf = make([]byte, n)
+	}
+	payload := rd.buf[:n]
+	if _, err := io.ReadFull(rd.r, payload); err != nil {
+		return err
+	}
+	// A long-lived connection must not pin one outlier frame's allocation
+	// forever: drop the buffer when it dwarfs the frame it just carried,
+	// and let the next frame size it to current traffic.
+	if cap(rd.buf) > 1<<20 && n < cap(rd.buf)/8 {
+		rd.buf = nil
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	return nil
+}
+
+// Writer encodes frames onto one connection, reusing an internal buffer and
+// issuing header and payload as a single write. Not safe for concurrent
+// use; serialize writers externally (the server funnels all responses
+// through one writer goroutine, the client serializes sends with a mutex).
+type Writer struct {
+	w   io.Writer
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+// NewWriter returns a frame writer over w.
+func NewWriter(w io.Writer) *Writer {
+	wr := &Writer{w: w}
+	wr.enc = json.NewEncoder(&wr.buf)
+	return wr
+}
+
+// Write encodes v as one frame.
+func (wr *Writer) Write(v any) error {
+	wr.buf.Reset()
+	wr.buf.Write([]byte{0, 0, 0, 0}) // header placeholder
+	if err := wr.enc.Encode(v); err != nil {
+		return err
+	}
+	frame := wr.buf.Bytes()
+	// Encode appends a newline; drop it so frames are byte-identical to
+	// WriteFrame's.
+	if frame[len(frame)-1] == '\n' {
+		frame = frame[:len(frame)-1]
+	}
+	if len(frame)-4 > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	_, err := wr.w.Write(frame)
+	return err
 }

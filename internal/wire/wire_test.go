@@ -52,6 +52,67 @@ func TestMultipleFramesSequential(t *testing.T) {
 	}
 }
 
+// TestReaderWriterReuse drives the buffer-reusing Reader and Writer across
+// frames of shrinking and growing sizes: every frame must round-trip
+// exactly, interoperate with the package-level functions, and — the
+// property the reuse depends on — a decoded value must stay intact after
+// the next frame overwrites the shared buffer.
+func TestReaderWriterReuse(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	sizes := []int{2000, 3, 500, 1, 4000}
+	for i, n := range sizes {
+		if i%2 == 0 {
+			if err := w.Write(&Response{Stats: strings.Repeat("s", n)}); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := WriteFrame(&buf, &Response{Stats: strings.Repeat("s", n)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd := NewReader(&buf)
+	var prev *Response
+	prevSize := 0
+	for i, n := range sizes {
+		r := &Response{}
+		if err := rd.Read(r); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if len(r.Stats) != n {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(r.Stats), n)
+		}
+		if prev != nil && len(prev.Stats) != prevSize {
+			t.Fatalf("frame %d corrupted the previous frame's decoded value", i)
+		}
+		prev, prevSize = r, n
+	}
+	if err := rd.Read(&Response{}); err != io.EOF {
+		t.Errorf("read past end: %v", err)
+	}
+}
+
+// TestQueryFrame round-trips the v2 query request and its response.
+func TestQueryFrame(t *testing.T) {
+	var buf bytes.Buffer
+	req := Request{Op: OpQuery, Seq: 5, Query: &Query{
+		Class: "Data", Specs: true, NameGlob: "A*",
+		Where:  []Where{{Path: "Text.Selector", Op: CmpContains, ValueKind: 2, Value: "x"}},
+		Follow: []FollowStep{{Assoc: "Access", From: "from", To: "by"}},
+		Limit:  3, Offset: 6,
+	}}
+	if err := WriteFrame(&buf, &req); err != nil {
+		t.Fatal(err)
+	}
+	var got Request
+	if err := ReadFrame(&buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 5 || got.Query == nil || got.Query.Where[0].Op != CmpContains ||
+		got.Query.Follow[0].Assoc != "Access" || got.Query.Offset != 6 {
+		t.Errorf("round trip changed: %+v", got)
+	}
+}
+
 func TestFrameTooLarge(t *testing.T) {
 	var buf bytes.Buffer
 	big := Response{Stats: strings.Repeat("a", MaxFrame)}

@@ -400,6 +400,7 @@ type Stats struct {
 	Core        core.Stats
 	Versions    int
 	SchemaV     int
+	Generation  uint64 // mutation generation (bumped per visible change)
 	LogBytes    int64
 	LogSegments int
 }
@@ -409,8 +410,9 @@ func (db *Database) Stats() Stats {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	s := Stats{
-		Core:    db.engine.Stats(),
-		SchemaV: db.engine.Schema().Version(),
+		Core:       db.engine.Stats(),
+		SchemaV:    db.engine.Schema().Version(),
+		Generation: db.gen,
 	}
 	s.Versions = db.vers.Count()
 	if db.store != nil {

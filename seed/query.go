@@ -14,6 +14,8 @@ type (
 	CompareOp = query.CompareOp
 	// Pair is one join result.
 	Pair = query.Pair
+	// FollowStep names one Follow navigation of a multi-step retrieval.
+	FollowStep = query.FollowStep
 )
 
 // Comparison operators.
@@ -30,9 +32,19 @@ const (
 // NewQuery returns an unrestricted query.
 var NewQuery = query.New
 
+// ParseCompareOp parses the surface spelling of a comparison operator
+// (the inverse of CompareOp.String).
+var ParseCompareOp = query.ParseCompareOp
+
 // Follow navigates from objects along an association role pair.
 func Follow(v View, from []ID, assoc, fromRole, toRole string) ([]ID, error) {
 	return query.Follow(v, []item.ID(from), assoc, fromRole, toRole)
+}
+
+// FollowPage applies follow steps to a selected set and pages the final
+// result, returning the page and the total before paging.
+func FollowPage(v View, ids []ID, steps []FollowStep, limit, offset int) ([]ID, int, error) {
+	return query.FollowPage(v, ids, steps, limit, offset)
 }
 
 // Join pairs objects connected by existing relationships of an association.
