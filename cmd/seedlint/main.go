@@ -1,0 +1,101 @@
+// Command seedlint runs the engine's static-analysis suite (frozenmut,
+// guardedby, sentinelcmp, opexhaustive — see internal/lint) over package
+// patterns:
+//
+//	seedlint ./...                      # whole repo, all analyzers
+//	seedlint -run sentinelcmp ./seed    # one analyzer while burning down
+//	seedlint -json ./... > lint.json    # machine-readable findings
+//	go vet -vettool=$(which seedlint) ./...
+//
+// The last form speaks `go vet`'s unit-checker protocol (a JSON .cfg per
+// package), so seedlint composes with vet's caching and package graph.
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	// go vet's vettool handshake arrives before our own flags: -V=full
+	// asks for a cache-key version line, -flags for the flag inventory,
+	// and a lone *.cfg argument is one unit of work.
+	if len(args) == 1 {
+		switch {
+		case strings.HasPrefix(args[0], "-V"):
+			fmt.Fprintln(stdout, "seedlint version v1.0.0")
+			return 0
+		case args[0] == "-flags":
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return lint.RunUnit(args[0], stdout, stderr)
+		}
+	}
+
+	fs := flag.NewFlagSet("seedlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut = fs.Bool("json", false, "emit findings as a JSON array on stdout")
+		runSel  = fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+		dir     = fs.String("dir", "", "directory to resolve package patterns in (default: cwd)")
+		tests   = fs.Bool("tests", true, "also analyze in-package _test.go files")
+		list    = fs.Bool("analyzers", false, "list the analyzers and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := lint.Select(*runSel)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		fmt.Fprintln(stderr, "seedlint: no packages (try `seedlint ./...`)")
+		return 2
+	}
+	pkgs, err := lint.NewLoader(*dir, *tests).Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	for _, p := range pkgs {
+		for _, te := range p.TypeErrors {
+			fmt.Fprintf(stderr, "seedlint: %s: type error: %v\n", p.Path, te)
+		}
+	}
+	findings, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if *jsonOut {
+		if err := lint.WriteJSON(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		lint.WritePlain(stdout, findings)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module with one sentinelcmp violation,
+// so the smoke tests exercise the real load-analyze-report path without
+// depending on the repo's own (clean) packages.
+func writeModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module plant\n\ngo 1.24\n",
+		"plant.go": `package plant
+
+import "errors"
+
+var ErrPlant = errors.New("plant")
+
+func compare(err error) bool {
+	return err == ErrPlant
+}
+`,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestVetHandshake(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-V=full"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-V=full exit %d, stderr %q", code, stderr.String())
+	}
+	if !strings.HasPrefix(stdout.String(), "seedlint version") {
+		t.Fatalf("-V=full output %q, want version line", stdout.String())
+	}
+
+	stdout.Reset()
+	if code := run([]string{"-flags"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-flags exit %d", code)
+	}
+	if strings.TrimSpace(stdout.String()) != "[]" {
+		t.Fatalf("-flags output %q, want []", stdout.String())
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-analyzers"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-analyzers exit %d", code)
+	}
+	for _, name := range []string{"frozenmut", "guardedby", "sentinelcmp", "opexhaustive"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-analyzers output missing %s:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestPlainFindings(t *testing.T) {
+	dir := writeModule(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dir", dir, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (findings); stderr %q", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "sentinelcmp") || !strings.Contains(stdout.String(), "ErrPlant") {
+		t.Fatalf("findings output missing the planted violation:\n%s", stdout.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	dir := writeModule(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "-dir", dir, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr %q", code, stderr.String())
+	}
+	var findings []struct {
+		Analyzer string `json:"analyzer"`
+		Position string `json:"position"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(findings) != 1 || findings[0].Analyzer != "sentinelcmp" {
+		t.Fatalf("findings = %+v, want one sentinelcmp finding", findings)
+	}
+	if !strings.Contains(findings[0].Position, "plant.go") {
+		t.Errorf("position %q does not name plant.go", findings[0].Position)
+	}
+}
+
+// TestRunFilter gates on a subset: the planted violation is sentinelcmp,
+// so running only opexhaustive over the same module must come back clean.
+func TestRunFilter(t *testing.T) {
+	dir := writeModule(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-run", "opexhaustive", "-dir", dir, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-run opexhaustive exit %d, want 0; stdout %q stderr %q",
+			code, stdout.String(), stderr.String())
+	}
+	stdout.Reset()
+	if code := run([]string{"-run", "sentinelcmp", "-dir", dir, "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("-run sentinelcmp exit %d, want 1", code)
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-run", "nosuch", "."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-run nosuch exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr %q does not explain the unknown analyzer", stderr.String())
+	}
+}

@@ -452,7 +452,7 @@ func E6() *Result {
 	replayed := 0
 	st, err := storage.Open(groupDir, countingHandler{n: &replayed}, storage.Options{})
 	if err == nil {
-		st.Close()
+		err = st.Close()
 	}
 	r.assert(err == nil && replayed == w.Records,
 		"replay after reopen finds %d/%d batched records intact", replayed, w.Records)

@@ -50,15 +50,15 @@ type Client struct {
 	// Writes go through a buffered writer that is flushed when a caller
 	// blocks awaiting a response (see flush), so a burst of pipelined sends
 	// leaves the client as one wire write instead of one syscall each.
-	wmu sync.Mutex // serializes frame writes (and, in lockstep mode, whole round trips)
-	bw  *bufio.Writer
-	wr  *wire.Writer
-	rd  *wire.Reader // owned by the demux goroutine once it starts
+	wmu sync.Mutex    // serializes frame writes (and, in lockstep mode, whole round trips)
+	bw  *bufio.Writer // seed:guarded-by(wmu)
+	wr  *wire.Writer  // seed:guarded-by(wmu)
+	rd  *wire.Reader  // owned by the demux goroutine once it starts
 
 	mu      sync.Mutex
-	pending map[uint64]chan result // Seq -> caller awaiting the response
-	nextSeq uint64
-	err     error // sticky transport failure; set once the demux dies
+	pending map[uint64]chan result // seed:guarded-by(mu) — Seq -> caller awaiting the response
+	nextSeq uint64                 // seed:guarded-by(mu)
+	err     error                  // seed:guarded-by(mu) — sticky transport failure; set once the demux dies
 }
 
 // result is one demultiplexed response delivery.

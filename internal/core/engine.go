@@ -84,9 +84,9 @@ type Procedure func(Event) error
 type Engine struct {
 	sch *schema.Schema
 
-	objects map[item.ID]*item.Object
-	rels    map[item.ID]*item.Relationship
-	nextID  item.ID
+	objects map[item.ID]*item.Object       // seed:guarded-by(external)
+	rels    map[item.ID]*item.Relationship // seed:guarded-by(external)
+	nextID  item.ID                        // seed:guarded-by(external)
 
 	byName   map[string]item.ID               // live independent objects
 	children map[item.ID]map[string][]item.ID // live sub-objects by parent and role, index order
@@ -212,6 +212,8 @@ type rawView struct{ en *Engine }
 
 func (v rawView) Schema() *schema.Schema { return v.en.sch }
 
+// seed:locked-caller — rawView is a live view; callers hold db.mu and
+// must not let it escape the lock (see Engine.View).
 func (v rawView) Object(id item.ID) (item.Object, bool) {
 	o, ok := v.en.objects[id]
 	if !ok || o.Deleted {
@@ -220,6 +222,7 @@ func (v rawView) Object(id item.ID) (item.Object, bool) {
 	return *o, true
 }
 
+// seed:locked-caller — live view, accessed under db.mu.
 func (v rawView) Relationship(id item.ID) (item.Relationship, bool) {
 	r, ok := v.en.rels[id]
 	if !ok || r.Deleted {
@@ -257,6 +260,7 @@ func (v rawView) RelationshipsOf(obj item.ID) []item.ID {
 	return append([]item.ID(nil), v.en.relsOf[obj]...)
 }
 
+// seed:locked-caller — live view, accessed under db.mu.
 func (v rawView) Objects() []item.ID {
 	out := make([]item.ID, 0, len(v.en.objects))
 	for id, o := range v.en.objects {
@@ -268,6 +272,7 @@ func (v rawView) Objects() []item.ID {
 	return out
 }
 
+// seed:locked-caller — live view, accessed under db.mu.
 func (v rawView) Relationships() []item.ID {
 	out := make([]item.ID, 0, len(v.en.rels))
 	for id, r := range v.en.rels {

@@ -1,6 +1,7 @@
 package ident
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -24,7 +25,7 @@ func TestCheckName(t *testing.T) {
 	if err := CheckName("Alarms"); err != nil {
 		t.Fatalf("CheckName(Alarms) = %v", err)
 	}
-	if err := CheckName(""); err != ErrEmptyName {
+	if err := CheckName(""); !errors.Is(err, ErrEmptyName) {
 		t.Fatalf("CheckName(\"\") = %v, want ErrEmptyName", err)
 	}
 	if err := CheckName("9x"); err == nil {

@@ -167,7 +167,10 @@ func (r Relationship) Clone() Relationship {
 // may return freshly allocated slices, but callers cannot rely on it: the
 // frozen snapshot views share one backing array between all readers of a
 // generation, and a write through a result would race every other reader.
-// The race-mode differential tests in internal/core enforce this contract.
+// The contract is enforced statically by the frozenmut analyzer
+// (internal/lint, run by `seedlint ./...` and the CI lint job), which flags
+// in-place writes, appends, and sorts on accessor results; the race-mode
+// differential tests in internal/core remain the dynamic complement.
 type View interface {
 	// Schema returns the schema this state is interpreted under.
 	Schema() *schema.Schema

@@ -1,0 +1,206 @@
+// Package lint is the engine's static-analysis harness: a small,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// vocabulary (Analyzer, Pass, Diagnostic) plus a package loader, a
+// go vet -vettool unit-checker protocol, and the four repo-specific
+// analyzers that turn the engine's hand-enforced contracts into
+// compile-time checks:
+//
+//   - frozenmut:    no in-place mutation of shared data handed out by
+//     frozen item.View accessors (DESIGN.md section 7).
+//   - guardedby:    fields annotated `seed:guarded-by(mu)` are only
+//     touched while the named mutex on the same receiver is held
+//     (DESIGN.md sections 6 and 8).
+//   - sentinelcmp:  exported Err* sentinels are matched with errors.Is,
+//     never ==/!=/switch (wire codes round-trip identity, direct
+//     comparison does not).
+//   - opexhaustive: every switch over wire.Op either covers all declared
+//     ops or carries an explicit default, so a future OpWatch cannot
+//     silently fall through a dispatch path.
+//
+// The x/tools module is deliberately not imported: the repo builds
+// offline with a bare module cache, so the framework runs on the standard
+// library alone (go/ast, go/types, go/importer) and drives `go list` for
+// package discovery. The public shape mirrors go/analysis closely enough
+// that migrating to the real framework later is mechanical.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check, mirroring go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in findings, -run filters, and
+	// lint:ignore directives. Lower-case, no spaces.
+	Name string
+
+	// Doc is a one-paragraph description: the contract enforced and the
+	// escape hatch.
+	Doc string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzed package into an Analyzer's Run, mirroring
+// go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // parsed with comments
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report records one diagnostic. The driver applies suppression
+	// directives afterwards.
+	Report func(Diagnostic)
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding inside a package, positioned by token.Pos.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is one resolved diagnostic: the external form the driver and
+// the JSON output ship.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	Position string         `json:"position"` // file:line:col
+	Message  string         `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Position, f.Message, f.Analyzer)
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{FrozenMut, GuardedBy, SentinelCmp, OpExhaustive}
+}
+
+// Select resolves a comma-separated -run filter against the suite. An
+// empty filter selects everything; an unknown name is an error.
+func Select(filter string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if filter == "" {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(filter, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q (have %s)", name, names(all))
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return all, nil
+	}
+	return out, nil
+}
+
+func names(as []*Analyzer) string {
+	var ns []string
+	for _, a := range as {
+		ns = append(ns, a.Name)
+	}
+	sort.Strings(ns)
+	return strings.Join(ns, ", ")
+}
+
+// ---- Suppression and annotation directives ----------------------------
+
+// ignoreRe matches the suppression directive. The shape follows
+// staticcheck's: the analyzer list is comma-separated or "all", and a
+// non-empty reason is mandatory — an unexplained suppression is itself a
+// finding.
+//
+//	//lint:ignore frozenmut the slice is cloned two lines up
+var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)\s*(.*)$`)
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	line      int      // line the directive comment starts on
+	analyzers []string // names, or ["all"]
+	reason    string
+}
+
+// parseDirectives extracts the suppression directives of one file and
+// reports malformed ones (missing reason) through report.
+func parseDirectives(fset *token.FileSet, file *ast.File, report func(Diagnostic)) []directive {
+	var out []directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			m := ignoreRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			if strings.TrimSpace(m[2]) == "" {
+				report(Diagnostic{
+					Pos:     c.Pos(),
+					Message: "lint:ignore directive needs a reason after the analyzer list",
+				})
+				continue
+			}
+			out = append(out, directive{
+				line:      fset.Position(c.Pos()).Line,
+				analyzers: strings.Split(m[1], ","),
+				reason:    strings.TrimSpace(m[2]),
+			})
+		}
+	}
+	return out
+}
+
+// suppresses reports whether d silences analyzer a for a finding on line.
+// A directive covers its own line (trailing comment) and the following
+// line (directive on its own line above the statement).
+func (d directive) suppresses(analyzer string, line int) bool {
+	if line != d.line && line != d.line+1 {
+		return false
+	}
+	for _, name := range d.analyzers {
+		if name == "all" || name == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// hasDirective reports whether a function's doc comment carries the given
+// seed: marker, e.g. "seed:locked-caller". Markers live anywhere in the
+// doc block, one per line.
+func hasDirective(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		text = strings.TrimSpace(strings.TrimPrefix(text, "/*"))
+		if strings.HasPrefix(text, marker) {
+			return true
+		}
+	}
+	return false
+}

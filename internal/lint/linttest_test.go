@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The fixture tests mirror x/tools' analysistest: each package under
+// testdata/src/<name> is parsed, type-checked, and run through one
+// analyzer, and the findings must match the `// want` expectations embedded
+// in the fixture source exactly — every want matched by a finding on its
+// line, every finding covered by a want. A fixture therefore fails in both
+// directions: without the analyzer (wants go unmatched) and with a
+// regressed analyzer that over-reports (findings go unexpected).
+//
+// Expectation forms:
+//
+//	stmt // want `regexp`        the finding lands on this line
+//	// want-above `regexp`       the finding lands on the previous line
+//	                             (for findings on directive comments, which
+//	                             cannot share a line with a want comment)
+func TestFrozenMutFixture(t *testing.T)    { runFixture(t, FrozenMut, "frozenmut") }
+func TestGuardedByFixture(t *testing.T)    { runFixture(t, GuardedBy, "guardedby") }
+func TestSentinelCmpFixture(t *testing.T)  { runFixture(t, SentinelCmp, "sentinelcmp") }
+func TestOpExhaustiveFixture(t *testing.T) { runFixture(t, OpExhaustive, "opexhaustive") }
+
+// TestIgnoreDirectiveFixture exercises the suppression path: directives
+// with a reason silence findings on their own and the following line,
+// "all" covers every analyzer, a directive naming a different analyzer
+// does not suppress, and a reasonless directive is itself a finding (of
+// the pseudo-analyzer "lint").
+func TestIgnoreDirectiveFixture(t *testing.T) { runFixture(t, SentinelCmp, "ignore") }
+
+// TestFixturesFailWithoutAnalyzer is the analysistest acceptance property:
+// each fixture carries at least one positive expectation, so running it
+// with the analyzer disabled must fail.
+func TestFixturesFailWithoutAnalyzer(t *testing.T) {
+	for _, name := range []string{"frozenmut", "guardedby", "sentinelcmp", "opexhaustive"} {
+		pkg := loadFixture(t, name)
+		wants := collectWants(t, pkg)
+		if len(wants) == 0 {
+			t.Errorf("fixture %s has no want expectations: it cannot detect a disabled analyzer", name)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRe = regexp.MustCompile("//\\s*(want|want-above)\\s+`([^`]+)`")
+
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s has no Go files", name)
+	}
+	pkg, err := typeCheck(fset, "fixture/"+name, dir, files, importer.ForCompiler(fset, "source", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, te := range pkg.TypeErrors {
+		t.Errorf("fixture %s: type error: %v", name, te)
+	}
+	return pkg
+}
+
+func collectWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[2])
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[2], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				line := pos.Line
+				if m[1] == "want-above" {
+					line--
+				}
+				wants = append(wants, &want{file: pos.Filename, line: line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+func runFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	pkg := loadFixture(t, name)
+	wants := collectWants(t, pkg)
+	findings, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool { return wants[i].line < wants[j].line })
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("no finding matched want %q at %s:%d", w.re, filepath.Base(w.file), w.line)
+		}
+	}
+}

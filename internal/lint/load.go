@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	// TypeErrors holds type-checker complaints. Analysis proceeds on the
+	// partial information — a half-typed package still yields useful
+	// findings — but the driver surfaces them so a broken build is never
+	// mistaken for a clean lint run.
+	TypeErrors []error
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath  string
+	Dir         string
+	GoFiles     []string
+	TestGoFiles []string
+	Error       *struct{ Err string }
+}
+
+// Loader loads and type-checks packages for analysis. One Loader shares a
+// FileSet and a source importer, so dependencies (including the standard
+// library, type-checked from source — the module cache may be empty) are
+// resolved once per process.
+type Loader struct {
+	Dir   string // directory to resolve patterns in; "" = cwd
+	Tests bool   // include in-package _test.go files
+
+	fset *token.FileSet
+	imp  types.ImporterFrom
+}
+
+// NewLoader returns a loader rooted at dir.
+func NewLoader(dir string, tests bool) *Loader {
+	fset := token.NewFileSet()
+	// The source importer type-checks dependencies from source through
+	// go/build. Cgo variants of stdlib packages (net, os/user) cannot be
+	// type-checked that way, so force the pure-Go build configuration.
+	build.Default.CgoEnabled = false
+	return &Loader{
+		Dir:   dir,
+		Tests: tests,
+		fset:  fset,
+		imp:   importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+// Fset returns the loader's shared FileSet.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load resolves the patterns with `go list` and type-checks every matched
+// package.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	metas, err := l.list(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, m := range metas {
+		files := m.GoFiles
+		if l.Tests {
+			files = append(append([]string(nil), files...), m.TestGoFiles...)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		pkg, err := l.check(m.ImportPath, m.Dir, files)
+		if err != nil {
+			return nil, fmt.Errorf("lint: load %s: %w", m.ImportPath, err)
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// list shells out to `go list -json`.
+func (l *Loader) list(patterns []string) ([]listPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+	var out []listPackage
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var p listPackage
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("lint: decode go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: go list: %s", p.Error.Err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// check parses and type-checks one package from its file list.
+func (l *Loader) check(path, dir string, files []string) (*Package, error) {
+	var parsed []*ast.File
+	for _, name := range files {
+		full := name
+		if !filepath.IsAbs(full) {
+			full = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(l.fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	return typeCheck(l.fset, path, dir, parsed, l.imp)
+}
+
+// typeCheck runs go/types over parsed files with the given importer,
+// tolerating type errors: analyzers see the partial information.
+func typeCheck(fset *token.FileSet, path, dir string, files []*ast.File, imp types.Importer) (*Package, error) {
+	pkg := &Package{Path: path, Dir: dir, Fset: fset, Files: files}
+	conf := types.Config{
+		Importer: dirImporter{imp: imp, dir: dir},
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	// Errors are collected via conf.Error; the returned error duplicates
+	// the first one, so it is deliberately dropped here.
+	tpkg, _ := conf.Check(path, fset, files, info)
+	pkg.Pkg = tpkg
+	pkg.Info = info
+	return pkg, nil
+}
+
+// dirImporter pins ImportFrom's srcDir to the package directory so the
+// source importer resolves module-local import paths from inside the
+// module even when the process cwd is elsewhere.
+type dirImporter struct {
+	imp types.Importer
+	dir string
+}
+
+func (d dirImporter) Import(path string) (*types.Package, error) {
+	if from, ok := d.imp.(types.ImporterFrom); ok && d.dir != "" {
+		return from.ImportFrom(path, d.dir, 0)
+	}
+	return d.imp.Import(path)
+}

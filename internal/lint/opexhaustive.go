@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// OpExhaustive keeps every `switch` over wire.Op honest: a dispatch
+// switch must either list every declared op constant or carry an explicit
+// non-empty `default` clause that handles the unexpected op. The point is
+// the day OpWatch lands: each switch with no default (server dispatch,
+// op classification) then fails the lint until the new op is placed
+// deliberately, instead of silently falling through to zero-value
+// behavior. An empty default would re-open exactly that hole, so it is
+// flagged too.
+var OpExhaustive = &Analyzer{
+	Name: "opexhaustive",
+	Doc:  "switches over wire.Op must cover every op or carry an explicit non-empty default",
+	Run:  runOpExhaustive,
+}
+
+func runOpExhaustive(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tag := pass.TypesInfo.TypeOf(sw.Tag)
+			named := opType(tag)
+			if named == nil {
+				return true
+			}
+			checkOpSwitch(pass, sw, named)
+			return true
+		})
+	}
+	return nil
+}
+
+// opType reports the named type if t is the wire op enumeration: a named
+// type called Op declared in a package named wire.
+func opType(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	if obj.Name() != "Op" || obj.Pkg().Name() != "wire" {
+		return nil
+	}
+	return named
+}
+
+func checkOpSwitch(pass *Pass, sw *ast.SwitchStmt, named *types.Named) {
+	// All declared constants of the op type, from the defining package's
+	// scope — the export data and the source importer both carry them.
+	declared := make(map[string]bool)
+	scope := named.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		declared[c.Name()] = false
+	}
+	if len(declared) == 0 {
+		return
+	}
+	hasDefault := false
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			if len(cc.Body) == 0 {
+				pass.Reportf(cc.Pos(),
+					"switch over %s.Op has an empty default: handle the unknown op explicitly (return a wire error)",
+					named.Obj().Pkg().Name())
+			}
+			continue
+		}
+		for _, e := range cc.List {
+			c := constOf(pass, e)
+			if c == nil {
+				continue
+			}
+			if _, ok := declared[c.Name()]; ok {
+				declared[c.Name()] = true
+			}
+		}
+	}
+	if hasDefault {
+		return
+	}
+	var missing []string
+	for name, covered := range declared {
+		if !covered {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Pos(),
+		"switch over %s.Op without default does not cover %s: add the case or an explicit default returning a wire error",
+		named.Obj().Pkg().Name(), strings.Join(missing, ", "))
+}
+
+// constOf resolves a case expression to the declared constant it names.
+func constOf(pass *Pass, e ast.Expr) *types.Const {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	c, _ := pass.TypesInfo.Uses[id].(*types.Const)
+	return c
+}

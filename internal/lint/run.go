@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Run applies the analyzers to every package and returns the surviving
+// findings: diagnostics minus those silenced by a //lint:ignore directive,
+// plus one finding per malformed directive. Findings come back sorted by
+// position for stable output.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		fs, err := runPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}
+
+func runPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	// Directives are parsed once per package; a malformed one surfaces as
+	// a finding of the pseudo-analyzer "lint" (suppressing the suppressor
+	// is not a thing).
+	var findings []Finding
+	var directives []directive
+	for _, f := range pkg.Files {
+		directives = append(directives, parseDirectives(pkg.Fset, f, func(d Diagnostic) {
+			findings = append(findings, resolve(pkg, "lint", d))
+		})...)
+	}
+	for _, a := range analyzers {
+		var diags []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+			Report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+		for _, d := range diags {
+			line := pkg.Fset.Position(d.Pos).Line
+			if suppressed(directives, a.Name, line) {
+				continue
+			}
+			findings = append(findings, resolve(pkg, a.Name, d))
+		}
+	}
+	return findings, nil
+}
+
+func suppressed(directives []directive, analyzer string, line int) bool {
+	for _, d := range directives {
+		if d.suppresses(analyzer, line) {
+			return true
+		}
+	}
+	return false
+}
+
+func resolve(pkg *Package, analyzer string, d Diagnostic) Finding {
+	pos := pkg.Fset.Position(d.Pos)
+	return Finding{
+		Analyzer: analyzer,
+		Pos:      pos,
+		Position: fmt.Sprintf("%s:%d:%d", pos.Filename, pos.Line, pos.Column),
+		Message:  d.Message,
+	}
+}
+
+// WritePlain prints findings one per line in the classic vet shape.
+func WritePlain(w io.Writer, findings []Finding) {
+	for _, f := range findings {
+		fmt.Fprintln(w, f.String())
+	}
+}
+
+// WriteJSON prints findings as one JSON array, the machine-readable form
+// behind `seedlint -json` (future PRs gate on subsets of it while a new
+// analyzer burns down).
+func WriteJSON(w io.Writer, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SentinelCmp forbids identity comparison against exported Err* sentinel
+// errors. The engine's errors cross package and process boundaries — the
+// server maps them onto wire codes and the client rebuilds them — so the
+// only comparison that survives wrapping and transport is errors.Is; a
+// `==` works until the first fmt.Errorf("...: %w") lands in between and
+// then fails silently. Flagged forms: `err == ErrX`, `err != ErrX`, and
+// `switch err { case ErrX: }`. The escape hatch is a //lint:ignore
+// sentinelcmp directive with a reason (for the rare place that really
+// means object identity, e.g. a test asserting a sentinel is returned
+// unwrapped).
+var SentinelCmp = &Analyzer{
+	Name: "sentinelcmp",
+	Doc:  "require errors.Is for comparisons against exported Err* sentinels",
+	Run:  runSentinelCmp,
+}
+
+func runSentinelCmp(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					if v := sentinelOf(pass, side); v != nil {
+						pass.Reportf(n.Pos(),
+							"comparison %s sentinel %s: use errors.Is — wire transport and %%w wrapping break identity",
+							n.Op, v.Name())
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				tag := pass.TypesInfo.TypeOf(n.Tag)
+				if tag == nil || !isErrorType(tag) {
+					return true
+				}
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if v := sentinelOf(pass, e); v != nil {
+							pass.Reportf(e.Pos(),
+								"switch case compares sentinel %s by identity: use errors.Is in an if/else chain",
+								v.Name())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelOf reports the sentinel variable an expression denotes, if any:
+// a package-level exported var named Err* whose type is (or implements)
+// error.
+func sentinelOf(pass *Pass, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() { // package-level only
+		return nil
+	}
+	if !v.Exported() || !strings.HasPrefix(v.Name(), "Err") {
+		return nil
+	}
+	if !isErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorType)
+}

@@ -1,0 +1,117 @@
+// Package fixture exercises the guardedby analyzer: fields annotated
+// seed:guarded-by(mu) may only be touched while the named mutex on the
+// same receiver value is held.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.RWMutex
+	n  int // seed:guarded-by(mu)
+
+	state sync.Mutex
+	queue []int // seed:guarded-by(state)
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) get() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+func (c *counter) racyRead() int {
+	return c.n // want `read of counter.n without holding c.mu`
+}
+
+func (c *counter) racyWrite() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.n++ // want `write to counter.n while holding only c.mu.RLock`
+}
+
+// wrongReceiver holds its own lock but touches another value's field: the
+// lock must be held on the same receiver the field lives on.
+func (c *counter) wrongReceiver(o *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	o.n = 1 // want `write to counter.n without holding o.mu`
+}
+
+// earlyUnlock loses the lock before the access.
+func (c *counter) earlyUnlock() int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.n // want `read of counter.n without holding c.mu`
+}
+
+// spawn: a goroutine does not inherit the spawner's lock.
+func (c *counter) spawn() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `write to counter.n without holding c.mu`
+	}()
+}
+
+// branchMerge: one branch returns while unlocked, so the code after the
+// if runs locked on both paths.
+func (c *counter) branchMerge(b bool) int {
+	c.mu.Lock()
+	if b {
+		c.mu.Unlock()
+		return 0
+	}
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// drainLocked documents its contract instead of locking: callers hold
+// c.state.
+//
+// seed:locked-caller
+func (c *counter) drainLocked() {
+	c.queue = c.queue[:0]
+}
+
+// fresh values are unshared until they escape the constructor.
+func fresh() *counter {
+	c := &counter{}
+	c.n = 1
+	c.queue = append(c.queue, 1)
+	return c
+}
+
+type store struct {
+	mu sync.Mutex
+	v  int // seed:guarded-by(mu)
+}
+
+type handle struct{ db *store }
+
+// apply runs op under the store lock.
+//
+// seed:locks-callback(db.mu)
+func (h *handle) apply(op func()) {
+	h.db.mu.Lock()
+	defer h.db.mu.Unlock()
+	op()
+}
+
+// wrapped closures run under the wrapper's lock.
+func (h *handle) wrapped() {
+	h.apply(func() { h.db.v++ })
+}
+
+// leaked closures do not.
+func (h *handle) leaked() {
+	f := func() {
+		h.db.v++ // want `write to store.v without holding h.db.mu`
+	}
+	f()
+}

@@ -1,0 +1,39 @@
+// Package fixture exercises the //lint:ignore suppression path: a
+// directive with a reason silences its own line and the next, and a
+// directive without a reason is itself a finding.
+package fixture
+
+import "errors"
+
+// ErrGone is a sentinel the fixture compares against.
+var ErrGone = errors.New("gone")
+
+func suppressedAbove(err error) bool {
+	//lint:ignore sentinelcmp the fixture asserts identity on purpose
+	return err == ErrGone
+}
+
+func suppressedSameLine(err error) bool {
+	return err == ErrGone //lint:ignore sentinelcmp trailing-directive form
+}
+
+func suppressedAll(err error) bool {
+	//lint:ignore all blanket suppression covers every analyzer
+	return err == ErrGone
+}
+
+func wrongAnalyzer(err error) bool {
+	//lint:ignore frozenmut directive names a different analyzer
+	return err == ErrGone // want `comparison == sentinel ErrGone`
+}
+
+func unsuppressed(err error) bool {
+	return err == ErrGone // want `comparison == sentinel ErrGone`
+}
+
+// A directive without a reason is itself a finding and suppresses nothing.
+func malformed(err error) bool {
+	//lint:ignore sentinelcmp
+	// want-above `lint:ignore directive needs a reason`
+	return err == ErrGone // want `comparison == sentinel ErrGone`
+}

@@ -1,0 +1,67 @@
+// Package wire exercises the opexhaustive analyzer: it is named wire and
+// declares an Op type so the fixture's switches look exactly like the real
+// protocol dispatch.
+package wire
+
+// Op is the fixture's wire operation enumeration.
+type Op string
+
+// The declared operations.
+const (
+	OpGet Op = "get"
+	OpPut Op = "put"
+	OpDel Op = "del"
+)
+
+func full(op Op) int {
+	switch op {
+	case OpGet:
+		return 1
+	case OpPut:
+		return 2
+	case OpDel:
+		return 3
+	}
+	return 0
+}
+
+func missing(op Op) int {
+	switch op { // want `switch over wire.Op without default does not cover OpDel`
+	case OpGet:
+		return 1
+	case OpPut:
+		return 2
+	}
+	return 0
+}
+
+func emptyDefault(op Op) int {
+	switch op {
+	case OpGet:
+		return 1
+	default: // want `empty default`
+	}
+	return 0
+}
+
+func handledDefault(op Op) int {
+	switch op {
+	case OpGet:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// A switch over a different string type is out of scope.
+type mode string
+
+const modeFast mode = "fast"
+
+func other(m mode) int {
+	switch m {
+	case modeFast:
+		return 1
+	}
+	return 0
+}

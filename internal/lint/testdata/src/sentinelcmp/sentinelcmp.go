@@ -1,0 +1,39 @@
+// Package fixture exercises the sentinelcmp analyzer: exported Err*
+// sentinels must be matched with errors.Is, never by identity.
+package fixture
+
+import "errors"
+
+var (
+	ErrMissing = errors.New("missing")
+	errLocal   = errors.New("local")            // unexported: identity is fine
+	Sentinel   = errors.New("not err-prefixed") // not Err*-named: out of scope
+)
+
+func eq(err error) bool {
+	return err == ErrMissing // want `comparison == sentinel ErrMissing`
+}
+
+func neq(err error) bool {
+	if ErrMissing != err { // want `comparison != sentinel ErrMissing`
+		return true
+	}
+	return false
+}
+
+func sw(err error) int {
+	switch err {
+	case ErrMissing: // want `switch case compares sentinel ErrMissing by identity`
+		return 1
+	case nil:
+		return 0
+	}
+	return 2
+}
+
+func ok(err error) bool {
+	if errors.Is(err, ErrMissing) {
+		return true
+	}
+	return err == errLocal || err == Sentinel
+}

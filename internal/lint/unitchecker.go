@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+)
+
+// unitConfig is the JSON unit-of-work description `go vet -vettool`
+// hands an analysis tool, one file per package. The field set mirrors
+// x/tools' unitchecker.Config; unused fields are accepted and ignored.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes one go vet unit of work: parse the package the config
+// describes, type-check it against the compiler export data vet already
+// built, run the suite, and report findings. It returns the process exit
+// code.
+func RunUnit(cfgPath string, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "seedlint: %v\n", err)
+		return 2
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "seedlint: parse %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// go vet expects the facts file to exist afterwards even though this
+	// suite exports no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(stderr, "seedlint: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: facts only, no diagnostics wanted
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(stderr, "seedlint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	pkg, err := typeCheck(fset, cfg.ImportPath, cfg.Dir, files, newUnitImporter(fset, &cfg))
+	if err != nil {
+		fmt.Fprintf(stderr, "seedlint: %v\n", err)
+		return 2
+	}
+	if len(pkg.TypeErrors) > 0 && cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+	findings, err := Run([]*Package{pkg}, Analyzers())
+	if err != nil {
+		fmt.Fprintf(stderr, "seedlint: %v\n", err)
+		return 2
+	}
+	if len(findings) == 0 {
+		return 0
+	}
+	WritePlain(stderr, findings)
+	return 1
+}
+
+// unitImporter resolves imports for one vet unit: through the compiler
+// export data listed in the config when possible (self-contained, no
+// nested go invocations), falling back to type-checking the dependency
+// from source for robustness against export-data format drift.
+type unitImporter struct {
+	cfg    *unitConfig
+	gc     types.Importer
+	source types.Importer
+	cache  map[string]*types.Package
+}
+
+func newUnitImporter(fset *token.FileSet, cfg *unitConfig) *unitImporter {
+	u := &unitImporter{cfg: cfg, cache: make(map[string]*types.Package)}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	u.gc = importer.ForCompiler(fset, "gc", lookup)
+	u.source = dirImporter{
+		imp: importer.ForCompiler(fset, "source", nil),
+		dir: cfg.Dir,
+	}
+	return u
+}
+
+func (u *unitImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if real, ok := u.cfg.ImportMap[path]; ok {
+		path = real
+	}
+	if p, ok := u.cache[path]; ok {
+		return p, nil
+	}
+	p, err := u.gc.Import(path)
+	if err != nil {
+		p, err = u.source.Import(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	u.cache[path] = p
+	return p, nil
+}

@@ -134,7 +134,14 @@ func (p *parser) parseSchema() (*schemaAST, error) {
 		if err != nil {
 			return nil, err
 		}
-		ast.version, _ = strconv.Atoi(v.text)
+		// The token is all digits, so Atoi only fails on overflow — and
+		// then returns the clamped maximum, which would pass the < 1
+		// check below and silently accept a nonsense version.
+		ver, err := strconv.Atoi(v.text)
+		if err != nil {
+			return nil, p.errorf("schema version %q out of range", v.text)
+		}
+		ast.version = ver
 		if ast.version < 1 {
 			return nil, p.errorf("schema version must be positive")
 		}

@@ -188,6 +188,7 @@ func TestParseErrors(t *testing.T) {
 		"schema S class A class A",                       // duplicate
 		"schema S class A specializes B class B ???",     // bad char
 		"schema S version 0 class A",                     // bad version
+		"schema S version 99999999999999999999 class A",  // version overflows int
 		"schema S class A { T 0..1",                      // unterminated body
 	}
 	for _, src := range bad {

@@ -72,13 +72,13 @@ type Server struct {
 	writeTimeout time.Duration
 
 	mu       sync.Mutex
-	locks    map[string]string   // object name -> client ID holding the lock
-	creating map[string]string   // object name -> client ID creating it in an in-flight check-in
-	inflight map[string]*seed.Tx // client ID -> staged check-in transaction
-	nextCli  int
+	locks    map[string]string   // seed:guarded-by(mu) — object name -> client ID holding the lock
+	creating map[string]string   // seed:guarded-by(mu) — object name -> client ID creating it in an in-flight check-in
+	inflight map[string]*seed.Tx // seed:guarded-by(mu) — client ID -> staged check-in transaction
+	nextCli  int                 // seed:guarded-by(mu)
 
 	wg     sync.WaitGroup
-	closed bool
+	closed bool // seed:guarded-by(mu)
 	logf   func(format string, args ...any)
 }
 
@@ -318,12 +318,18 @@ func (s *Server) serveConn(conn net.Conn) {
 // mutates reports whether an op changes server or database state and must
 // therefore keep its position in the client's FIFO order. Everything else
 // reads an immutable snapshot and may execute (and answer) out of order.
+// The switch enumerates every op with no default so that opexhaustive
+// forces a FIFO-or-parallel decision when a new op is added: a new op
+// silently defaulting to the parallel path would be an ordering bug.
 func mutates(op wire.Op) bool {
 	switch op {
 	case wire.OpCheckout, wire.OpCheckin, wire.OpRelease, wire.OpSaveVersion:
 		return true
+	case wire.OpHello, wire.OpGet, wire.OpList, wire.OpVersions,
+		wire.OpCompleteness, wire.OpStats, wire.OpQuery:
+		return false
 	}
-	return false
+	return true // unknown op: keep FIFO order, dispatch rejects it anyway
 }
 
 // releaseAll cleans up after a disconnecting client: every lock it still

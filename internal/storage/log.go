@@ -30,14 +30,14 @@ type WAL struct {
 	dir  string
 	opts Options
 
-	mu     sync.Mutex // guards tail, sealed, closed file state
-	tail   *segment
-	sealed []sealedSeg
-	closed bool
+	mu     sync.Mutex  // guards tail, sealed, closed file state
+	tail   *segment    // seed:guarded-by(mu)
+	sealed []sealedSeg // seed:guarded-by(mu)
+	closed bool        // seed:guarded-by(mu)
 
 	batchMu  sync.Mutex // guards curBatch, accepting
-	curBatch *batch
-	stopping bool
+	curBatch *batch     // seed:guarded-by(batchMu)
+	stopping bool       // seed:guarded-by(batchMu)
 
 	// flushMu serializes whole batch flushes (swap + append + fsync): a
 	// drain (Sync, Rotate) must not observe an empty curBatch while the
@@ -222,6 +222,9 @@ func (w *WAL) AppendBatch(payloads [][]byte) error {
 	return nil
 }
 
+// appendLocked stages one record at the tail.
+//
+// seed:locked-caller
 func (w *WAL) appendLocked(payload []byte) error {
 	if w.closed {
 		return ErrLogClosed
@@ -255,6 +258,8 @@ func (w *WAL) appendLocked(payload []byte) error {
 // WAL fully usable (callers may retry); a seal failure poisons the log —
 // the marker may be half-buffered, and more appends could put records
 // after a seal.
+//
+// seed:locked-caller
 func (w *WAL) rotateLocked() error {
 	next, err := createSegment(w.dir, w.tail.index+1)
 	if err != nil {
@@ -371,6 +376,9 @@ func (w *WAL) Sync() error {
 	return w.syncLocked()
 }
 
+// syncLocked fsyncs the tail segment.
+//
+// seed:locked-caller
 func (w *WAL) syncLocked() error {
 	if w.closed {
 		return ErrLogClosed
@@ -386,6 +394,8 @@ func (w *WAL) syncLocked() error {
 // failed bytes may sit in buffers that a LATER successful fsync would
 // flush, turning an error-acked record durable behind the caller's back —
 // refusing all further work keeps the error acknowledgement trustworthy.
+//
+// seed:locked-caller
 func (w *WAL) poisonLocked() {
 	w.closed = true
 	w.tail.f.Close()

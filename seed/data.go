@@ -18,6 +18,8 @@ import (
 
 // guardWrite returns a helpful error for updates addressed to inherited
 // (virtual) items, which are updatable only in the pattern itself.
+//
+// seed:locked-caller — every mutation entry point calls it under db.mu.
 func (db *Database) guardWrite(ids ...ID) error {
 	if db.closed {
 		return ErrClosed
@@ -220,6 +222,9 @@ func (tx *Tx) Done() bool {
 }
 
 // apply runs one staged mutation attributed to this transaction.
+//
+// seed:locks-callback(db.mu) — op closures run under the write lock
+// taken below, so guardedby treats their field accesses as guarded.
 func (tx *Tx) apply(guard []ID, op func() (ID, error)) (ID, error) {
 	db := tx.db
 	db.mu.Lock()
@@ -305,6 +310,8 @@ func (tx *Tx) ResolvePath(path string) (ID, error) {
 // sets are disjoint from this transaction's by the claim discipline, so
 // resolution within this transaction's domain is unaffected. Callers hold
 // db.mu in either mode and must not let the view escape the lock.
+//
+// seed:locked-caller
 func (tx *Tx) viewLocked() View {
 	tx.spliceMu.Lock()
 	defer tx.spliceMu.Unlock()
@@ -432,6 +439,8 @@ func (db *Database) Rollback() error {
 // batch — and compaction is deferred to Commit: a snapshot written
 // mid-transaction would persist uncommitted operations and truncate the
 // log before their buffered journal records exist.
+//
+// seed:locked-caller — runs at the tail of every mutation, under db.mu.
 func (db *Database) finish(id ID, err error) (ID, error) {
 	if err != nil {
 		return NoID, err
@@ -471,6 +480,8 @@ func (c *snapshotCache) userView() *pattern.Spliced {
 // generation cannot advance while they do. While a transaction is open the
 // generation does not advance either, so the snapshot pinned by Begin keeps
 // serving readers the last committed state until Commit.
+//
+// seed:locked-caller
 func (db *Database) snapshotLocked() *snapshotCache {
 	if c := db.snap.Load(); c != nil && c.gen == db.gen {
 		return c
@@ -512,6 +523,8 @@ func (db *Database) RawView() View {
 // items it created earlier in the same transaction (per-Tx resolution goes
 // through Tx.ResolvePath). Callers hold db.mu and must not let a live view
 // escape the lock.
+//
+// seed:locked-caller
 func (db *Database) updateViewLocked(user bool) View {
 	if lt := db.legacy; lt != nil {
 		if !user {

@@ -112,24 +112,29 @@ func (o Options) storage() storage.Options {
 // check-out lock sets onto transactions, which is what retires its global
 // write gate (DESIGN.md section 8).
 type Database struct {
+	// mu guards the mutable database state below. The seed:guarded-by
+	// annotations are enforced at compile time by the guardedby analyzer
+	// (internal/lint, `seedlint ./...`): reads require at least RLock,
+	// writes require Lock, both on this Database's own mu. Helpers that
+	// run with the lock already held carry a seed:locked-caller marker.
 	mu sync.RWMutex
 
-	schemas []*schema.Schema // index = version-1
-	engine  *core.Engine
-	vers    *version.Manager
-	store   *storage.Store
-	opts    Options
-	clock   func() time.Time
+	schemas []*schema.Schema // seed:guarded-by(mu) — index = version-1
+	engine  *core.Engine     // seed:guarded-by(mu)
+	vers    *version.Manager // seed:guarded-by(mu)
+	store   *storage.Store   // immutable after Open; internally synchronized
+	opts    Options          // immutable after Open
+	clock   func() time.Time // immutable after Open
 
 	snapMu sync.Mutex                    // serializes snapshot builds
 	snap   atomic.Pointer[snapshotCache] // snapshot of the last built generation
-	gen    uint64                        // mutation generation (bumped per visible change)
+	gen    uint64                        // seed:guarded-by(mu) — mutation generation (bumped per visible change)
 
-	legacy *Tx // transaction opened by the legacy Begin (global operations join it)
+	legacy *Tx // seed:guarded-by(mu) — transaction opened by the legacy Begin (global operations join it)
 
-	transitions map[string]TransitionRule // history-sensitive consistency rules
+	transitions map[string]TransitionRule // seed:guarded-by(mu) — history-sensitive consistency rules
 
-	closed bool
+	closed bool // seed:guarded-by(mu)
 }
 
 // NewMemory creates an ephemeral database over a frozen schema.
@@ -203,6 +208,9 @@ func newDatabase(store *storage.Store, opts Options) (*Database, error) {
 
 // initFresh installs the initial schema and engine, journaling the schema
 // when file-backed.
+//
+// seed:locked-caller — runs from newDatabase before the *Database value is
+// published, so no other goroutine can observe the fields it initializes.
 func (db *Database) initFresh(sch *Schema) error {
 	if !sch.Frozen() {
 		return schema.ErrNotFrozen
@@ -274,6 +282,9 @@ func (db *Database) SchemaAt(ver int) (*Schema, error) {
 	return db.schemaAt(ver)
 }
 
+// schemaAt resolves a 1-based schema version.
+//
+// seed:locked-caller
 func (db *Database) schemaAt(ver int) (*schema.Schema, error) {
 	if ver < 1 || ver > len(db.schemas) {
 		return nil, fmt.Errorf("seed: unknown schema version %d (have 1..%d)", ver, len(db.schemas))
@@ -370,6 +381,10 @@ func (db *Database) ValidateAll() error {
 	return db.validateAllLocked()
 }
 
+// validateAllLocked checks every object and relationship against the
+// schema.
+//
+// seed:locked-caller
 func (db *Database) validateAllLocked() error {
 	v := db.engine.View()
 	for _, id := range v.Objects() {
@@ -458,6 +473,8 @@ func (db *Database) journalBatchLocked(records [][]byte) (func() error, error) {
 // Never inside an open transaction: the snapshot would capture uncommitted
 // operations and truncate the log before their buffered journal records
 // exist — Commit re-triggers the check once the batch is journaled.
+//
+// seed:locked-caller
 func (db *Database) maybeCompact() error {
 	if db.engine.InTx() {
 		return nil

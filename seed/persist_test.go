@@ -30,7 +30,7 @@ func openDB(t *testing.T, dir string, opts Options) *Database {
 }
 
 func TestOpenFreshRequiresSchema(t *testing.T) {
-	if _, err := Open(filepath.Join(t.TempDir(), "db"), Options{}); err != ErrNoSchema {
+	if _, err := Open(filepath.Join(t.TempDir(), "db"), Options{}); !errors.Is(err, ErrNoSchema) {
 		t.Fatalf("Open without schema: %v", err)
 	}
 }

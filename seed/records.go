@@ -84,11 +84,17 @@ type recovery struct {
 }
 
 // LoadSnapshot restores the full state written by Compact.
+//
+// seed:locked-caller — recovery runs from newDatabase before the
+// *Database value is published; no concurrent access is possible.
 func (r *recovery) LoadSnapshot(payload []byte) error {
 	return r.db.loadSnapshot(payload)
 }
 
 // ApplyRecord dispatches one write-ahead log record.
+//
+// seed:locked-caller — recovery runs from newDatabase before the
+// *Database value is published; no concurrent access is possible.
 func (r *recovery) ApplyRecord(payload []byte) error {
 	if len(payload) == 0 {
 		return core.ErrBadRecord

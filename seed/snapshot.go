@@ -23,6 +23,9 @@ import (
 
 const snapshotFormat = 1
 
+// compactLocked rewrites the log as one snapshot record.
+//
+// seed:locked-caller
 func (db *Database) compactLocked() error {
 	payload, err := db.encodeSnapshot()
 	if err != nil {
@@ -31,6 +34,9 @@ func (db *Database) compactLocked() error {
 	return db.store.Compact(payload)
 }
 
+// encodeSnapshot serializes the full database state.
+//
+// seed:locked-caller
 func (db *Database) encodeSnapshot() ([]byte, error) {
 	e := storage.NewEncoder(nil)
 	e.Uint64(snapshotFormat)
@@ -57,6 +63,10 @@ func (db *Database) encodeSnapshot() ([]byte, error) {
 	return e.Bytes(), nil
 }
 
+// loadSnapshot rebuilds engine, schemas and version tree from a snapshot
+// record.
+//
+// seed:locked-caller — called during pre-publication recovery.
 func (db *Database) loadSnapshot(payload []byte) error {
 	d := storage.NewDecoder(payload)
 	format, err := d.Uint64()

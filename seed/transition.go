@@ -51,6 +51,8 @@ func (db *Database) RegisterTransitionRule(name string, rule TransitionRule) {
 }
 
 // checkTransitions evaluates all registered rules for the upcoming save.
+//
+// seed:locked-caller — SaveVersion holds db.mu across the check.
 func (db *Database) checkTransitions() error {
 	if len(db.transitions) == 0 || db.engine.Replaying() {
 		return nil

@@ -61,6 +61,9 @@ func (db *Database) SaveVersion(note string) (VersionNumber, error) {
 	return num, nil
 }
 
+// saveVersionLocked captures the dirty set as a new version node.
+//
+// seed:locked-caller
 func (db *Database) saveVersionLocked(note string, at time.Time) (VersionNumber, error) {
 	if db.opts.Mode == FullSnapshots {
 		db.engine.MarkAllDirty()
@@ -123,6 +126,9 @@ func (db *Database) SelectVersionDiscard(num VersionNumber) error {
 	return db.selectVersionJournaled(num)
 }
 
+// selectVersionJournaled restores a version and journals the switch.
+//
+// seed:locked-caller
 func (db *Database) selectVersionJournaled(num VersionNumber) error {
 	if db.engine.InTx() {
 		return ErrTxOpen // Restore would clobber the open transaction
@@ -140,6 +146,9 @@ func (db *Database) selectVersionJournaled(num VersionNumber) error {
 	return nil
 }
 
+// selectVersionLocked restores the materialized state of a version.
+//
+// seed:locked-caller
 func (db *Database) selectVersionLocked(num VersionNumber) error {
 	states, err := db.vers.Materialize(num)
 	if err != nil {
@@ -222,6 +231,9 @@ func (db *Database) Vacuum() (int, error) {
 	return n, nil
 }
 
+// vacuumLocked drops version deltas no longer referenced by any node.
+//
+// seed:locked-caller
 func (db *Database) vacuumLocked() (int, error) {
 	referenced := make(map[ID]bool)
 	for _, node := range db.vers.List() {
