@@ -5,21 +5,21 @@
 //
 //	seedbench                       # run everything
 //	seedbench -exp e3               # run one experiment
-//	seedbench -list                 # list experiments
-//	seedbench -exp e8 -json BENCH_E8.json  # export E8 machine-readable
-//	seedbench -exp e9 -json BENCH_E9.json  # export E9 machine-readable
-//	seedbench -exp e10 -json BENCH_E10.json # export E10 machine-readable
+//	seedbench -list                 # list experiments (the authoritative set)
+//	seedbench -exp e8 -json BENCH_E8.json  # export a measurement experiment
 //	seedbench -short                # reduced workloads (CI smoke)
 //
 // E1-E5 reproduce the paper's evaluation artifacts; E6 measures the
 // storage engine's group-commit pipeline, E7 the snapshot-read/check-in
 // concurrency engine, E8 the copy-on-write snapshot generations plus the
 // class-indexed query path beyond the paper, E9 the concurrent
-// lock-scoped check-in path against the old serialized write gate, and
-// E10 the pipelined v2 wire protocol with server-side queries. With
-// -json, the machine-readable data of the selected measurement experiment
-// (e8, or e9/e10 when selected with -exp) is written out so the perf
-// trajectory is tracked across PRs.
+// lock-scoped check-in path against the old serialized write gate, E10
+// the pipelined v2 wire protocol with server-side queries, and E12 the
+// columnar item store against the map-backed ablation. With -json, the
+// machine-readable data of the selected measurement experiment (e8, or
+// e9/e10/e12 when selected with -exp) is written out so the perf
+// trajectory is tracked across PRs. The experiment list below is the
+// single source of truth: -list and the -exp flag help enumerate it.
 package main
 
 import (
@@ -43,13 +43,24 @@ var experiments = []struct {
 	{"e5", "SPADES on SEED vs. direct data structures", bench.E5},
 	{"e6", "storage: group commit vs per-record fsync", bench.E6},
 	{"e7", "concurrency: parallel snapshot reads vs serialized check-ins", bench.E7},
-	{"e8", "snapshots: COW generations and the class-indexed read path", nil},  // wired in main
-	{"e9", "check-ins: lock-scoped concurrency vs the global write gate", nil}, // wired in main
-	{"e10", "wire v2: pipelined frames and server-side queries", nil},          // wired in main
+	{"e8", "snapshots: COW generations and the class-indexed read path", nil},   // wired in main
+	{"e9", "check-ins: lock-scoped concurrency vs the global write gate", nil},  // wired in main
+	{"e10", "wire v2: pipelined frames and server-side queries", nil},           // wired in main
+	{"e12", "columnar store: bytes/item, freeze and query latency vs map", nil}, // wired in main
+}
+
+// experimentIDs enumerates the registered experiments, so the flag help and
+// the -list output can never drift from the actual set.
+func experimentIDs() string {
+	ids := make([]string, len(experiments))
+	for i, e := range experiments {
+		ids[i] = e.id
+	}
+	return strings.Join(ids, ", ")
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1..e10 or all)")
+	exp := flag.String("exp", "all", "experiment to run ("+experimentIDs()+", or all)")
 	list := flag.Bool("list", false, "list experiments")
 	short := flag.Bool("short", false, "reduced workloads (CI smoke)")
 	jsonPath := flag.String("json", "", "write the selected measurement experiment's machine-readable data to this file")
@@ -65,14 +76,17 @@ func main() {
 	e8Workload := bench.DefaultChurnWorkload
 	e9Workload := bench.DefaultCheckinWorkload
 	e10Workload := bench.DefaultPipelineWorkload
+	e12Workload := bench.DefaultColumnarWorkload
 	if *short {
 		e8Workload = bench.ShortChurnWorkload
 		e9Workload = bench.ShortCheckinWorkload
 		e10Workload = bench.ShortPipelineWorkload
+		e12Workload = bench.ShortColumnarWorkload
 	}
 	var e8Data *bench.E8Data
 	var e9Data *bench.E9Data
 	var e10Data *bench.E10Data
+	var e12Data *bench.E12Data
 
 	failed := false
 	for _, e := range experiments {
@@ -87,6 +101,8 @@ func main() {
 			r, e9Data = bench.E9Stats(e9Workload)
 		case "e10":
 			r, e10Data = bench.E10Stats(e10Workload)
+		case "e12":
+			r, e12Data = bench.E12Stats(e12Workload)
 		default:
 			r = e.run()
 		}
@@ -113,6 +129,12 @@ func main() {
 				os.Exit(1)
 			}
 			payload = e10Data
+		case strings.EqualFold(*exp, "e12"):
+			if e12Data == nil {
+				fmt.Fprintf(os.Stderr, "seedbench: -json given but experiment e12 did not run (-exp %s)\n", *exp)
+				os.Exit(1)
+			}
+			payload = e12Data
 		default:
 			if e8Data == nil {
 				fmt.Fprintf(os.Stderr, "seedbench: -json given but experiment e8 did not run (-exp %s)\n", *exp)

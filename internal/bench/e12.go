@@ -1,0 +1,245 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/seed"
+)
+
+// E12 measures the columnar item store against the map-backed ablation
+// (DESIGN.md section 11): live bytes per item, GC pause totals under commit
+// churn, snapshot freeze latency, and by-class / by-name query latency, at
+// each database size, with both representations in the same process. The
+// numbers are exported as BENCH_E12.json by cmd/seedbench; CI runs the
+// short workload and gates only the structural claim (the columnar store
+// is several times smaller) plus a lenient freeze/query regression bound,
+// because absolute wall-clock ratios flake across machines — the committed
+// artifact records the measured ratios.
+
+// ColumnarWorkload sizes the E12 store comparison.
+type ColumnarWorkload struct {
+	Sizes     []int   // total independent objects per measured database
+	QueryHits int     // objects of the queried class (fixed across sizes)
+	CommitOps int     // operations per commit batch
+	Commits   int     // measured commit -> first-read cycles per mode
+	QueryReps int     // repetitions of each query measurement
+	NameReps  int     // by-name lookups per measurement
+	MaxRegr   float64 // gated ceiling for columnar/map freeze+query ratios
+}
+
+// DefaultColumnarWorkload is the standard E12 size. The regression gate is
+// the acceptance bound: the columnar store must stay within 10% of the map
+// ablation on freeze and by-class query latency.
+var DefaultColumnarWorkload = ColumnarWorkload{
+	Sizes: []int{100000, 1000000}, QueryHits: 64,
+	CommitOps: 8, Commits: 40, QueryReps: 20, NameReps: 4096, MaxRegr: 1.10,
+}
+
+// ShortColumnarWorkload keeps the CI smoke run cheap; tiny runs are noisy,
+// so the regression gate is loosened to a sanity bound.
+var ShortColumnarWorkload = ColumnarWorkload{
+	Sizes: []int{5000, 20000}, QueryHits: 32,
+	CommitOps: 8, Commits: 8, QueryReps: 4, NameReps: 1024, MaxRegr: 2.0,
+}
+
+// E12ModeStats is the machine-readable result of one representation at one
+// database size.
+type E12ModeStats struct {
+	BytesPerItem      int64 `json:"bytes_per_item"`
+	GCPauseTotalNanos int64 `json:"gc_pause_total_ns"` // during the churn phase
+	NumGC             int64 `json:"num_gc"`            // during the churn phase
+	FreezeMedianNanos int64 `json:"freeze_median_ns"`  // first read after commit
+	FreezeMeanNanos   int64 `json:"freeze_mean_ns"`
+	QueryByClassNanos int64 `json:"query_by_class_ns"`
+	QueryByNameNanos  int64 `json:"query_by_name_ns"`
+}
+
+// E12SizeStats compares the two representations at one database size.
+// Ratios above 1.0 in bytes favor the columnar store; ratios above 1.0 in
+// freeze/query mean the columnar store is slower there.
+type E12SizeStats struct {
+	Objects           int          `json:"objects"`
+	Items             int          `json:"items"` // objects + value sub-objects
+	Columnar          E12ModeStats `json:"columnar"`
+	MapStore          E12ModeStats `json:"map"`
+	BytesRatio        float64      `json:"bytes_per_item_ratio"` // map / columnar
+	FreezeRatio       float64      `json:"freeze_ratio"`         // columnar / map, medians
+	QueryByClassRatio float64      `json:"query_by_class_ratio"` // columnar / map
+	QueryByNameRatio  float64      `json:"query_by_name_ratio"`  // columnar / map
+}
+
+// E12Data is the BENCH_E12.json payload.
+type E12Data struct {
+	Experiment string         `json:"experiment"`
+	GoVersion  string         `json:"go"`
+	CPUs       int            `json:"cpus"`
+	CommitOps  int            `json:"commit_ops"`
+	Commits    int            `json:"commits"`
+	Sizes      []E12SizeStats `json:"sizes"`
+}
+
+// heapAlloc settles the heap and reads the live allocation.
+func heapAlloc() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// buildStoreDB populates a database like buildChurnDB, but on the requested
+// representation, and measures the live heap the populated database retains.
+func buildStoreDB(n, hits int, columnar bool) (db *seed.Database, targets []seed.ID, items int, bytes uint64) {
+	db = mustDB()
+	if err := db.SetColumnarStore(columnar); err != nil {
+		panic(err)
+	}
+	before := heapAlloc()
+	classes := []string{"Data", "InputData", "Thing", "Action"}
+	for i := 0; i < n; i++ {
+		class := classes[i%len(classes)]
+		if i < hits {
+			class = "OutputData"
+		}
+		id, err := db.CreateObject(class, fmt.Sprintf("Obj%06d", i))
+		if err != nil {
+			panic(err)
+		}
+		items++
+		if i%4 == 0 {
+			d, err := db.CreateValueObject(id, "Description", seed.NewString("initial"))
+			if err != nil {
+				panic(err)
+			}
+			targets = append(targets, d)
+			items++
+		}
+	}
+	// Measure the steady state a reader-facing database retains: live store
+	// plus the current frozen generation (the first View freezes it).
+	db.View()
+	bytes = heapAlloc() - before
+	return db, targets, items, bytes
+}
+
+// measureNames times by-name lookups over the populated name range.
+func measureNames(v seed.View, n, reps int) (time.Duration, error) {
+	names := make([]string, 64)
+	for i := range names {
+		names[i] = fmt.Sprintf("Obj%06d", (i*2654435761)%n)
+	}
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if _, ok := v.ObjectByName(names[i%len(names)]); !ok {
+			return 0, fmt.Errorf("by-name lookup lost %s", names[i%len(names)])
+		}
+	}
+	return time.Duration(int64(time.Since(start)) / int64(reps)), nil
+}
+
+// measureMode runs the full E12 measurement for one representation.
+func measureMode(w ColumnarWorkload, n int, columnar bool) (E12ModeStats, int, error) {
+	var st E12ModeStats
+	db, targets, items, liveBytes := buildStoreDB(n, w.QueryHits, columnar)
+	defer db.Close()
+	st.BytesPerItem = int64(liveBytes) / int64(items)
+
+	churn := ChurnWorkload{CommitOps: w.CommitOps, Commits: w.Commits}
+	rng := rand.New(rand.NewSource(int64(n)))
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	freezes, err := measureChurn(db, targets, churn, rng)
+	if err != nil {
+		return st, items, err
+	}
+	runtime.ReadMemStats(&ms1)
+	st.GCPauseTotalNanos = int64(ms1.PauseTotalNs - ms0.PauseTotalNs)
+	st.NumGC = int64(ms1.NumGC - ms0.NumGC)
+	st.FreezeMedianNanos = int64(median(freezes))
+	st.FreezeMeanNanos = int64(mean(freezes))
+
+	v := db.View()
+	byClass, hits, err := measureQuery(v, w.QueryReps)
+	if err != nil {
+		return st, items, err
+	}
+	if hits != w.QueryHits {
+		return st, items, fmt.Errorf("by-class query found %d of %d", hits, w.QueryHits)
+	}
+	st.QueryByClassNanos = int64(byClass)
+	byName, err := measureNames(v, n, w.NameReps)
+	if err != nil {
+		return st, items, err
+	}
+	st.QueryByNameNanos = int64(byName)
+	return st, items, nil
+}
+
+// E12 runs the standard workload.
+func E12() *Result {
+	r, _ := E12Stats(DefaultColumnarWorkload)
+	return r
+}
+
+// E12Stats runs the columnar-vs-map comparison for every database size and
+// returns both the report and the machine-readable data.
+func E12Stats(w ColumnarWorkload) (*Result, *E12Data) {
+	r := &Result{Name: "E12: columnar store — interned symbols and array-backed COW generations"}
+	data := &E12Data{
+		Experiment: "E12",
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		CommitOps:  w.CommitOps,
+		Commits:    w.Commits,
+	}
+	r.logf("workload: %d-op commits, %d cycles per mode, %d-hit by-class query x%d, by-name x%d",
+		w.CommitOps, w.Commits, w.QueryHits, w.QueryReps, w.NameReps)
+	for _, n := range w.Sizes {
+		col, items, err := measureMode(w, n, true)
+		if err == nil {
+			var mp E12ModeStats
+			mp, _, err = measureMode(w, n, false)
+			if err == nil {
+				st := E12SizeStats{
+					Objects:           n,
+					Items:             items,
+					Columnar:          col,
+					MapStore:          mp,
+					BytesRatio:        float64(mp.BytesPerItem) / float64(col.BytesPerItem),
+					FreezeRatio:       float64(col.FreezeMedianNanos) / float64(mp.FreezeMedianNanos),
+					QueryByClassRatio: float64(col.QueryByClassNanos) / float64(mp.QueryByClassNanos),
+					QueryByNameRatio:  float64(col.QueryByNameNanos) / float64(mp.QueryByNameNanos),
+				}
+				data.Sizes = append(data.Sizes, st)
+				r.logf("%7d objects (%7d items): %4dB/item columnar vs %4dB/item map (%.1fx); "+
+					"GC pause %6v vs %6v",
+					n, items, col.BytesPerItem, mp.BytesPerItem, st.BytesRatio,
+					time.Duration(col.GCPauseTotalNanos), time.Duration(mp.GCPauseTotalNanos))
+				r.logf("%7d objects: freeze %8v vs %8v (%.2fx); by-class %8v vs %8v (%.2fx); "+
+					"by-name %6v vs %6v (%.2fx)",
+					n, time.Duration(col.FreezeMedianNanos), time.Duration(mp.FreezeMedianNanos),
+					st.FreezeRatio,
+					time.Duration(col.QueryByClassNanos), time.Duration(mp.QueryByClassNanos),
+					st.QueryByClassRatio,
+					time.Duration(col.QueryByNameNanos), time.Duration(mp.QueryByNameNanos),
+					st.QueryByNameRatio)
+			}
+		}
+		if err != nil {
+			r.assert(false, "%7d objects: %v", n, err)
+			return r, data
+		}
+	}
+	last := data.Sizes[len(data.Sizes)-1]
+	r.assert(last.BytesRatio >= 3.0,
+		"columnar store >= 3x smaller per item at %d objects (%.1fx)", last.Objects, last.BytesRatio)
+	r.assert(last.FreezeRatio <= w.MaxRegr,
+		"freeze latency within %.2fx of the map ablation at %d objects (%.2fx)",
+		w.MaxRegr, last.Objects, last.FreezeRatio)
+	r.assert(last.QueryByClassRatio <= w.MaxRegr,
+		"by-class query within %.2fx of the map ablation at %d objects (%.2fx)",
+		w.MaxRegr, last.Objects, last.QueryByClassRatio)
+	return r, data
+}

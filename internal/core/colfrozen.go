@@ -1,0 +1,544 @@
+package core
+
+import (
+	"repro/internal/item"
+	"repro/internal/schema"
+)
+
+// Frozen generations of the columnar store. Where the map store layers
+// map-patch overlays and collapses chains, the columnar store versions its
+// row and adjacency arrays as chunked verArrs (verarr.go) and the live state
+// itself is the builders of the next generation: freezing seals the builders
+// — no row is copied, every untouched 1024-entry chunk is shared with the
+// previous generation structurally — and restarts them over the sealed
+// arrays. There is no chain to walk, no depth bound, and no collapse step;
+// every generation is self-contained and costs O(delta + chunk table).
+//
+// While transactions are staged the builders contain uncommitted rows, so
+// sealing them would leak staged state into a snapshot. That path instead
+// builds the generation the other way around: builders over the *previous
+// frozen* arrays, patched with exactly the dirty (committed) items.
+
+// colFrozen is one immutable generation: the sealed verArrs of the row and
+// adjacency tables, the dense indexes, and a snapshot of the decoder side
+// tables (the symbol tables themselves are append-only and shared with the
+// live store). All methods are safe for concurrent readers.
+type colFrozen struct {
+	sch *schema.Schema
+	dec colDecoder
+
+	ords    verArr[item.TaggedOrd]
+	objRows verArr[objRow]
+	relRows verArr[relRow]
+
+	objKidsF verArr[*kidList]  // by object ordinal; nil = no live children
+	relKidsF verArr[*kidList]  // by relationship ordinal
+	relsOfF  verArr[[]item.ID] // by object ordinal; nil = no live relationships
+	nameToID verArr[item.ID]   // by name symbol; NoID = name unbound
+
+	byClass  [][]item.ID // by class symbol: live objects, ascending
+	objIDs   []item.ID   // live objects, ascending
+	relIDs   []item.ID   // live relationships, ascending
+	inherits []item.ID   // live inherits-relationships, ascending
+}
+
+// ---- columnar store freeze policy ----
+
+// freezeView implements the store freeze entry point for the columnar
+// representation. Unstaged freezes seal the live builders; staged freezes
+// patch the dirty committed items over the previous generation instead (a
+// nil base cannot coincide with staged changes because BeginTx pins a
+// snapshot first). cowOff is the ablation: a deep, share-nothing rebuild on
+// every freeze.
+func (cs *colStore) freezeView(sch *schema.Schema, dirty map[item.ID]bool, cowOff, staged bool) frozen {
+	if cowOff && !staged {
+		f := cs.fullFreeze(sch)
+		cs.lastFrozen = f
+		return f
+	}
+	prev := cs.lastFrozen
+	if prev != nil && len(dirty) == 0 && prev.sch == sch {
+		return prev
+	}
+	var f *colFrozen
+	if staged && prev != nil {
+		f = cs.deltaFreeze(sch, prev, dirty)
+	} else {
+		f = cs.sealFreeze(sch, prev, dirty)
+	}
+	cs.lastFrozen = f
+	return f
+}
+
+func (cs *colStore) rebuildView(sch *schema.Schema) frozen { return cs.fullFreeze(sch) }
+
+func (cs *colStore) invalidate() { cs.lastFrozen = nil }
+
+// sealFreeze seals the live builders into a generation. Rows are not copied;
+// the dense indexes are patched from the dirty set against prev when the
+// schemas match, and scanned otherwise. Freezes run concurrently with other
+// readers of the live store (the engine's caller holds a shared lock), so the
+// builders are NOT restarted here: done() is a pure read, and the sealed flag
+// defers the restart to the next mutation, which holds the exclusive lock
+// (see colStore.reopen).
+func (cs *colStore) sealFreeze(sch *schema.Schema, prev *colFrozen, dirty map[item.ID]bool) *colFrozen {
+	f := &colFrozen{
+		sch:      sch,
+		dec:      cs.colDecoder.snapshot(),
+		ords:     cs.ords.done(),
+		objRows:  cs.objRows.done(),
+		relRows:  cs.relRows.done(),
+		objKidsF: cs.objKids.done(),
+		relKidsF: cs.relKids.done(),
+		relsOfF:  cs.relsOfA.done(),
+		nameToID: cs.names.done(),
+	}
+	cs.sealed = true
+	if prev != nil && prev.sch == sch {
+		patchIndexes(f, prev, dirty)
+	} else {
+		cs.scanIndexes(f)
+	}
+	return f
+}
+
+// scanIndexes builds the dense indexes of f by scanning its row arrays.
+func (cs *colStore) scanIndexes(f *colFrozen) {
+	f.byClass = make([][]item.ID, cs.schemaSyms.Len())
+	for ord := 0; ord < cs.objLen; ord++ {
+		row := f.objRows.at(ord)
+		if row.id == item.NoID || row.flags&rowDeleted != 0 {
+			continue
+		}
+		f.objIDs = append(f.objIDs, row.id)
+		f.byClass[row.classSym] = append(f.byClass[row.classSym], row.id)
+	}
+	for ord := 0; ord < cs.relLen; ord++ {
+		row := f.relRows.at(ord)
+		if row.id == item.NoID || row.flags&rowDeleted != 0 {
+			continue
+		}
+		f.relIDs = append(f.relIDs, row.id)
+		if row.flags&rowInherits != 0 {
+			f.inherits = append(f.inherits, row.id)
+		}
+	}
+	sortIDs(f.objIDs)
+	sortIDs(f.relIDs)
+	sortIDs(f.inherits)
+	for _, ids := range f.byClass {
+		sortIDs(ids)
+	}
+}
+
+// patchIndexes derives f's dense indexes from prev's by classifying each
+// dirty item: f's row arrays already hold the new truth (sealed or patched),
+// so current state is read from f and previous state from prev.
+func patchIndexes(f, prev *colFrozen, dirty map[item.ID]bool) {
+	var objAdd, objDel, relAdd, relDel, inhAdd, inhDel []item.ID
+	classAdd := make(map[item.Sym][]item.ID)
+	classDel := make(map[item.Sym]map[item.ID]bool)
+	delClass := func(sym item.Sym, id item.ID) {
+		set := classDel[sym]
+		if set == nil {
+			set = make(map[item.ID]bool)
+			classDel[sym] = set
+		}
+		set[id] = true
+	}
+
+	for id := range dirty {
+		tag := f.ords.at(int(id))
+		switch {
+		case tag.Valid() && tag.Kind() == item.KindObject:
+			row := f.objRows.at(int(tag.Ord()))
+			live := row.id == id && row.flags&rowDeleted == 0
+			prevRow, had := prev.objRowOf(id)
+			switch {
+			case live && !had:
+				objAdd = append(objAdd, id)
+				classAdd[row.classSym] = append(classAdd[row.classSym], id)
+			case live && had && prevRow.classSym != row.classSym: // reclassified
+				delClass(prevRow.classSym, id)
+				classAdd[row.classSym] = append(classAdd[row.classSym], id)
+			case !live && had:
+				objDel = append(objDel, id)
+				delClass(prevRow.classSym, id)
+			}
+		case tag.Valid(): // relationship
+			row := f.relRows.at(int(tag.Ord()))
+			live := row.id == id && row.flags&rowDeleted == 0
+			prevRow, had := prev.relRowOf(id)
+			switch {
+			case live && !had:
+				relAdd = append(relAdd, id)
+				if row.flags&rowInherits != 0 {
+					inhAdd = append(inhAdd, id)
+				}
+			case !live && had:
+				relDel = append(relDel, id)
+				if prevRow.flags&rowInherits != 0 {
+					inhDel = append(inhDel, id)
+				}
+			}
+		default: // vanished from the store entirely (purged, or rolled back)
+			if prevRow, had := prev.objRowOf(id); had {
+				objDel = append(objDel, id)
+				delClass(prevRow.classSym, id)
+			} else if prevRow, had := prev.relRowOf(id); had {
+				relDel = append(relDel, id)
+				if prevRow.flags&rowInherits != 0 {
+					inhDel = append(inhDel, id)
+				}
+			}
+		}
+	}
+
+	f.objIDs = patchMembers(prev.objIDs, objAdd, objDel)
+	f.relIDs = patchMembers(prev.relIDs, relAdd, relDel)
+	f.inherits = patchMembers(prev.inherits, inhAdd, inhDel)
+
+	// Class index: per-generation header copy, patched per touched class.
+	n := len(prev.byClass)
+	if l := len(f.dec.classBySym); l > n {
+		n = l
+	}
+	f.byClass = make([][]item.ID, n)
+	copy(f.byClass, prev.byClass)
+	prevOf := func(sym item.Sym) []item.ID {
+		if int(sym) < len(prev.byClass) {
+			return prev.byClass[sym]
+		}
+		return nil
+	}
+	for sym, ids := range classAdd {
+		sortIDs(ids)
+		f.byClass[sym] = patchSorted(prevOf(sym), ids, classDel[sym])
+		delete(classDel, sym)
+	}
+	for sym, del := range classDel {
+		f.byClass[sym] = patchSorted(prevOf(sym), nil, del)
+	}
+}
+
+// deltaFreeze builds a generation over prev's arrays, patching in exactly
+// the dirty committed items — the staged-transaction path, where the live
+// builders hold uncommitted rows and must not be sealed. Adjacency and name
+// entries are shared pointer-wise with the live state (both sides are
+// immutable values). Added items set their own adjacency entries explicitly:
+// a popped tail ordinal can be reused by a later insert, and the stale
+// frozen entry at that ordinal must not survive into the new occupant's
+// generation.
+func (cs *colStore) deltaFreeze(sch *schema.Schema, prev *colFrozen, dirty map[item.ID]bool) *colFrozen {
+	cs.gen++
+	gen := cs.gen
+
+	bOrds := prev.ords.builder(gen)
+	bObjRows := prev.objRows.builder(gen)
+	bRelRows := prev.relRows.builder(gen)
+	bObjKids := prev.objKidsF.builder(gen)
+	bRelKids := prev.relKidsF.builder(gen)
+	bRelsOf := prev.relsOfF.builder(gen)
+	bNames := prev.nameToID.builder(gen)
+
+	// Derived entries to refresh from the live state after the item pass.
+	touchedParents := make(map[item.ID]bool)
+	touchedRelsOf := make(map[item.ID]bool)
+	touchedNames := make(map[item.Sym]bool)
+
+	for id := range dirty {
+		tag := cs.ords.at(int(id))
+		switch {
+		case tag.Valid() && tag.Kind() == item.KindObject:
+			ord := int(tag.Ord())
+			row := cs.objRows.at(ord)
+			bOrds.set(int(id), tag)
+			bObjRows.set(ord, row)
+			prevRow, had := prev.objRowOf(id)
+			if row.flags&rowDeleted != 0 {
+				if !had {
+					continue // created and deleted within the delta
+				}
+				bObjKids.set(ord, nil)
+				bRelsOf.set(ord, nil)
+				if prevRow.parent == item.NoID {
+					touchedNames[prevRow.nameSym] = true
+				} else {
+					touchedParents[prevRow.parent] = true
+				}
+				continue
+			}
+			if !had {
+				// The new occupant owns its ordinal's adjacency entries now.
+				bObjKids.set(ord, cs.objKids.at(ord))
+				bRelsOf.set(ord, cs.relsOfA.at(ord))
+				if row.parent == item.NoID {
+					touchedNames[row.nameSym] = true
+				} else {
+					touchedParents[row.parent] = true
+				}
+			}
+
+		case tag.Valid(): // relationship
+			ord := int(tag.Ord())
+			row := cs.relRows.at(ord)
+			bOrds.set(int(id), tag)
+			bRelRows.set(ord, row)
+			_, had := prev.relRowOf(id)
+			if row.flags&rowDeleted != 0 {
+				if !had {
+					continue
+				}
+				bRelKids.set(ord, nil) // attribute sub-objects die with it
+				for _, e := range row.ends {
+					touchedRelsOf[e.Object] = true
+				}
+				continue
+			}
+			if !had {
+				bRelKids.set(ord, cs.relKids.at(ord))
+				for _, e := range row.ends {
+					touchedRelsOf[e.Object] = true
+				}
+			}
+
+		default:
+			// The item vanished from the live store entirely (physically
+			// purged after its deletion was already frozen, or created and
+			// rolled back within the delta). Clear the frozen tag and hide a
+			// prev entry defensively if one survives.
+			bOrds.set(int(id), 0)
+			if prevRow, had := prev.objRowOf(id); had {
+				oldTag := prev.ords.at(int(id))
+				bObjKids.set(int(oldTag.Ord()), nil)
+				bRelsOf.set(int(oldTag.Ord()), nil)
+				if prevRow.parent == item.NoID {
+					touchedNames[prevRow.nameSym] = true
+				} else {
+					touchedParents[prevRow.parent] = true
+				}
+			} else if prevRow, had := prev.relRowOf(id); had {
+				oldTag := prev.ords.at(int(id))
+				bRelKids.set(int(oldTag.Ord()), nil)
+				for _, e := range prevRow.ends {
+					touchedRelsOf[e.Object] = true
+				}
+			}
+		}
+	}
+
+	// Refresh the touched adjacency and name entries from the live state —
+	// pointer shares, both representations are immutable values.
+	for parent := range touchedParents {
+		tag := cs.ords.at(int(parent))
+		if !tag.Valid() {
+			continue // parent vanished; its entries were tombstoned above
+		}
+		if tag.Kind() == item.KindObject {
+			bObjKids.set(int(tag.Ord()), cs.objKids.at(int(tag.Ord())))
+		} else {
+			bRelKids.set(int(tag.Ord()), cs.relKids.at(int(tag.Ord())))
+		}
+	}
+	for obj := range touchedRelsOf {
+		if ord, ok := cs.objOrd(obj); ok {
+			bRelsOf.set(ord, cs.relsOfA.at(ord))
+		}
+	}
+	for sym := range touchedNames {
+		bNames.set(int(sym), cs.names.at(int(sym)))
+	}
+
+	f := &colFrozen{
+		sch:      sch,
+		dec:      cs.colDecoder.snapshot(),
+		ords:     bOrds.done(),
+		objRows:  bObjRows.done(),
+		relRows:  bRelRows.done(),
+		objKidsF: bObjKids.done(),
+		relKidsF: bRelKids.done(),
+		relsOfF:  bRelsOf.done(),
+		nameToID: bNames.done(),
+	}
+	patchIndexes(f, prev, dirty)
+	return f
+}
+
+// fullFreeze builds a deep, share-nothing generation from the live state:
+// the A1 (COW off) ablation and the differential rebuild path.
+func (cs *colStore) fullFreeze(sch *schema.Schema) *colFrozen {
+	cs.gen++
+	gen := cs.gen
+	f := &colFrozen{sch: sch, dec: cs.colDecoder.snapshot()}
+
+	ords := make([]item.TaggedOrd, cs.ords.size())
+	for i := range ords {
+		ords[i] = cs.ords.at(i)
+	}
+	f.ords = newVerArr(ords, gen)
+
+	objRows := make([]objRow, cs.objLen)
+	objKids := make([]*kidList, cs.objLen)
+	relsOf := make([][]item.ID, cs.objLen)
+	for ord := range objRows {
+		objRows[ord] = cs.objRows.at(ord)
+		objKids[ord] = cloneKids(cs.objKids.at(ord))
+		relsOf[ord] = copyIDs(cs.relsOfA.at(ord))
+	}
+	f.objRows = newVerArr(objRows, gen)
+	f.objKidsF = newVerArr(objKids, gen)
+	f.relsOfF = newVerArr(relsOf, gen)
+
+	relRows := make([]relRow, cs.relLen)
+	relKids := make([]*kidList, cs.relLen)
+	for ord := range relRows {
+		relRows[ord] = cs.relRows.at(ord)
+		relKids[ord] = cloneKids(cs.relKids.at(ord))
+	}
+	f.relRows = newVerArr(relRows, gen)
+	f.relKidsF = newVerArr(relKids, gen)
+
+	names := make([]item.ID, cs.names.size())
+	for i := range names {
+		names[i] = cs.names.at(i)
+	}
+	f.nameToID = newVerArr(names, gen)
+
+	cs.scanIndexes(f)
+	return f
+}
+
+// cloneKids deep-copies a kid list (the share-nothing freeze path).
+func cloneKids(kl *kidList) *kidList {
+	if kl == nil {
+		return nil
+	}
+	entries := make([]kidEntry, len(kl.entries))
+	copy(entries, kl.entries)
+	for i := range entries {
+		entries[i].ids = copyIDs(entries[i].ids)
+	}
+	return newKidList(entries)
+}
+
+// ---- item.View ----
+
+func (f *colFrozen) Schema() *schema.Schema { return f.sch }
+
+// objRowOf resolves id to its frozen row, filtering ordinal holes (row.id
+// mismatch) and deleted items.
+func (f *colFrozen) objRowOf(id item.ID) (objRow, bool) {
+	tag := f.ords.at(int(id))
+	if !tag.Valid() || tag.Kind() != item.KindObject {
+		return objRow{}, false
+	}
+	row := f.objRows.at(int(tag.Ord()))
+	if row.id != id || row.flags&rowDeleted != 0 {
+		return objRow{}, false
+	}
+	return row, true
+}
+
+func (f *colFrozen) relRowOf(id item.ID) (relRow, bool) {
+	tag := f.ords.at(int(id))
+	if !tag.Valid() || tag.Kind() != item.KindRelationship {
+		return relRow{}, false
+	}
+	row := f.relRows.at(int(tag.Ord()))
+	if row.id != id || row.flags&rowDeleted != 0 {
+		return relRow{}, false
+	}
+	return row, true
+}
+
+func (f *colFrozen) Object(id item.ID) (item.Object, bool) {
+	row, ok := f.objRowOf(id)
+	if !ok {
+		return item.Object{}, false
+	}
+	return f.dec.decodeObj(&row), true
+}
+
+// Relationship returns a value whose Ends slice is immutable shared data,
+// like the map store's frozen views.
+func (f *colFrozen) Relationship(id item.ID) (item.Relationship, bool) {
+	row, ok := f.relRowOf(id)
+	if !ok {
+		return item.Relationship{}, false
+	}
+	return f.dec.decodeRel(&row), true
+}
+
+func (f *colFrozen) ObjectByName(name string) (item.ID, bool) {
+	sym, ok := f.dec.nameSyms.Lookup(name)
+	if !ok {
+		return item.NoID, false
+	}
+	id := f.nameToID.at(int(sym))
+	if id == item.NoID {
+		return item.NoID, false
+	}
+	return id, true
+}
+
+func (f *colFrozen) kidsOf(parent item.ID) *kidList {
+	tag := f.ords.at(int(parent))
+	if !tag.Valid() {
+		return nil
+	}
+	if tag.Kind() == item.KindObject {
+		return f.objKidsF.at(int(tag.Ord()))
+	}
+	return f.relKidsF.at(int(tag.Ord()))
+}
+
+// Children returns shared immutable slices; the empty role uses the
+// flattened list precomputed at link time.
+func (f *colFrozen) Children(parent item.ID, role string) []item.ID {
+	kl := f.kidsOf(parent)
+	if kl == nil {
+		return nil
+	}
+	if role == "" {
+		return kl.flat
+	}
+	sym, ok := f.dec.schemaSyms.Lookup(role)
+	if !ok {
+		return nil
+	}
+	for i := range kl.entries {
+		if kl.entries[i].role == sym {
+			return kl.entries[i].ids
+		}
+	}
+	return nil
+}
+
+func (f *colFrozen) RelationshipsOf(obj item.ID) []item.ID {
+	tag := f.ords.at(int(obj))
+	if !tag.Valid() || tag.Kind() != item.KindObject {
+		return nil
+	}
+	return f.relsOfF.at(int(tag.Ord()))
+}
+
+func (f *colFrozen) Objects() []item.ID { return f.objIDs }
+
+func (f *colFrozen) Relationships() []item.ID { return f.relIDs }
+
+// ---- item.IndexedView / item.InheritsLister ----
+
+// ObjectsOfClass implements item.IndexedView over the class index: live
+// objects whose exact class has the given qualified name, ascending, as a
+// shared immutable slice.
+func (f *colFrozen) ObjectsOfClass(qualified string) ([]item.ID, bool) {
+	sym, ok := f.dec.schemaSyms.Lookup(qualified)
+	if !ok || int(sym) >= len(f.byClass) {
+		return nil, true
+	}
+	return f.byClass[sym], true
+}
+
+// InheritsRelationships implements item.InheritsLister: the live
+// inherits-relationships, ascending, as a shared immutable slice.
+func (f *colFrozen) InheritsRelationships() []item.ID { return f.inherits }

@@ -14,7 +14,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"repro/internal/consistency"
 	"repro/internal/item"
@@ -81,23 +80,24 @@ type Procedure func(Event) error
 // around every operation. Several transactions may be staged at once (see
 // tx.go); the claim discipline keeps their write sets disjoint, so the
 // server can interleave lock-scoped check-ins without a global write gate.
+//
+// The physical representation of item state lives behind the store
+// interface (store.go): the columnar store by default, the map-backed store
+// as the ablation baseline. The engine keeps only the logical bookkeeping —
+// ID allocation, dirt, transactions, procedures — representation-free.
 type Engine struct {
 	sch *schema.Schema
 
-	objects map[item.ID]*item.Object       // seed:guarded-by(external)
-	rels    map[item.ID]*item.Relationship // seed:guarded-by(external)
-	nextID  item.ID                        // seed:guarded-by(external)
+	st         store   // physical item state; seed:guarded-by(external)
+	mapStoreOn bool    // ablation: use the map-backed store for new state
+	nextID     item.ID // seed:guarded-by(external)
 
-	byName   map[string]item.ID               // live independent objects
-	children map[item.ID]map[string][]item.ID // live sub-objects by parent and role, index order
-	relsOf   map[item.ID][]item.ID            // live relationships per end object, ID order
-	indexCtr map[item.ID]map[string]int       // next sub-object index per parent and role
+	indexCtr map[item.ID]map[string]int // next sub-object index per parent and role
 
-	dirty map[item.ID]bool // items changed since the last version freeze
+	dirty item.IDSet // items changed since the last version freeze (dense bitset)
 
-	snapDirty  map[item.ID]bool // items changed since the last frozen generation
-	lastFrozen *frozenView      // previous frozen generation (COW base); nil forces a full build
-	cowOff     bool             // ablation: rebuild every frozen view from scratch
+	snapDirty map[item.ID]bool // items changed since the last frozen generation
+	cowOff    bool             // ablation: rebuild every frozen view from scratch
 
 	inheritsLive int // live inherits-relationships (fast path when zero)
 
@@ -121,22 +121,18 @@ func NewEngine(sch *schema.Schema) (*Engine, error) {
 	if !sch.Frozen() {
 		return nil, schema.ErrNotFrozen
 	}
-	return &Engine{
+	en := &Engine{
 		sch:       sch,
-		objects:   make(map[item.ID]*item.Object),
-		rels:      make(map[item.ID]*item.Relationship),
 		nextID:    1,
-		byName:    make(map[string]item.ID),
-		children:  make(map[item.ID]map[string][]item.ID),
-		relsOf:    make(map[item.ID][]item.ID),
 		indexCtr:  make(map[item.ID]map[string]int),
-		dirty:     make(map[item.ID]bool),
 		snapDirty: make(map[item.ID]bool),
 		procs:     make(map[string]Procedure),
 		open:      make(map[*Tx]bool),
 		modGen:    make(map[item.ID]uint64),
 		nameGen:   make(map[string]uint64),
-	}, nil
+	}
+	en.st = en.newStore()
+	return en, nil
 }
 
 // Schema returns the engine's current schema.
@@ -158,25 +154,27 @@ func (en *Engine) SetSchema(sch *schema.Schema) error {
 // the current schema. It fails if an item's class no longer exists, which
 // makes removing a populated class an invalid schema evolution.
 func (en *Engine) RebindSchema() error {
-	// Class pointers change in place underneath every frozen copy's index;
-	// the next snapshot must rebuild rather than patch.
+	// Class pointers change underneath every frozen copy's index; the next
+	// snapshot must rebuild rather than patch.
 	en.invalidateFrozen()
-	for _, o := range en.objects {
+	for _, id := range en.st.objectIDs() {
+		o, _ := en.st.object(id)
 		c, err := en.sch.Class(o.Class.QualifiedName())
 		if err != nil {
-			return fmt.Errorf("core: object %d: %w", o.ID, err)
+			return fmt.Errorf("core: object %d: %w", id, err)
 		}
-		o.Class = c
+		en.st.setClass(id, c)
 	}
-	for _, r := range en.rels {
+	for _, id := range en.st.relIDs() {
+		r, _ := en.st.rel(id)
 		if r.Inherits {
 			continue
 		}
 		a, err := en.sch.Association(r.Assoc.Name())
 		if err != nil {
-			return fmt.Errorf("core: relationship %d: %w", r.ID, err)
+			return fmt.Errorf("core: relationship %d: %w", id, err)
 		}
-		r.Assoc = a
+		en.st.setAssoc(id, a)
 	}
 	return nil
 }
@@ -207,7 +205,7 @@ func (en *Engine) allocID() item.ID {
 // pattern.Spliced(engine.View()).
 func (en *Engine) View() item.View { return rawView{en} }
 
-// rawView adapts the engine maps to item.View.
+// rawView adapts the engine's store to item.View.
 type rawView struct{ en *Engine }
 
 func (v rawView) Schema() *schema.Schema { return v.en.sch }
@@ -215,135 +213,97 @@ func (v rawView) Schema() *schema.Schema { return v.en.sch }
 // seed:locked-caller — rawView is a live view; callers hold db.mu and
 // must not let it escape the lock (see Engine.View).
 func (v rawView) Object(id item.ID) (item.Object, bool) {
-	o, ok := v.en.objects[id]
+	o, ok := v.en.st.object(id)
 	if !ok || o.Deleted {
 		return item.Object{}, false
 	}
-	return *o, true
+	return o, true
 }
 
 // seed:locked-caller — live view, accessed under db.mu.
 func (v rawView) Relationship(id item.ID) (item.Relationship, bool) {
-	r, ok := v.en.rels[id]
+	r, ok := v.en.st.rel(id)
 	if !ok || r.Deleted {
 		return item.Relationship{}, false
 	}
-	return r.Clone(), true
+	return r, true
 }
 
+// seed:locked-caller — live view, accessed under db.mu.
 func (v rawView) ObjectByName(name string) (item.ID, bool) {
-	id, ok := v.en.byName[name]
-	return id, ok
+	return v.en.st.lookupName(name)
 }
 
+// seed:locked-caller — live view, accessed under db.mu.
 func (v rawView) Children(parent item.ID, role string) []item.ID {
-	byRole, ok := v.en.children[parent]
-	if !ok {
-		return nil
-	}
 	if role != "" {
-		return append([]item.ID(nil), byRole[role]...)
+		return v.en.st.children(parent, role)
 	}
-	roles := make([]string, 0, len(byRole))
-	for r := range byRole {
-		roles = append(roles, r)
-	}
-	sort.Strings(roles)
-	var out []item.ID
-	for _, r := range roles {
-		out = append(out, byRole[r]...)
-	}
-	return out
+	return v.en.st.childrenAll(parent)
 }
 
+// seed:locked-caller — live view, accessed under db.mu.
 func (v rawView) RelationshipsOf(obj item.ID) []item.ID {
-	return append([]item.ID(nil), v.en.relsOf[obj]...)
+	return v.en.st.relsOf(obj)
 }
 
 // seed:locked-caller — live view, accessed under db.mu.
-func (v rawView) Objects() []item.ID {
-	out := make([]item.ID, 0, len(v.en.objects))
-	for id, o := range v.en.objects {
-		if !o.Deleted {
-			out = append(out, id)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+func (v rawView) Objects() []item.ID { return v.en.st.visibleObjects() }
 
 // seed:locked-caller — live view, accessed under db.mu.
-func (v rawView) Relationships() []item.ID {
-	out := make([]item.ID, 0, len(v.en.rels))
-	for id, r := range v.en.rels {
-		if !r.Deleted {
-			out = append(out, id)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+func (v rawView) Relationships() []item.ID { return v.en.st.visibleRels() }
 
 // Object returns a copy of an object's state, including deleted objects
 // (deleted items remain addressable for version management).
 func (en *Engine) Object(id item.ID) (item.Object, error) {
-	o, ok := en.objects[id]
+	o, ok := en.st.object(id)
 	if !ok {
 		return item.Object{}, fmt.Errorf("%w: object %d", ErrUnknownItem, id)
 	}
-	return *o, nil
+	return o, nil
 }
 
 // Relationship returns a copy of a relationship's state, including deleted
-// relationships.
+// relationships. Ends is shared immutable data.
 func (en *Engine) Relationship(id item.ID) (item.Relationship, error) {
-	r, ok := en.rels[id]
+	r, ok := en.st.rel(id)
 	if !ok {
 		return item.Relationship{}, fmt.Errorf("%w: relationship %d", ErrUnknownItem, id)
 	}
-	return r.Clone(), nil
+	return r, nil
 }
 
 // Contains reports whether the engine knows the item (live or deleted).
 func (en *Engine) Contains(id item.ID) bool {
-	if _, ok := en.objects[id]; ok {
-		return true
-	}
-	_, ok := en.rels[id]
+	_, ok := en.st.kindOf(id)
 	return ok
 }
 
 // KindOf reports the kind of a known item.
 func (en *Engine) KindOf(id item.ID) (item.Kind, bool) {
-	if _, ok := en.objects[id]; ok {
-		return item.KindObject, true
-	}
-	if _, ok := en.rels[id]; ok {
-		return item.KindRelationship, true
-	}
-	return 0, false
+	return en.st.kindOf(id)
 }
 
-// liveObject fetches a live object pointer for mutation.
-func (en *Engine) liveObject(id item.ID) (*item.Object, error) {
-	o, ok := en.objects[id]
+// liveObject fetches a live object's state.
+func (en *Engine) liveObject(id item.ID) (item.Object, error) {
+	o, ok := en.st.object(id)
 	if !ok {
-		return nil, fmt.Errorf("%w: object %d", ErrUnknownItem, id)
+		return item.Object{}, fmt.Errorf("%w: object %d", ErrUnknownItem, id)
 	}
 	if o.Deleted {
-		return nil, fmt.Errorf("%w: object %d", ErrDeleted, id)
+		return item.Object{}, fmt.Errorf("%w: object %d", ErrDeleted, id)
 	}
 	return o, nil
 }
 
-// liveRel fetches a live relationship pointer for mutation.
-func (en *Engine) liveRel(id item.ID) (*item.Relationship, error) {
-	r, ok := en.rels[id]
+// liveRel fetches a live relationship's state; Ends is shared immutable data.
+func (en *Engine) liveRel(id item.ID) (item.Relationship, error) {
+	r, ok := en.st.rel(id)
 	if !ok {
-		return nil, fmt.Errorf("%w: relationship %d", ErrUnknownItem, id)
+		return item.Relationship{}, fmt.Errorf("%w: relationship %d", ErrUnknownItem, id)
 	}
 	if r.Deleted {
-		return nil, fmt.Errorf("%w: relationship %d", ErrDeleted, id)
+		return item.Relationship{}, fmt.Errorf("%w: relationship %d", ErrDeleted, id)
 	}
 	return r, nil
 }
@@ -368,13 +328,13 @@ func (en *Engine) runProcedures(ev Event) error {
 		var names []string
 		var kind item.Kind
 		next := item.NoID
-		if o, ok := en.objects[cur]; ok {
+		if o, ok := en.st.object(cur); ok {
 			kind = item.KindObject
 			for _, c := range o.Class.GeneralizationChain() {
 				names = append(names, c.Procedures()...)
 			}
 			next = o.Parent
-		} else if r, ok := en.rels[cur]; ok {
+		} else if r, ok := en.st.rel(cur); ok {
 			kind = item.KindRelationship
 			if r.Inherits {
 				break

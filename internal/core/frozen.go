@@ -8,7 +8,7 @@ import (
 )
 
 // Frozen views: immutable snapshots of the engine's raw view. The engine
-// itself is single-writer and its rawView reads the live maps, so a reader
+// itself is single-writer and its rawView reads the live store, so a reader
 // that walks several items can observe a half-applied batch. A frozen view
 // captures the state once, under the caller's lock, and is thereafter safe
 // for any number of concurrent readers while the engine keeps mutating — the
@@ -16,20 +16,13 @@ import (
 // snapshot views of that generation.
 //
 // Snapshots are generational and copy-on-write: the engine tracks the items
-// dirtied since the last freeze (every mutation funnels through markDirty),
-// and a new frozen view patches only those entries over the previous
-// generation as an overlay, sharing every untouched map entry and slice
-// structurally. A small commit therefore freezes in O(delta), not O(n).
-// Overlay chains are collapsed into a self-contained copy when they grow
-// deeper than maxFrozenDepth or when the delta stops being small relative to
-// the database, which bounds both lookup cost and retained memory.
-//
-// Alongside the base maps each generation maintains two secondary indexes
-// incrementally: byClass (exact qualified class name -> live object IDs,
-// ascending) backing item.IndexedView for the query engine, and the byName
-// map it always had. It also keeps the live inherits-relationships as a
-// ready-made list (item.InheritsLister), so pattern splicing never scans all
-// relationships.
+// dirtied since the last freeze (every mutation funnels through markDirty)
+// and hands the set to the store, which patches only those entries over the
+// previous generation. How a generation shares with its predecessor is the
+// store's affair: the map-backed store (this file) layers map-patch overlays
+// with nil-value tombstones and collapses chains at maxFrozenDepth; the
+// columnar store versions chunked arrays instead (colfrozen.go) and never
+// forms chains. Either way a small commit freezes in O(delta), not O(n).
 //
 // Accessors return shared, immutable slices and relationship values whose
 // Ends are shared — callers must not modify results (the item.View
@@ -47,48 +40,7 @@ const maxFrozenDepth = 16
 // FrozenView calls must be serialized by the caller (the seed database uses
 // a dedicated snapshot mutex). The returned view needs no locking at all.
 func (en *Engine) FrozenView() item.View {
-	if en.cowOff && len(en.open) == 0 {
-		// Ablation/bench mode: rebuild from scratch every time. The
-		// bookkeeping stays maintained — the rebuild still becomes the COW
-		// base — so if a transaction is staged on the next call, the
-		// normal path below has a valid base to patch over. Never rebuild
-		// while transactions are staged: a rebuild reads the live maps
-		// wholesale, uncommitted state included.
-		f := en.fullFreeze()
-		en.lastFrozen = f
-		en.snapDirty = make(map[item.ID]bool)
-		return f
-	}
-	prev := en.lastFrozen
-	if prev != nil && len(en.snapDirty) == 0 {
-		return prev // nothing changed: the previous generation is current
-	}
-	// While transactions are staged, the live maps hold their uncommitted
-	// state, so a full rebuild would freeze it. The delta path is safe: the
-	// dirty set only ever names committed changes (transaction dirt stays
-	// on the Tx until commit), and the claim discipline keeps staged items
-	// disjoint from it — so the freeze never reads an uncommitted entry.
-	// The depth cap is enforced either way: a quiescent freeze collapses
-	// by rebuilding from the live maps, a staged one by merging the frozen
-	// overlay chain itself (pure frozen data, no live-map reads), so
-	// sustained concurrent check-ins cannot grow lookup chains without
-	// bound. A nil base cannot coincide with staged changes: BeginTx pins
-	// a snapshot before any staging, and the invalidating operations
-	// (restore, schema change) are rejected while transactions are open.
-	var f *frozenView
-	switch {
-	case prev == nil:
-		f = en.fullFreeze()
-	case len(en.open) == 0 &&
-		(prev.sch != en.sch || prev.depth+1 > maxFrozenDepth || 4*len(en.snapDirty) >= prev.liveCount()):
-		f = en.fullFreeze()
-	default:
-		f = en.deltaFreeze(prev)
-		if f.depth > maxFrozenDepth {
-			f = f.collapse()
-		}
-	}
-	en.lastFrozen = f
+	f := en.st.freezeView(en.sch, en.snapDirty, en.cowOff, len(en.open) > 0)
 	en.snapDirty = make(map[item.ID]bool)
 	return f
 }
@@ -97,7 +49,7 @@ func (en *Engine) FrozenView() item.View {
 // bypassing the copy-on-write path and leaving the incremental bookkeeping
 // untouched. The differential tests compare it against FrozenView after
 // every operation, and the E8 ablation measures it as the pre-COW baseline.
-func (en *Engine) FrozenViewRebuild() item.View { return en.fullFreeze() }
+func (en *Engine) FrozenViewRebuild() item.View { return en.st.rebuildView(en.sch) }
 
 // SetSnapshotCOW switches incremental copy-on-write snapshots on or off
 // (they are on by default). With COW off every quiescent FrozenView call
@@ -114,9 +66,57 @@ func (en *Engine) SetSnapshotCOW(enabled bool) {
 // rebuilds from scratch. Called whenever the engine changes in ways the
 // dirty-set does not capture (whole-state restore, schema rebinding).
 func (en *Engine) invalidateFrozen() {
-	en.lastFrozen = nil
+	en.st.invalidate()
 	en.snapDirty = make(map[item.ID]bool)
 }
+
+// ---- map-backed store freeze policy ----
+
+// freezeView implements the store freeze entry point for the map-backed
+// representation. While transactions are staged, the live maps hold their
+// uncommitted state, so a full rebuild would freeze it; the delta path is
+// safe because the dirty set only ever names committed changes (transaction
+// dirt stays on the Tx until commit) and the claim discipline keeps staged
+// items disjoint from it. The depth cap is enforced either way: a quiescent
+// freeze collapses by rebuilding from the live maps, a staged one by merging
+// the frozen overlay chain itself (pure frozen data, no live-map reads). A
+// nil base cannot coincide with staged changes: BeginTx pins a snapshot
+// before any staging, and the invalidating operations (restore, schema
+// change) are rejected while transactions are open.
+func (ms *mapStore) freezeView(sch *schema.Schema, dirty map[item.ID]bool, cowOff, staged bool) frozen {
+	if cowOff && !staged {
+		// Ablation/bench mode: rebuild from scratch every time. The
+		// bookkeeping stays maintained — the rebuild still becomes the COW
+		// base — so if a transaction is staged on the next call, the normal
+		// path below has a valid base to patch over.
+		f := ms.fullFreeze(sch)
+		ms.lastFrozen = f
+		return f
+	}
+	prev := ms.lastFrozen
+	if prev != nil && len(dirty) == 0 {
+		return prev // nothing changed: the previous generation is current
+	}
+	var f *frozenView
+	switch {
+	case prev == nil:
+		f = ms.fullFreeze(sch)
+	case !staged &&
+		(prev.sch != sch || prev.depth+1 > maxFrozenDepth || 4*len(dirty) >= prev.liveCount()):
+		f = ms.fullFreeze(sch)
+	default:
+		f = ms.deltaFreeze(sch, prev, dirty)
+		if f.depth > maxFrozenDepth {
+			f = f.collapse()
+		}
+	}
+	ms.lastFrozen = f
+	return f
+}
+
+func (ms *mapStore) rebuildView(sch *schema.Schema) frozen { return ms.fullFreeze(sch) }
+
+func (ms *mapStore) invalidate() { ms.lastFrozen = nil }
 
 // frozenChildren is one parent's frozen child lists: the per-role slices
 // plus the flattened all-roles list (roles in name order, each in index
@@ -154,17 +154,17 @@ type frozenView struct {
 func (f *frozenView) liveCount() int { return len(f.objIDs) + len(f.relIDs) }
 
 // fullFreeze builds a self-contained frozen view from the live maps.
-func (en *Engine) fullFreeze() *frozenView {
+func (ms *mapStore) fullFreeze(sch *schema.Schema) *frozenView {
 	f := &frozenView{
-		sch:      en.sch,
-		objects:  make(map[item.ID]*item.Object, len(en.objects)),
-		rels:     make(map[item.ID]*item.Relationship, len(en.rels)),
-		byName:   make(map[string]item.ID, len(en.byName)),
-		children: make(map[item.ID]*frozenChildren, len(en.children)),
-		relsOf:   make(map[item.ID][]item.ID, len(en.relsOf)),
+		sch:      sch,
+		objects:  make(map[item.ID]*item.Object, len(ms.objects)),
+		rels:     make(map[item.ID]*item.Relationship, len(ms.rels)),
+		byName:   make(map[string]item.ID, len(ms.byName)),
+		children: make(map[item.ID]*frozenChildren, len(ms.childrenM)),
+		relsOf:   make(map[item.ID][]item.ID, len(ms.relsOfM)),
 		byClass:  make(map[string][]item.ID),
 	}
-	for id, o := range en.objects {
+	for id, o := range ms.objects {
 		if o.Deleted {
 			continue
 		}
@@ -177,10 +177,10 @@ func (en *Engine) fullFreeze() *frozenView {
 	for _, ids := range f.byClass {
 		sortIDs(ids)
 	}
-	for name, id := range en.byName {
+	for name, id := range ms.byName {
 		f.byName[name] = id
 	}
-	for id, r := range en.rels {
+	for id, r := range ms.rels {
 		if r.Deleted {
 			continue
 		}
@@ -193,12 +193,12 @@ func (en *Engine) fullFreeze() *frozenView {
 	}
 	sortIDs(f.relIDs)
 	sortIDs(f.inherits)
-	for parent, byRole := range en.children {
+	for parent, byRole := range ms.childrenM {
 		if fc := freezeChildren(byRole); fc != nil {
 			f.children[parent] = fc
 		}
 	}
-	for obj, ids := range en.relsOf {
+	for obj, ids := range ms.relsOfM {
 		if len(ids) > 0 {
 			f.relsOf[obj] = copyIDs(ids)
 		}
@@ -209,12 +209,12 @@ func (en *Engine) fullFreeze() *frozenView {
 // deltaFreeze patches the items dirtied since prev over prev, sharing every
 // untouched entry. Cost is proportional to the delta (plus the sizes of the
 // directly affected adjacency and index entries), never to the database.
-func (en *Engine) deltaFreeze(prev *frozenView) *frozenView {
+func (ms *mapStore) deltaFreeze(sch *schema.Schema, prev *frozenView, dirty map[item.ID]bool) *frozenView {
 	f := &frozenView{
-		sch:      en.sch,
+		sch:      sch,
 		base:     prev,
 		depth:    prev.depth + 1,
-		objects:  make(map[item.ID]*item.Object, len(en.snapDirty)),
+		objects:  make(map[item.ID]*item.Object, len(dirty)),
 		rels:     make(map[item.ID]*item.Relationship),
 		byName:   make(map[string]item.ID),
 		children: make(map[item.ID]*frozenChildren),
@@ -238,8 +238,8 @@ func (en *Engine) deltaFreeze(prev *frozenView) *frozenView {
 		set[id] = true
 	}
 
-	for id := range en.snapDirty {
-		if o, ok := en.objects[id]; ok {
+	for id := range dirty {
+		if o, ok := ms.objects[id]; ok {
 			prevO, had := prev.Object(id)
 			if o.Deleted {
 				if !had {
@@ -273,7 +273,7 @@ func (en *Engine) deltaFreeze(prev *frozenView) *frozenView {
 			}
 			continue
 		}
-		if r, ok := en.rels[id]; ok {
+		if r, ok := ms.rels[id]; ok {
 			_, had := prev.Relationship(id)
 			if r.Deleted {
 				if !had {
@@ -334,16 +334,16 @@ func (en *Engine) deltaFreeze(prev *frozenView) *frozenView {
 	// Recompute the touched adjacency and index entries from the live maps.
 	for parent := range touchedParents {
 		if _, tombstoned := f.children[parent]; !tombstoned {
-			f.children[parent] = freezeChildren(en.children[parent])
+			f.children[parent] = freezeChildren(ms.childrenM[parent])
 		}
 	}
 	for obj := range touchedRelsOf {
 		if _, tombstoned := f.relsOf[obj]; !tombstoned {
-			f.relsOf[obj] = copyIDs(en.relsOf[obj])
+			f.relsOf[obj] = copyIDs(ms.relsOfM[obj])
 		}
 	}
 	for name := range touchedNames {
-		if id, ok := en.byName[name]; ok {
+		if id, ok := ms.byName[name]; ok {
 			f.byName[name] = id
 		} else {
 			f.byName[name] = item.NoID

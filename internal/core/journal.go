@@ -216,12 +216,11 @@ func (en *Engine) ApplyRecord(payload []byte) error {
 		if err != nil {
 			return err
 		}
-		o, ok := en.objects[item.ID(id)]
-		if !ok {
+		if _, ok := en.st.object(item.ID(id)); !ok {
 			return fmt.Errorf("%w: set value on unknown object %d", ErrBadRecord, id)
 		}
-		o.Value = v
-		en.markDirty(o.ID)
+		en.st.setValue(item.ID(id), v)
+		en.markDirty(item.ID(id))
 		return nil
 
 	case RecCreateRel:
@@ -258,7 +257,7 @@ func (en *Engine) ApplyRecord(payload []byte) error {
 		}
 		r.SortEnds()
 		for _, end := range r.Ends {
-			if o, ok := en.objects[end.Object]; ok && !o.Deleted && o.Pattern {
+			if o, ok := en.st.object(end.Object); ok && !o.Deleted && o.Pattern {
 				r.Pattern = true
 				break
 			}
@@ -312,22 +311,21 @@ func (en *Engine) ApplyRecord(payload []byte) error {
 		if err != nil {
 			return err
 		}
-		if o, ok := en.objects[item.ID(id)]; ok {
+		if k, ok := en.st.kindOf(item.ID(id)); ok && k == item.KindObject {
 			cls, err := en.sch.Class(newName)
 			if err != nil {
 				return fmt.Errorf("%w: %v", ErrBadRecord, err)
 			}
-			o.Class = cls
-			en.markDirty(o.ID)
+			en.st.setClass(item.ID(id), cls)
+			en.markDirty(item.ID(id))
 			return nil
-		}
-		if r, ok := en.rels[item.ID(id)]; ok {
+		} else if ok {
 			assoc, err := en.sch.Association(newName)
 			if err != nil {
 				return fmt.Errorf("%w: %v", ErrBadRecord, err)
 			}
-			r.Assoc = assoc
-			en.markDirty(r.ID)
+			en.st.setAssoc(item.ID(id), assoc)
+			en.markDirty(item.ID(id))
 			return nil
 		}
 		return fmt.Errorf("%w: reclassify unknown item %d", ErrBadRecord, id)
@@ -341,15 +339,9 @@ func (en *Engine) ApplyRecord(payload []byte) error {
 		if err != nil {
 			return err
 		}
-		if o, ok := en.objects[item.ID(id)]; ok {
-			o.Pattern = pat
-			en.markDirty(o.ID)
-			en.setPatternSubtree(item.ID(id), pat)
-			return nil
-		}
-		if r, ok := en.rels[item.ID(id)]; ok {
-			r.Pattern = pat
-			en.markDirty(r.ID)
+		if _, ok := en.st.kindOf(item.ID(id)); ok {
+			en.st.setPattern(item.ID(id), pat)
+			en.markDirty(item.ID(id))
 			en.setPatternSubtree(item.ID(id), pat)
 			return nil
 		}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/item"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// mapStore is the pointer-heavy map-of-maps representation the engine grew
+// up with, kept as the ablation baseline behind SetColumnarStore(false): one
+// heap object per item, map-backed name/containment/relationship indexes,
+// and the overlay-chain frozen views of frozen.go. The E12 experiment
+// measures the columnar store against it.
+type mapStore struct {
+	objects   map[item.ID]*item.Object
+	rels      map[item.ID]*item.Relationship
+	byName    map[string]item.ID               // live independent objects
+	childrenM map[item.ID]map[string][]item.ID // live sub-objects by parent and role, index order
+	relsOfM   map[item.ID][]item.ID            // live relationships per end object, ID order
+
+	lastFrozen *frozenView // previous frozen generation (COW base); nil forces a full build
+}
+
+func newMapStore() *mapStore {
+	return &mapStore{
+		objects:   make(map[item.ID]*item.Object),
+		rels:      make(map[item.ID]*item.Relationship),
+		byName:    make(map[string]item.ID),
+		childrenM: make(map[item.ID]map[string][]item.ID),
+		relsOfM:   make(map[item.ID][]item.ID),
+	}
+}
+
+// ---- item state ----
+
+func (ms *mapStore) object(id item.ID) (item.Object, bool) {
+	o, ok := ms.objects[id]
+	if !ok {
+		return item.Object{}, false
+	}
+	return *o, true
+}
+
+func (ms *mapStore) rel(id item.ID) (item.Relationship, bool) {
+	r, ok := ms.rels[id]
+	if !ok {
+		return item.Relationship{}, false
+	}
+	return *r, true // Ends shared; never mutated in place after insert
+}
+
+func (ms *mapStore) kindOf(id item.ID) (item.Kind, bool) {
+	if _, ok := ms.objects[id]; ok {
+		return item.KindObject, true
+	}
+	if _, ok := ms.rels[id]; ok {
+		return item.KindRelationship, true
+	}
+	return 0, false
+}
+
+func (ms *mapStore) objectIDs() []item.ID {
+	out := make([]item.ID, 0, len(ms.objects))
+	for id := range ms.objects {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (ms *mapStore) relIDs() []item.ID {
+	out := make([]item.ID, 0, len(ms.rels))
+	for id := range ms.rels {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (ms *mapStore) visibleObjects() []item.ID {
+	out := make([]item.ID, 0, len(ms.objects))
+	for id, o := range ms.objects {
+		if !o.Deleted {
+			out = append(out, id)
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+func (ms *mapStore) visibleRels() []item.ID {
+	out := make([]item.ID, 0, len(ms.rels))
+	for id, r := range ms.rels {
+		if !r.Deleted {
+			out = append(out, id)
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+func (ms *mapStore) counts() (int, int) { return len(ms.objects), len(ms.rels) }
+
+// ---- physical row mutation ----
+
+func (ms *mapStore) insertObject(o *item.Object) { ms.objects[o.ID] = o }
+
+func (ms *mapStore) removeObject(id item.ID) {
+	delete(ms.objects, id)
+	delete(ms.childrenM, id)
+	delete(ms.relsOfM, id)
+}
+
+func (ms *mapStore) insertRel(r *item.Relationship) { ms.rels[r.ID] = r }
+
+func (ms *mapStore) removeRel(id item.ID) {
+	delete(ms.rels, id)
+	delete(ms.childrenM, id) // attribute sub-objects hang off relationships
+}
+
+func (ms *mapStore) setValue(id item.ID, v value.Value) {
+	if o := ms.objects[id]; o != nil {
+		o.Value = v
+	}
+}
+
+func (ms *mapStore) setClass(id item.ID, c *schema.Class) {
+	if o := ms.objects[id]; o != nil {
+		o.Class = c
+	}
+}
+
+func (ms *mapStore) setAssoc(id item.ID, a *schema.Association) {
+	if r := ms.rels[id]; r != nil {
+		r.Assoc = a
+	}
+}
+
+func (ms *mapStore) setPattern(id item.ID, pat bool) {
+	if o := ms.objects[id]; o != nil {
+		o.Pattern = pat
+		return
+	}
+	if r := ms.rels[id]; r != nil {
+		r.Pattern = pat
+	}
+}
+
+func (ms *mapStore) setDeleted(id item.ID, del bool) {
+	if o := ms.objects[id]; o != nil {
+		o.Deleted = del
+		return
+	}
+	if r := ms.rels[id]; r != nil {
+		r.Deleted = del
+	}
+}
+
+// ---- name index ----
+
+func (ms *mapStore) lookupName(name string) (item.ID, bool) {
+	id, ok := ms.byName[name]
+	return id, ok
+}
+
+func (ms *mapStore) setName(name string, id item.ID) { ms.byName[name] = id }
+
+func (ms *mapStore) delName(name string) { delete(ms.byName, name) }
+
+// ---- containment adjacency ----
+
+//seedlint:frozen
+func (ms *mapStore) children(parent item.ID, role string) []item.ID {
+	byRole, ok := ms.childrenM[parent]
+	if !ok {
+		return nil
+	}
+	return copyIDs(byRole[role])
+}
+
+//seedlint:frozen
+func (ms *mapStore) childrenAll(parent item.ID) []item.ID {
+	byRole, ok := ms.childrenM[parent]
+	if !ok {
+		return nil
+	}
+	roles := make([]string, 0, len(byRole))
+	for r := range byRole {
+		roles = append(roles, r)
+	}
+	sort.Strings(roles)
+	var out []item.ID
+	for _, r := range roles {
+		out = append(out, byRole[r]...)
+	}
+	return out
+}
+
+func (ms *mapStore) linkChild(parent item.ID, role string, child item.ID, index int) {
+	byRole := ms.childrenM[parent]
+	if byRole == nil {
+		byRole = make(map[string][]item.ID)
+		ms.childrenM[parent] = byRole
+	}
+	ids := byRole[role]
+	pos := sort.Search(len(ids), func(i int) bool {
+		return ms.objects[ids[i]].Index >= index
+	})
+	ids = append(ids, 0)
+	copy(ids[pos+1:], ids[pos:])
+	ids[pos] = child
+	byRole[role] = ids
+}
+
+func (ms *mapStore) unlinkChild(parent item.ID, role string, child item.ID) {
+	byRole := ms.childrenM[parent]
+	ids := byRole[role]
+	for i, id := range ids {
+		if id == child {
+			byRole[role] = append(ids[:i:i], ids[i+1:]...)
+			return
+		}
+	}
+}
+
+// ---- relationship adjacency ----
+
+//seedlint:frozen
+func (ms *mapStore) relsOf(obj item.ID) []item.ID {
+	return copyIDs(ms.relsOfM[obj])
+}
+
+func (ms *mapStore) linkRel(obj, rel item.ID) {
+	ids := ms.relsOfM[obj]
+	pos := sort.Search(len(ids), func(i int) bool { return ids[i] >= rel })
+	if pos < len(ids) && ids[pos] == rel {
+		return // same object in several roles is linked once
+	}
+	ids = append(ids, 0)
+	copy(ids[pos+1:], ids[pos:])
+	ids[pos] = rel
+	ms.relsOfM[obj] = ids
+}
+
+func (ms *mapStore) unlinkRel(obj, rel item.ID) {
+	ids := ms.relsOfM[obj]
+	for i, id := range ids {
+		if id == rel {
+			ms.relsOfM[obj] = append(ids[:i:i], ids[i+1:]...)
+			return
+		}
+	}
+}

@@ -242,7 +242,18 @@ func TestMultiTxNameConflicts(t *testing.T) {
 // overlay chain must still stay bounded — collapsed by merging frozen
 // patches — and every generation must hide the staged batch.
 func TestMultiTxFrozenChainBoundedWhileStaged(t *testing.T) {
+	for _, columnar := range []bool{true, false} {
+		t.Run(fmt.Sprintf("columnar=%v", columnar), func(t *testing.T) {
+			testFrozenBoundedWhileStaged(t, columnar)
+		})
+	}
+}
+
+func testFrozenBoundedWhileStaged(t *testing.T, columnar bool) {
 	en := newFig3(t)
+	if err := en.SetColumnarStore(columnar); err != nil {
+		t.Fatal(err)
+	}
 	hot := mustCreate(t, en, "Data", "Hot")
 	d, err := en.CreateValueObject(hot, "Description", value.NewString("v0"))
 	if err != nil {
@@ -266,9 +277,9 @@ func TestMultiTxFrozenChainBoundedWhileStaged(t *testing.T) {
 		if err := en.SetValue(d, value.NewString(fmt.Sprintf("v%d", i+1))); err != nil {
 			t.Fatal(err)
 		}
-		fv := en.FrozenView().(*frozenView)
-		if fv.depth > maxFrozenDepth {
-			t.Fatalf("generation %d: chain depth %d exceeds cap %d while staged", i, fv.depth, maxFrozenDepth)
+		fv := en.FrozenView()
+		if mv, ok := fv.(*frozenView); ok && mv.depth > maxFrozenDepth {
+			t.Fatalf("generation %d: chain depth %d exceeds cap %d while staged", i, mv.depth, maxFrozenDepth)
 		}
 		if kids := fv.Children(staged, "Description"); len(kids) != 0 {
 			t.Fatalf("generation %d: staged sub-object leaked into frozen view", i)

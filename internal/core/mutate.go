@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/consistency"
 	"repro/internal/ident"
@@ -48,7 +47,7 @@ func (en *Engine) createObject(className, name string, asPattern bool) (item.ID,
 	if err := en.claimName(name); err != nil {
 		return item.NoID, err
 	}
-	if _, exists := en.byName[name]; exists {
+	if _, exists := en.st.lookupName(name); exists {
 		return item.NoID, fmt.Errorf("%w: %q", ErrDuplicateName, name)
 	}
 	mark := en.mark()
@@ -119,7 +118,7 @@ func (en *Engine) resolveSubObjectClass(parent item.ID, role string) (*schema.Cl
 			return nil, false, rerr
 		}
 		return cls, po.Pattern, nil
-	} else if _, known := en.objects[parent]; known {
+	} else if k, known := en.st.kindOf(parent); known && k == item.KindObject {
 		return nil, false, err // exists but deleted
 	}
 	pr, err := en.liveRel(parent)
@@ -169,8 +168,8 @@ func (en *Engine) SetValue(id item.ID, v value.Value) error {
 	}
 	mark := en.mark()
 	old := o.Value
-	o.Value = v
-	en.push(func() { o.Value = old })
+	en.st.setValue(id, v)
+	en.push(func() { en.st.setValue(id, old) })
 	en.markDirty(id)
 	return en.finishMutation(id, item.KindObject, OpUpdate, mark, en.encSetValue(id, v))
 }
@@ -192,7 +191,7 @@ func (en *Engine) CreateRelationship(assocName string, ends map[string]item.ID) 
 	// A relationship that connects to a pattern is itself a pattern
 	// relationship: it becomes visible in the context of inheritors.
 	for _, e := range r.Ends {
-		if o, ok := en.objects[e.Object]; ok && !o.Deleted && o.Pattern {
+		if o, ok := en.st.object(e.Object); ok && !o.Deleted && o.Pattern {
 			r.Pattern = true
 			break
 		}
@@ -221,8 +220,8 @@ func (en *Engine) CreateRelationship(assocName string, ends map[string]item.ID) 
 // context of the inheritor.
 func (en *Engine) Inherit(patternID, inheritorID item.ID) (item.ID, error) {
 	// Reject duplicates up front for a clear error.
-	for _, rid := range en.relsOf[inheritorID] {
-		r := en.rels[rid]
+	for _, rid := range en.st.relsOf(inheritorID) {
+		r, _ := en.st.rel(rid)
 		if r.Inherits && r.End(item.InheritsPatternRole) == patternID {
 			return item.NoID, fmt.Errorf("%w: item %d already inherits pattern %d",
 				ErrPatternConflict, inheritorID, patternID)
@@ -295,8 +294,8 @@ func (en *Engine) setPattern(id item.ID, pat bool) error {
 		return nil
 	}
 	old := r.Pattern
-	r.Pattern = pat
-	en.push(func() { r.Pattern = old })
+	en.st.setPattern(id, pat)
+	en.push(func() { en.st.setPattern(id, old) })
 	en.markDirty(id)
 	en.setPatternSubtree(id, pat) // attribute sub-objects follow the relationship
 	return en.finishMutation(id, item.KindRelationship, OpUpdate, mark, en.encSetPattern(id, pat))
@@ -306,14 +305,13 @@ func (en *Engine) setPattern(id item.ID, pat bool) error {
 // descendants, with undo.
 func (en *Engine) setPatternSubtree(root item.ID, pat bool) {
 	for _, id := range append([]item.ID{root}, en.subtreeObjects(root)...) {
-		o := en.objects[id]
-		if o == nil || o.Pattern == pat {
+		o, ok := en.st.object(id)
+		if !ok || o.Pattern == pat {
 			continue
 		}
-		obj := o
-		old := obj.Pattern
-		obj.Pattern = pat
-		en.push(func() { obj.Pattern = old })
+		id, old := id, o.Pattern
+		en.st.setPattern(id, pat)
+		en.push(func() { en.st.setPattern(id, old) })
 		en.markDirty(id)
 	}
 }
@@ -339,7 +337,7 @@ func (en *Engine) Delete(id item.ID) error {
 	}
 	v := en.View()
 	for _, vid := range victims {
-		if o, ok := en.objects[vid]; ok && o.Pattern && o.Parent == item.NoID {
+		if o, ok := en.st.object(vid); ok && o.Pattern && o.Parent == item.NoID {
 			for _, inh := range pattern.InheritorsOf(v, vid) {
 				if !victimSet[inh] {
 					return fmt.Errorf("%w: object %d is inherited by %d", ErrHasInheritors, vid, inh)
@@ -352,7 +350,7 @@ func (en *Engine) Delete(id item.ID) error {
 	// deleted independent roots: claim the full write set before applying.
 	claims := append([]item.ID(nil), victims...)
 	for _, vid := range victims {
-		if r, ok := en.rels[vid]; ok {
+		if r, ok := en.st.rel(vid); ok {
 			for _, e := range r.Ends {
 				claims = append(claims, e.Object)
 			}
@@ -362,7 +360,7 @@ func (en *Engine) Delete(id item.ID) error {
 		return err
 	}
 	for _, vid := range victims {
-		if o, ok := en.objects[vid]; ok && o.Independent() {
+		if o, ok := en.st.object(vid); ok && o.Independent() {
 			if err := en.claimName(o.Name); err != nil {
 				return err
 			}
@@ -399,7 +397,7 @@ func (en *Engine) deletionSet(id item.ID) []item.ID {
 		if seen[x] {
 			return
 		}
-		if o, ok := en.objects[x]; ok {
+		if o, ok := en.st.object(x); ok {
 			if o.Deleted {
 				return
 			}
@@ -413,13 +411,13 @@ func (en *Engine) deletionSet(id item.ID) []item.ID {
 			}
 			// Relationships referencing the object or any deleted child.
 			for _, sub := range append([]item.ID{x}, en.subtreeObjects(x)...) {
-				for _, rid := range append([]item.ID(nil), en.relsOf[sub]...) {
+				for _, rid := range en.st.relsOf(sub) {
 					addItem(rid)
 				}
 			}
 			return
 		}
-		if r, ok := en.rels[x]; ok {
+		if r, ok := en.st.rel(x); ok {
 			if r.Deleted {
 				return
 			}
@@ -434,22 +432,15 @@ func (en *Engine) deletionSet(id item.ID) []item.ID {
 	return out
 }
 
-// subtreeObjects lists the live descendant objects of an item, depth-first.
+// subtreeObjects lists the live descendant objects of an item, depth-first
+// (roles in name order, index order within a role).
 func (en *Engine) subtreeObjects(root item.ID) []item.ID {
 	var out []item.ID
 	var walk func(item.ID)
 	walk = func(p item.ID) {
-		byRole := en.children[p]
-		roles := make([]string, 0, len(byRole))
-		for role := range byRole {
-			roles = append(roles, role)
-		}
-		sort.Strings(roles)
-		for _, role := range roles {
-			for _, ch := range byRole[role] {
-				out = append(out, ch)
-				walk(ch)
-			}
+		for _, ch := range en.st.childrenAll(p) {
+			out = append(out, ch)
+			walk(ch)
 		}
 	}
 	walk(root)
@@ -461,7 +452,7 @@ func (en *Engine) subtreeRels(root item.ID) []item.ID {
 	var out []item.ID
 	seen := make(map[item.ID]bool)
 	for _, id := range append([]item.ID{root}, en.subtreeObjects(root)...) {
-		for _, rid := range en.relsOf[id] {
+		for _, rid := range en.st.relsOf(id) {
 			if !seen[rid] {
 				seen[rid] = true
 				out = append(out, rid)
@@ -479,7 +470,7 @@ func (en *Engine) subtreeRels(root item.ID) []item.ID {
 func (en *Engine) Reclassify(id item.ID, newName string) error {
 	if o, err := en.liveObject(id); err == nil {
 		return en.reclassifyObject(o, newName)
-	} else if _, known := en.objects[id]; known {
+	} else if k, known := en.st.kindOf(id); known && k == item.KindObject {
 		return err
 	}
 	r, err := en.liveRel(id)
@@ -489,7 +480,7 @@ func (en *Engine) Reclassify(id item.ID, newName string) error {
 	return en.reclassifyRel(r, newName)
 }
 
-func (en *Engine) reclassifyObject(o *item.Object, newName string) error {
+func (en *Engine) reclassifyObject(o item.Object, newName string) error {
 	ncls, err := en.sch.Class(newName)
 	if err != nil {
 		return err
@@ -508,35 +499,34 @@ func (en *Engine) reclassifyObject(o *item.Object, newName string) error {
 		return err
 	}
 	mark := en.mark()
-	old := o.Class
-	obj := o
-	o.Class = ncls
-	en.push(func() { obj.Class = old })
-	en.markDirty(o.ID)
+	id, old := o.ID, o.Class
+	en.st.setClass(id, ncls)
+	en.push(func() { en.st.setClass(id, old) })
+	en.markDirty(id)
 
 	// Re-check the object, its sub-objects (their roles must still resolve
 	// to the same classes under the new classification), and its
 	// relationships (role membership under the new class).
-	if err := consistency.CheckObject(en.View(), o.ID); err != nil {
+	if err := consistency.CheckObject(en.View(), id); err != nil {
 		en.rollbackTo(mark)
 		return err
 	}
-	for _, ch := range en.subtreeObjects(o.ID) {
+	for _, ch := range en.subtreeObjects(id) {
 		if err := consistency.CheckObject(en.View(), ch); err != nil {
 			en.rollbackTo(mark)
 			return fmt.Errorf("%w: sub-object %d: %v", ErrBadReclassify, ch, err)
 		}
 	}
-	for _, rid := range en.relsOf[o.ID] {
+	for _, rid := range en.st.relsOf(id) {
 		if err := consistency.CheckRelationship(en.View(), rid); err != nil {
 			en.rollbackTo(mark)
 			return fmt.Errorf("%w: relationship %d: %v", ErrBadReclassify, rid, err)
 		}
 	}
-	return en.finishMutation(o.ID, item.KindObject, OpReclassify, mark, en.encReclassify(o.ID, newName))
+	return en.finishMutation(id, item.KindObject, OpReclassify, mark, en.encReclassify(id, newName))
 }
 
-func (en *Engine) reclassifyRel(r *item.Relationship, newName string) error {
+func (en *Engine) reclassifyRel(r item.Relationship, newName string) error {
 	if r.Inherits {
 		return fmt.Errorf("%w: inherits-relationships have no association", ErrBadReclassify)
 	}
@@ -555,25 +545,24 @@ func (en *Engine) reclassifyRel(r *item.Relationship, newName string) error {
 		return err
 	}
 	mark := en.mark()
-	old := r.Assoc
-	rel := r
-	r.Assoc = nas
-	en.push(func() { rel.Assoc = old })
-	en.markDirty(r.ID)
+	id, old := r.ID, r.Assoc
+	en.st.setAssoc(id, nas)
+	en.push(func() { en.st.setAssoc(id, old) })
+	en.markDirty(id)
 
-	if err := consistency.CheckRelationship(en.View(), r.ID); err != nil {
+	if err := consistency.CheckRelationship(en.View(), id); err != nil {
 		en.rollbackTo(mark)
 		return err
 	}
 	// Attribute sub-objects must still resolve under the new association
 	// ('NumberOfWrites' exists on 'Write' but not on 'Access').
-	for _, ch := range en.subtreeObjects(r.ID) {
+	for _, ch := range en.subtreeObjects(id) {
 		if err := consistency.CheckObject(en.View(), ch); err != nil {
 			en.rollbackTo(mark)
 			return fmt.Errorf("%w: attribute %d: %v", ErrBadReclassify, ch, err)
 		}
 	}
-	return en.finishMutation(r.ID, item.KindRelationship, OpReclassify, mark, en.encReclassify(r.ID, newName))
+	return en.finishMutation(id, item.KindRelationship, OpReclassify, mark, en.encReclassify(id, newName))
 }
 
 // finishMutation runs the post-state validation pipeline shared by all

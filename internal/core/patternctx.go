@@ -19,7 +19,7 @@ import (
 func (en *Engine) rootOf(id item.ID) item.ID {
 	cur := id
 	for {
-		o, ok := en.objects[cur]
+		o, ok := en.st.object(cur)
 		if !ok {
 			return cur // a relationship, or unknown
 		}
@@ -36,7 +36,7 @@ func (en *Engine) affectedInheritors(id item.ID) []item.ID {
 	v := en.View()
 	affected := make(map[item.ID]bool)
 	root := en.rootOf(id)
-	if o, ok := en.objects[root]; ok {
+	if o, ok := en.st.object(root); ok {
 		switch {
 		case o.Pattern:
 			for _, inh := range pattern.InheritorsOf(v, root) {
@@ -47,14 +47,14 @@ func (en *Engine) affectedInheritors(id item.ID) []item.ID {
 				affected[root] = true
 			}
 		}
-	} else if r, ok := en.rels[root]; ok {
+	} else if r, ok := en.st.rel(root); ok {
 		if r.Inherits {
 			if inh := r.End(item.InheritsInheritorRole); inh != item.NoID {
 				affected[inh] = true
 			}
 		} else {
 			for _, e := range r.Ends {
-				if o, ok := en.objects[e.Object]; ok && o.Pattern {
+				if o, ok := en.st.object(e.Object); ok && o.Pattern {
 					for _, inh := range pattern.InheritorsOf(v, e.Object) {
 						affected[inh] = true
 					}
@@ -102,9 +102,9 @@ func (en *Engine) validatePatternContextsAfterDelete(victims []item.ID) error {
 	v := en.View()
 	affected := make(map[item.ID]bool)
 	for _, vid := range victims {
-		if r, ok := en.rels[vid]; ok && !r.Inherits {
+		if r, ok := en.st.rel(vid); ok && !r.Inherits {
 			for _, e := range r.Ends {
-				if o, ok := en.objects[e.Object]; ok && !o.Deleted && o.Pattern {
+				if o, ok := en.st.object(e.Object); ok && !o.Deleted && o.Pattern {
 					for _, inh := range pattern.InheritorsOf(v, e.Object) {
 						affected[inh] = true
 					}

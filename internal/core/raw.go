@@ -1,14 +1,12 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/item"
 )
 
-// Raw state primitives: each applies one physical change to the engine maps
-// and pushes the inverse onto the undo stack. Public operations compose
-// these, validate the result, and roll back on failure.
+// Raw state primitives: each applies one physical change to the store and
+// pushes the inverse onto the undo stack. Public operations compose these,
+// validate the result, and roll back on failure.
 
 // mark returns the current undo stack depth of the active scope (the active
 // transaction's private stack, or the engine's auto-commit stack).
@@ -54,7 +52,7 @@ func (en *Engine) rollbackTo(mark int) {
 // items must never enter a frozen generation — and is merged into snapDirty
 // at commit (or, conservatively, at rollback: the item is back in its
 // pre-change state, and the next delta freeze re-reads that state from the
-// live maps, so a conservative mark only costs one spurious patch). Outside
+// live store, so a conservative mark only costs one spurious patch). Outside
 // a transaction the mutation is committed on the spot, so the item is also
 // stamped with a fresh commit generation: an open transaction that began
 // earlier can no longer claim it.
@@ -68,148 +66,92 @@ func (en *Engine) markDirty(id item.ID) {
 			en.modGen[id] = en.commitGen
 		}
 	}
-	if en.dirty[id] {
+	if !en.dirty.Add(id) {
 		return
 	}
-	en.dirty[id] = true
-	en.push(func() { delete(en.dirty, id) })
+	en.push(func() { en.dirty.Remove(id) })
 }
 
-// insertObjectRaw adds a new object to all maps.
+// insertObjectRaw adds a new object to the store and its indexes.
 func (en *Engine) insertObjectRaw(o *item.Object) {
-	en.objects[o.ID] = o
-	if o.Independent() {
-		en.byName[o.Name] = o.ID
+	c := *o // undo closes over the value, not the store's row
+	en.st.insertObject(o)
+	if c.Independent() {
+		en.st.setName(c.Name, c.ID)
 	} else {
-		en.linkChild(o)
+		en.st.linkChild(c.Parent, c.Role, c.ID, c.Index)
 	}
-	en.markDirty(o.ID)
+	en.markDirty(c.ID)
 	en.push(func() {
-		if o.Independent() {
-			delete(en.byName, o.Name)
+		if c.Independent() {
+			en.st.delName(c.Name)
 		} else {
-			en.unlinkChild(o)
+			en.st.unlinkChild(c.Parent, c.Role, c.ID)
 		}
-		delete(en.objects, o.ID)
+		en.st.removeObject(c.ID)
 	})
 }
 
-// insertRelRaw adds a new relationship to all maps.
+// insertRelRaw adds a new relationship to the store and its indexes. The
+// store takes ownership of r; its Ends slice becomes shared immutable data.
 func (en *Engine) insertRelRaw(r *item.Relationship) {
-	en.rels[r.ID] = r
-	for _, e := range r.Ends {
-		en.linkRel(e.Object, r.ID)
+	id, ends, inh := r.ID, r.Ends, r.Inherits
+	en.st.insertRel(r)
+	for _, e := range ends {
+		en.st.linkRel(e.Object, id)
 	}
-	if r.Inherits {
+	if inh {
 		en.inheritsLive++
 	}
-	en.markDirty(r.ID)
+	en.markDirty(id)
 	en.push(func() {
-		for _, e := range r.Ends {
-			en.unlinkRel(e.Object, r.ID)
+		for _, e := range ends {
+			en.st.unlinkRel(e.Object, id)
 		}
-		if r.Inherits {
+		if inh {
 			en.inheritsLive--
 		}
-		delete(en.rels, r.ID)
+		en.st.removeRel(id)
 	})
 }
 
 // deleteRaw marks one item deleted and removes it from the live indexes.
 func (en *Engine) deleteRaw(id item.ID) {
-	if o, ok := en.objects[id]; ok && !o.Deleted {
-		obj := o
-		obj.Deleted = true
-		if obj.Independent() {
-			delete(en.byName, obj.Name)
+	if o, ok := en.st.object(id); ok && !o.Deleted {
+		en.st.setDeleted(id, true)
+		if o.Independent() {
+			en.st.delName(o.Name)
 		} else {
-			en.unlinkChild(obj)
+			en.st.unlinkChild(o.Parent, o.Role, o.ID)
 		}
 		en.markDirty(id)
 		en.push(func() {
-			obj.Deleted = false
-			if obj.Independent() {
-				en.byName[obj.Name] = obj.ID
+			en.st.setDeleted(id, false)
+			if o.Independent() {
+				en.st.setName(o.Name, o.ID)
 			} else {
-				en.linkChild(obj)
+				en.st.linkChild(o.Parent, o.Role, o.ID, o.Index)
 			}
 		})
 		return
 	}
-	if r, ok := en.rels[id]; ok && !r.Deleted {
-		rel := r
-		rel.Deleted = true
-		for _, e := range rel.Ends {
-			en.unlinkRel(e.Object, rel.ID)
+	if r, ok := en.st.rel(id); ok && !r.Deleted {
+		en.st.setDeleted(id, true)
+		for _, e := range r.Ends {
+			en.st.unlinkRel(e.Object, id)
 		}
-		if rel.Inherits {
+		if r.Inherits {
 			en.inheritsLive--
 		}
 		en.markDirty(id)
 		en.push(func() {
-			rel.Deleted = false
-			for _, e := range rel.Ends {
-				en.linkRel(e.Object, rel.ID)
+			en.st.setDeleted(id, false)
+			for _, e := range r.Ends {
+				en.st.linkRel(e.Object, id)
 			}
-			if rel.Inherits {
+			if r.Inherits {
 				en.inheritsLive++
 			}
 		})
-	}
-}
-
-// linkChild inserts a dependent object into its parent's role list, keeping
-// index order.
-func (en *Engine) linkChild(o *item.Object) {
-	byRole := en.children[o.Parent]
-	if byRole == nil {
-		byRole = make(map[string][]item.ID)
-		en.children[o.Parent] = byRole
-	}
-	ids := byRole[o.Role]
-	pos := sort.Search(len(ids), func(i int) bool {
-		return en.objects[ids[i]].Index >= o.Index
-	})
-	ids = append(ids, 0)
-	copy(ids[pos+1:], ids[pos:])
-	ids[pos] = o.ID
-	byRole[o.Role] = ids
-}
-
-// unlinkChild removes a dependent object from its parent's role list.
-func (en *Engine) unlinkChild(o *item.Object) {
-	byRole := en.children[o.Parent]
-	ids := byRole[o.Role]
-	for i, id := range ids {
-		if id == o.ID {
-			byRole[o.Role] = append(ids[:i:i], ids[i+1:]...)
-			return
-		}
-	}
-}
-
-// linkRel inserts a relationship into an object's relationship list, keeping
-// ID order. A relationship with the same object in several roles is linked
-// once.
-func (en *Engine) linkRel(obj, rel item.ID) {
-	ids := en.relsOf[obj]
-	pos := sort.Search(len(ids), func(i int) bool { return ids[i] >= rel })
-	if pos < len(ids) && ids[pos] == rel {
-		return
-	}
-	ids = append(ids, 0)
-	copy(ids[pos+1:], ids[pos:])
-	ids[pos] = rel
-	en.relsOf[obj] = ids
-}
-
-// unlinkRel removes a relationship from an object's relationship list.
-func (en *Engine) unlinkRel(obj, rel item.ID) {
-	ids := en.relsOf[obj]
-	for i, id := range ids {
-		if id == rel {
-			en.relsOf[obj] = append(ids[:i:i], ids[i+1:]...)
-			return
-		}
 	}
 }

@@ -13,43 +13,41 @@ import (
 
 // DirtyIDs returns the items changed since the last version freeze, in
 // ascending ID order.
-func (en *Engine) DirtyIDs() []item.ID {
-	out := make([]item.ID, 0, len(en.dirty))
-	for id := range en.dirty {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+func (en *Engine) DirtyIDs() []item.ID { return en.dirty.IDs() }
 
 // DirtyCount returns the number of items changed since the last freeze.
-func (en *Engine) DirtyCount() int { return len(en.dirty) }
+func (en *Engine) DirtyCount() int { return en.dirty.Len() }
 
 // ClearDirty forgets all change marks (called after a version freeze).
-func (en *Engine) ClearDirty() { en.dirty = make(map[item.ID]bool) }
+func (en *Engine) ClearDirty() { en.dirty.Reset() }
 
 // MarkAllDirty marks every known item changed. Used by the full-copy
 // snapshot mode of the ablation study (A1 in DESIGN.md) to emulate systems
 // that save the complete database per version.
 func (en *Engine) MarkAllDirty() {
-	for id := range en.objects {
-		en.dirty[id] = true
+	for _, id := range en.st.objectIDs() {
+		en.dirty.Add(id)
 	}
-	for id := range en.rels {
-		en.dirty[id] = true
+	for _, id := range en.st.relIDs() {
+		en.dirty.Add(id)
 	}
 }
 
 // CaptureAll returns copies of every item state, including deleted items,
-// in ascending ID order — the full database snapshot.
+// in ascending ID order — the full database snapshot. Relationship Ends are
+// cloned: the caller owns the result outright.
 func (en *Engine) CaptureAll() ([]item.Object, []item.Relationship) {
-	objs := make([]item.Object, 0, len(en.objects))
-	for _, o := range en.objects {
-		objs = append(objs, *o)
+	objIDs := en.st.objectIDs()
+	objs := make([]item.Object, 0, len(objIDs))
+	for _, id := range objIDs {
+		o, _ := en.st.object(id)
+		objs = append(objs, o)
 	}
 	sort.Slice(objs, func(i, j int) bool { return objs[i].ID < objs[j].ID })
-	rels := make([]item.Relationship, 0, len(en.rels))
-	for _, r := range en.rels {
+	relIDs := en.st.relIDs()
+	rels := make([]item.Relationship, 0, len(relIDs))
+	for _, id := range relIDs {
+		r, _ := en.st.rel(id)
 		rels = append(rels, r.Clone())
 	}
 	sort.Slice(rels, func(i, j int) bool { return rels[i].ID < rels[j].ID })
@@ -62,13 +60,9 @@ func (en *Engine) CaptureAll() ([]item.Object, []item.Relationship) {
 // collide with items frozen in other versions. The dirty set is cleared;
 // the caller establishes the new version base.
 func (en *Engine) Restore(objs []item.Object, rels []item.Relationship) {
-	en.objects = make(map[item.ID]*item.Object, len(objs))
-	en.rels = make(map[item.ID]*item.Relationship, len(rels))
-	en.byName = make(map[string]item.ID)
-	en.children = make(map[item.ID]map[string][]item.ID)
-	en.relsOf = make(map[item.ID][]item.ID)
+	en.st = en.newStore()
 	en.indexCtr = make(map[item.ID]map[string]int)
-	en.dirty = make(map[item.ID]bool)
+	en.dirty.Reset()
 	en.undo = en.undo[:0]
 	en.inheritsLive = 0
 	en.invalidateFrozen() // wholesale replacement: the COW base is meaningless
@@ -78,8 +72,8 @@ func (en *Engine) Restore(objs []item.Object, rels []item.Relationship) {
 	en.nameGen = make(map[string]uint64)
 
 	for i := range objs {
-		o := objs[i] // copy
-		en.objects[o.ID] = &o
+		o := objs[i] // copy; the store takes ownership
+		en.st.insertObject(&o)
 		en.bumpID(o.ID)
 		if !o.Independent() && o.Index != item.NoIndex {
 			en.bumpIndex(o.Parent, o.Role, o.Index)
@@ -87,29 +81,29 @@ func (en *Engine) Restore(objs []item.Object, rels []item.Relationship) {
 	}
 	// Link live objects into the name and containment indexes. Iterate in
 	// ID order so sibling lists come out index-sorted deterministically.
-	ids := make([]item.ID, 0, len(en.objects))
-	for id := range en.objects {
-		ids = append(ids, id)
+	ids := make([]item.ID, 0, len(objs))
+	for i := range objs {
+		ids = append(ids, objs[i].ID)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		o := en.objects[id]
+		o, _ := en.st.object(id)
 		if o.Deleted {
 			continue
 		}
 		if o.Independent() {
-			en.byName[o.Name] = o.ID
+			en.st.setName(o.Name, o.ID)
 		} else {
-			en.linkChild(o)
+			en.st.linkChild(o.Parent, o.Role, o.ID, o.Index)
 		}
 	}
 	for i := range rels {
-		r := rels[i].Clone()
-		en.rels[r.ID] = &r
+		r := rels[i].Clone() // the store takes ownership of the Ends
+		en.st.insertRel(&r)
 		en.bumpID(r.ID)
 		if !r.Deleted {
 			for _, e := range r.Ends {
-				en.linkRel(e.Object, r.ID)
+				en.st.linkRel(e.Object, r.ID)
 			}
 			if r.Inherits {
 				en.inheritsLive++
@@ -129,25 +123,24 @@ func (en *Engine) PurgeDeleted(keep func(item.ID) bool) (int, error) {
 	}
 	// snapDirty marks are deliberately kept: a purged item may have been
 	// deleted after the last frozen generation, and the next delta freeze
-	// needs the mark to tombstone it (it finds the item in neither live map
-	// and hides the previous generation's entry).
+	// needs the mark to tombstone it (it finds the item in neither live
+	// table and hides the previous generation's entry).
 	purged := 0
-	for id, o := range en.objects {
+	for _, id := range en.st.objectIDs() {
+		o, _ := en.st.object(id)
 		if o.Deleted && !keep(id) {
-			delete(en.objects, id)
-			delete(en.dirty, id)
-			delete(en.children, id)
-			delete(en.relsOf, id)
+			en.st.removeObject(id)
+			en.dirty.Remove(id)
 			delete(en.indexCtr, id)
 			delete(en.modGen, id)
 			purged++
 		}
 	}
-	for id, r := range en.rels {
+	for _, id := range en.st.relIDs() {
+		r, _ := en.st.rel(id)
 		if r.Deleted && !keep(id) {
-			delete(en.rels, id)
-			delete(en.dirty, id)
-			delete(en.children, id)
+			en.st.removeRel(id)
+			en.dirty.Remove(id)
 			delete(en.modGen, id)
 			purged++
 		}
@@ -160,7 +153,7 @@ func (en *Engine) PurgeDeleted(keep func(item.ID) bool) (int, error) {
 // was taken with unsaved changes).
 func (en *Engine) RestoreDirty(ids []item.ID) {
 	for _, id := range ids {
-		en.dirty[id] = true
+		en.dirty.Add(id)
 	}
 }
 
@@ -180,7 +173,8 @@ type Stats struct {
 // Stats computes current state statistics.
 func (en *Engine) Stats() Stats {
 	var s Stats
-	for _, o := range en.objects {
+	for _, id := range en.st.objectIDs() {
+		o, _ := en.st.object(id)
 		switch {
 		case o.Deleted:
 			s.DeletedObjects++
@@ -191,7 +185,8 @@ func (en *Engine) Stats() Stats {
 			}
 		}
 	}
-	for _, r := range en.rels {
+	for _, id := range en.st.relIDs() {
+		r, _ := en.st.rel(id)
 		switch {
 		case r.Deleted:
 			s.DeletedRels++
@@ -202,6 +197,6 @@ func (en *Engine) Stats() Stats {
 			}
 		}
 	}
-	s.DirtySinceFreeze = len(en.dirty)
+	s.DirtySinceFreeze = en.dirty.Len()
 	return s
 }

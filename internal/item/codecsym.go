@@ -1,0 +1,225 @@
+package item
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Symbol-coded item encoding (snapshot format 2). Every string an item
+// carries — class qualified name, object name, role, end role, string value —
+// is interned into one SymTab while encoding and written as a uvarint symbol;
+// the table itself is serialized once per snapshot. Repeated strings (and in
+// an engineering database nearly every class, role, and attribute name
+// repeats thousands of times) cost one varint instead of one length-prefixed
+// copy each.
+
+// EncodeSymTab appends the table's strings in symbol order.
+func EncodeSymTab(e *storage.Encoder, t *SymTab) {
+	n := t.Len()
+	e.Int(n)
+	for sym := 0; sym < n; sym++ {
+		e.String(t.Str(Sym(sym)))
+	}
+}
+
+// DecodeSymTab reads a serialized table back as a flat symbol-indexed slice.
+func DecodeSymTab(d *storage.Decoder) ([]string, error) {
+	n, err := d.Int()
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("%w: symbol table of %d entries", ErrDecode, n)
+	}
+	strs := make([]string, n)
+	for i := range strs {
+		if strs[i], err = d.String(); err != nil {
+			return nil, err
+		}
+	}
+	return strs, nil
+}
+
+func decodeSym(d *storage.Decoder, strs []string) (string, error) {
+	u, err := d.Uint64()
+	if err != nil {
+		return "", err
+	}
+	if u >= uint64(len(strs)) {
+		return "", fmt.Errorf("%w: symbol %d of %d", ErrDecode, u, len(strs))
+	}
+	return strs[u], nil
+}
+
+// EncodeValueSym appends a typed value with string payloads interned into t.
+func EncodeValueSym(e *storage.Encoder, t *SymTab, v value.Value) {
+	e.Byte(byte(v.Kind()))
+	switch v.Kind() {
+	case value.KindString:
+		e.Uint64(uint64(t.Intern(v.Str())))
+	case value.KindInteger:
+		e.Int64(v.Int())
+	case value.KindReal:
+		e.Float64(v.Real())
+	case value.KindBoolean:
+		e.Bool(v.Bool())
+	case value.KindDate:
+		e.Time(v.Date())
+	}
+}
+
+// DecodeValueSym reads a typed value encoded by EncodeValueSym.
+func DecodeValueSym(d *storage.Decoder, strs []string) (value.Value, error) {
+	kb, err := d.Byte()
+	if err != nil {
+		return value.Undefined, err
+	}
+	k := value.Kind(kb)
+	switch k {
+	case value.KindNone:
+		return value.Undefined, nil
+	case value.KindString:
+		s, err := decodeSym(d, strs)
+		return value.NewString(s), err
+	case value.KindInteger:
+		i, err := d.Int64()
+		return value.NewInteger(i), err
+	case value.KindReal:
+		f, err := d.Float64()
+		return value.NewReal(f), err
+	case value.KindBoolean:
+		b, err := d.Bool()
+		return value.NewBoolean(b), err
+	case value.KindDate:
+		t, err := d.Time()
+		return value.NewDate(t), err
+	}
+	return value.Undefined, fmt.Errorf("%w: value kind %d", ErrDecode, kb)
+}
+
+// EncodeObjectSym appends a full object state with strings interned into t.
+func EncodeObjectSym(e *storage.Encoder, t *SymTab, o *Object) {
+	e.Uint64(uint64(o.ID))
+	e.Uint64(uint64(t.Intern(o.Class.QualifiedName())))
+	e.Uint64(uint64(t.Intern(o.Name)))
+	e.Uint64(uint64(o.Parent))
+	e.Uint64(uint64(t.Intern(o.Role)))
+	e.Int(o.Index)
+	EncodeValueSym(e, t, o.Value)
+	e.Bool(o.Pattern)
+	e.Bool(o.Deleted)
+}
+
+// DecodeObjectSym reads an object state encoded by EncodeObjectSym,
+// resolving the class against s.
+func DecodeObjectSym(d *storage.Decoder, strs []string, s *schema.Schema) (Object, error) {
+	var o Object
+	id, err := d.Uint64()
+	if err != nil {
+		return o, err
+	}
+	o.ID = ID(id)
+	cls, err := decodeSym(d, strs)
+	if err != nil {
+		return o, err
+	}
+	o.Class, err = s.Class(cls)
+	if err != nil {
+		return o, fmt.Errorf("%w: %v", ErrDecode, err)
+	}
+	if o.Name, err = decodeSym(d, strs); err != nil {
+		return o, err
+	}
+	parent, err := d.Uint64()
+	if err != nil {
+		return o, err
+	}
+	o.Parent = ID(parent)
+	if o.Role, err = decodeSym(d, strs); err != nil {
+		return o, err
+	}
+	if o.Index, err = d.Int(); err != nil {
+		return o, err
+	}
+	if o.Value, err = DecodeValueSym(d, strs); err != nil {
+		return o, err
+	}
+	if o.Pattern, err = d.Bool(); err != nil {
+		return o, err
+	}
+	if o.Deleted, err = d.Bool(); err != nil {
+		return o, err
+	}
+	return o, nil
+}
+
+// EncodeRelationshipSym appends a full relationship state with strings
+// interned into t.
+func EncodeRelationshipSym(e *storage.Encoder, t *SymTab, r *Relationship) {
+	e.Uint64(uint64(r.ID))
+	e.Bool(r.Inherits)
+	if r.Inherits {
+		e.Uint64(uint64(t.Intern("")))
+	} else {
+		e.Uint64(uint64(t.Intern(r.Assoc.Name())))
+	}
+	e.Int(len(r.Ends))
+	for _, end := range r.Ends {
+		e.Uint64(uint64(t.Intern(end.Role)))
+		e.Uint64(uint64(end.Object))
+	}
+	e.Bool(r.Pattern)
+	e.Bool(r.Deleted)
+}
+
+// DecodeRelationshipSym reads a relationship state encoded by
+// EncodeRelationshipSym, resolving the association against s.
+func DecodeRelationshipSym(d *storage.Decoder, strs []string, s *schema.Schema) (Relationship, error) {
+	var r Relationship
+	id, err := d.Uint64()
+	if err != nil {
+		return r, err
+	}
+	r.ID = ID(id)
+	if r.Inherits, err = d.Bool(); err != nil {
+		return r, err
+	}
+	name, err := decodeSym(d, strs)
+	if err != nil {
+		return r, err
+	}
+	if !r.Inherits {
+		r.Assoc, err = s.Association(name)
+		if err != nil {
+			return r, fmt.Errorf("%w: %v", ErrDecode, err)
+		}
+	}
+	n, err := d.Int()
+	if err != nil {
+		return r, err
+	}
+	if n < 0 || n > 64 {
+		return r, fmt.Errorf("%w: %d ends", ErrDecode, n)
+	}
+	r.Ends = make([]End, n)
+	for i := range r.Ends {
+		if r.Ends[i].Role, err = decodeSym(d, strs); err != nil {
+			return r, err
+		}
+		obj, err := d.Uint64()
+		if err != nil {
+			return r, err
+		}
+		r.Ends[i].Object = ID(obj)
+	}
+	if r.Pattern, err = d.Bool(); err != nil {
+		return r, err
+	}
+	if r.Deleted, err = d.Bool(); err != nil {
+		return r, err
+	}
+	return r, nil
+}

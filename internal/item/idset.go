@@ -1,0 +1,69 @@
+package item
+
+import "math/bits"
+
+// IDSet is a dense bitset of item IDs. IDs are allocated sequentially from a
+// per-database counter, so one bit per allocated ID replaces a map[ID]bool
+// at a fraction of the bytes and with no bucket or hashing overhead — the
+// engine's version-dirty set holds an entry for every item touched since the
+// last version freeze, which on a bulk load is every item in the database.
+// The zero IDSet is empty and ready to use.
+type IDSet struct {
+	bits []uint64
+	n    int
+}
+
+// Has reports whether id is in the set.
+func (s *IDSet) Has(id ID) bool {
+	w := int(id >> 6)
+	return w < len(s.bits) && s.bits[w]&(1<<(uint(id)&63)) != 0
+}
+
+// Add inserts id and reports whether it was newly added.
+func (s *IDSet) Add(id ID) bool {
+	w := int(id >> 6)
+	for w >= len(s.bits) {
+		s.bits = append(s.bits, 0)
+	}
+	mask := uint64(1) << (uint(id) & 63)
+	if s.bits[w]&mask != 0 {
+		return false
+	}
+	s.bits[w] |= mask
+	s.n++
+	return true
+}
+
+// Remove deletes id from the set.
+func (s *IDSet) Remove(id ID) {
+	w := int(id >> 6)
+	if w >= len(s.bits) {
+		return
+	}
+	mask := uint64(1) << (uint(id) & 63)
+	if s.bits[w]&mask != 0 {
+		s.bits[w] &^= mask
+		s.n--
+	}
+}
+
+// Len returns the number of IDs in the set.
+func (s *IDSet) Len() int { return s.n }
+
+// Reset empties the set, keeping the allocated words for reuse.
+func (s *IDSet) Reset() {
+	clear(s.bits)
+	s.n = 0
+}
+
+// IDs returns the members in ascending order (a fresh slice).
+func (s *IDSet) IDs() []ID {
+	out := make([]ID, 0, s.n)
+	for w, word := range s.bits {
+		for word != 0 {
+			out = append(out, ID(w<<6+bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package item
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestIDSetVsMap drives an IDSet and a map[ID]bool with the same random
+// operation stream and checks they agree on membership, count, and the
+// ascending member list.
+func TestIDSetVsMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	var s IDSet
+	ref := map[ID]bool{}
+	for i := 0; i < 20000; i++ {
+		id := ID(rng.Intn(500) + 1)
+		switch rng.Intn(4) {
+		case 0, 1:
+			added := s.Add(id)
+			if added == ref[id] {
+				t.Fatalf("op %d: Add(%d) reported %v with ref %v", i, id, added, ref[id])
+			}
+			ref[id] = true
+		case 2:
+			s.Remove(id)
+			delete(ref, id)
+		default:
+			if s.Has(id) != ref[id] {
+				t.Fatalf("op %d: Has(%d) = %v, want %v", i, id, s.Has(id), ref[id])
+			}
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", i, s.Len(), len(ref))
+		}
+	}
+	ids := s.IDs()
+	if len(ids) != len(ref) {
+		t.Fatalf("IDs returned %d members, want %d", len(ids), len(ref))
+	}
+	for i, id := range ids {
+		if !ref[id] {
+			t.Fatalf("IDs[%d] = %d not in reference set", i, id)
+		}
+		if i > 0 && ids[i-1] >= id {
+			t.Fatalf("IDs not ascending: %d before %d", ids[i-1], id)
+		}
+	}
+
+	s.Reset()
+	if s.Len() != 0 || len(s.IDs()) != 0 || s.Has(1) {
+		t.Fatalf("Reset left members behind: len %d", s.Len())
+	}
+	if !s.Add(63) || !s.Add(64) || s.Add(64) {
+		t.Fatal("Add after Reset misbehaved at the word boundary")
+	}
+	if got := s.IDs(); len(got) != 2 || got[0] != 63 || got[1] != 64 {
+		t.Fatalf("IDs after Reset = %v, want [63 64]", got)
+	}
+}
+
+// TestIDSetZeroValue checks the zero IDSet is usable without initialization.
+func TestIDSetZeroValue(t *testing.T) {
+	var s IDSet
+	if s.Has(7) || s.Len() != 0 {
+		t.Fatal("zero IDSet not empty")
+	}
+	s.Remove(900) // beyond any allocated word; must be a no-op
+	if !s.Add(900) || !s.Has(900) || s.Len() != 1 {
+		t.Fatal("Add on zero IDSet failed")
+	}
+}

@@ -1,0 +1,76 @@
+package item
+
+// Dense per-kind item ordinals. Item IDs are monotonic and never reused, so
+// a long-lived database accumulates ID space; ordinals are the compact
+// physical coordinates the columnar store files rows under. Each kind
+// (object, relationship) numbers its rows independently from zero, and the
+// ID→ordinal mapping is a flat slice indexed by ID — one array load, no map.
+
+// Ord is a dense per-kind row ordinal.
+type Ord uint32
+
+// TaggedOrd packs an ordinal with its kind into one word for the flat
+// ID→ordinal table. The zero TaggedOrd means "no item with this ID", which
+// lets the table grow by plain slice extension.
+type TaggedOrd uint32
+
+const ordRelBit TaggedOrd = 1 << 31
+
+// TagOrd packs a kind and ordinal. Ordinals are limited to 2^31-2 rows per
+// kind — beyond the design scale by three orders of magnitude.
+func TagOrd(k Kind, o Ord) TaggedOrd {
+	t := TaggedOrd(o + 1)
+	if k == KindRelationship {
+		t |= ordRelBit
+	}
+	return t
+}
+
+// Valid reports whether the entry names an item.
+func (t TaggedOrd) Valid() bool { return t != 0 }
+
+// Kind returns the packed kind; only meaningful when Valid.
+func (t TaggedOrd) Kind() Kind {
+	if t&ordRelBit != 0 {
+		return KindRelationship
+	}
+	return KindObject
+}
+
+// Ord returns the packed ordinal; only meaningful when Valid.
+func (t TaggedOrd) Ord() Ord { return Ord(t&^ordRelBit) - 1 }
+
+// OrdMap is the flat ID→ordinal table of the live columnar store.
+type OrdMap struct {
+	tags []TaggedOrd // indexed by ID
+}
+
+// Get returns the entry for id (zero TaggedOrd when unknown).
+func (m *OrdMap) Get(id ID) TaggedOrd {
+	if int(id) >= len(m.tags) {
+		return 0
+	}
+	return m.tags[id]
+}
+
+// Set records the entry for id, growing the table as needed.
+func (m *OrdMap) Set(id ID, t TaggedOrd) {
+	for int(id) >= len(m.tags) {
+		m.tags = append(m.tags, 0)
+	}
+	m.tags[id] = t
+}
+
+// Del clears the entry for id.
+func (m *OrdMap) Del(id ID) {
+	if int(id) < len(m.tags) {
+		m.tags[id] = 0
+	}
+}
+
+// Len returns the table extent (highest ID ever set, plus one).
+func (m *OrdMap) Len() int { return len(m.tags) }
+
+// Tags exposes the backing slice for snapshotting into a frozen generation.
+// Callers must treat it as read-only.
+func (m *OrdMap) Tags() []TaggedOrd { return m.tags }

@@ -1,0 +1,115 @@
+package item
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSymTabIntern(t *testing.T) {
+	tab := NewSymTab()
+	if got := tab.Intern(""); got != NoSym {
+		t.Fatalf("Intern(\"\") = %d, want NoSym", got)
+	}
+	a := tab.Intern("alpha")
+	b := tab.Intern("beta")
+	if a == b || a == NoSym || b == NoSym {
+		t.Fatalf("symbols not distinct: %d %d", a, b)
+	}
+	if again := tab.Intern("alpha"); again != a {
+		t.Fatalf("re-intern changed symbol: %d != %d", again, a)
+	}
+	if got := tab.Str(a); got != "alpha" {
+		t.Fatalf("Str(%d) = %q", a, got)
+	}
+	if got := tab.Str(NoSym); got != "" {
+		t.Fatalf("Str(NoSym) = %q", got)
+	}
+	if got := tab.Str(Sym(999)); got != "" {
+		t.Fatalf("out-of-range Str = %q, want \"\"", got)
+	}
+	if sym, ok := tab.Lookup("beta"); !ok || sym != b {
+		t.Fatalf("Lookup(beta) = %d, %v", sym, ok)
+	}
+	if _, ok := tab.Lookup("gamma"); ok {
+		t.Fatal("Lookup resolved a string never interned")
+	}
+	if tab.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tab.Len())
+	}
+}
+
+// TestSymTabConcurrent hammers Intern/Str/Lookup from many goroutines; under
+// -race this pins the lock-free publication protocol of the strings slice.
+func TestSymTabConcurrent(t *testing.T) {
+	tab := NewSymTab()
+	const workers, n = 8, 500
+	var wg sync.WaitGroup
+	syms := make([][]Sym, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			syms[w] = make([]Sym, n)
+			for i := 0; i < n; i++ {
+				s := fmt.Sprintf("s%d", i%137) // heavy overlap across workers
+				sym := tab.Intern(s)
+				syms[w][i] = sym
+				if got := tab.Str(sym); got != s {
+					t.Errorf("Str(Intern(%q)) = %q", s, got)
+					return
+				}
+				tab.Lookup(s)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every worker must have seen identical symbols for identical strings.
+	for w := 1; w < workers; w++ {
+		for i := 0; i < n; i++ {
+			if syms[w][i] != syms[0][i] {
+				t.Fatalf("worker %d symbol for step %d diverged: %d != %d",
+					w, i, syms[w][i], syms[0][i])
+			}
+		}
+	}
+}
+
+func TestTaggedOrd(t *testing.T) {
+	if TaggedOrd(0).Valid() {
+		t.Fatal("zero TaggedOrd claims validity")
+	}
+	to := TagOrd(KindObject, 0)
+	if !to.Valid() || to.Kind() != KindObject || to.Ord() != 0 {
+		t.Fatalf("object ord 0 round-trip: %v %v %d", to.Valid(), to.Kind(), to.Ord())
+	}
+	tr := TagOrd(KindRelationship, 41)
+	if !tr.Valid() || tr.Kind() != KindRelationship || tr.Ord() != 41 {
+		t.Fatalf("rel ord 41 round-trip: %v %v %d", tr.Valid(), tr.Kind(), tr.Ord())
+	}
+}
+
+func TestOrdMap(t *testing.T) {
+	var m OrdMap
+	if m.Get(7).Valid() {
+		t.Fatal("empty map resolves an ID")
+	}
+	m.Set(7, TagOrd(KindObject, 3))
+	m.Set(2, TagOrd(KindRelationship, 0))
+	if got := m.Get(7); got.Kind() != KindObject || got.Ord() != 3 {
+		t.Fatalf("Get(7) = %v/%d", got.Kind(), got.Ord())
+	}
+	if got := m.Get(2); got.Kind() != KindRelationship || got.Ord() != 0 {
+		t.Fatalf("Get(2) = %v/%d", got.Kind(), got.Ord())
+	}
+	if m.Get(6).Valid() {
+		t.Fatal("unset ID within extent resolves")
+	}
+	m.Del(7)
+	if m.Get(7).Valid() {
+		t.Fatal("deleted ID still resolves")
+	}
+	if m.Len() < 8 {
+		t.Fatalf("Len = %d, want >= 8", m.Len())
+	}
+}

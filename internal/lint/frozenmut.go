@@ -16,8 +16,10 @@ import (
 // overlay chain for all later generations.
 //
 // The check is intraprocedural: values produced by an accessor call on
-// anything implementing item.View (or by a package-local function marked
-// `//seedlint:frozen`) are tracked through local assignments and
+// anything implementing item.View (or by a package-local function, method,
+// or interface method marked `//seedlint:frozen` — the columnar store's
+// children/childrenAll/relsOf accessors and the store interface that
+// dispatches to them) are tracked through local assignments and
 // reslicing, and the following operations on them are flagged:
 //
 //   - element or map assignment:  fr[i] = x, fr[i] += x, fr[i]++
@@ -122,18 +124,45 @@ func findViewInterface(pkg *types.Package) *types.Interface {
 	return nil
 }
 
-// localFrozenFuncs collects package-local functions whose doc carries
-// //seedlint:frozen — their first result is shared immutable data.
+// localFrozenFuncs collects the package-local declarations whose doc
+// carries //seedlint:frozen — their first result is shared immutable data.
+// The directive is honored on plain functions, on methods (the columnar
+// store's children/childrenAll/relsOf accessors), and on interface method
+// fields (the store interface), so both concrete and interface-dispatched
+// calls resolve to a marked object.
 func localFrozenFuncs(pass *Pass) map[types.Object]bool {
 	out := map[types.Object]bool{}
+	mark := func(name *ast.Ident) {
+		if obj := pass.TypesInfo.Defs[name]; obj != nil {
+			out[obj] = true
+		}
+	}
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || !hasDirective(fn.Doc, "seedlint:frozen") {
-				continue
-			}
-			if obj := pass.TypesInfo.Defs[fn.Name]; obj != nil {
-				out[obj] = true
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				if hasDirective(decl.Doc, "seedlint:frozen") {
+					mark(decl.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range decl.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					iface, ok := ts.Type.(*ast.InterfaceType)
+					if !ok || iface.Methods == nil {
+						continue
+					}
+					for _, field := range iface.Methods.List {
+						if !hasDirective(field.Doc, "seedlint:frozen") {
+							continue
+						}
+						for _, name := range field.Names {
+							mark(name)
+						}
+					}
+				}
 			}
 		}
 	}
@@ -312,6 +341,10 @@ func (fm *frozenMut) callResult(call *ast.CallExpr) frozenKind {
 			return frozenData
 		}
 	case *ast.SelectorExpr:
+		// A method (or interface method) marked //seedlint:frozen.
+		if obj := fm.pass.TypesInfo.Uses[fun.Sel]; obj != nil && fm.frozenFuncs[obj] {
+			return frozenData
+		}
 		sel := fm.pass.TypesInfo.Selections[fun]
 		if sel == nil || sel.Kind() != types.MethodVal {
 			// Package-qualified function: only the local directive set

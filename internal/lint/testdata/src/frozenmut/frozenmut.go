@@ -123,3 +123,48 @@ func laundered(v View) {
 	ids = make([]int, 4)
 	ids[0] = 1
 }
+
+// colTable stands in for the columnar store: its accessors hand out shared
+// immutable slices and carry the directive on the method declarations.
+type colTable struct {
+	kids map[int][]int
+}
+
+// children returns the shared per-parent list; callers must clone before
+// mutating.
+//
+//seedlint:frozen
+func (t *colTable) children(parent int) []int { return t.kids[parent] }
+
+// table mirrors the store interface: the directive on an interface method
+// field covers dispatched calls too.
+type table interface {
+	//seedlint:frozen
+	children(parent int) []int
+
+	// insert is an ordinary mutator: no directive, results untracked.
+	insert(parent, child int)
+}
+
+func (t *colTable) insert(parent, child int) { t.kids[parent] = append(t.kids[parent], child) }
+
+var _ table = (*colTable)(nil)
+
+// Positive: mutation through a marked method, concrete and dispatched.
+func methodAccessors(t *colTable, ti table) {
+	kids := t.children(1)
+	kids[0] = 9 // want `write into the shared slice`
+	sort.Ints(ti.children(2)) // want `sort\.Ints sorts/mutates a shared frozen-view slice`
+}
+
+// Negative: cloning launders, unmarked methods are untracked, and fresh
+// reassignment clears the taint.
+func methodAccessorsClean(t *colTable, ti table) {
+	kids := append([]int(nil), t.children(1)...)
+	kids[0] = 9
+	sort.Ints(kids)
+	ti.insert(1, 2)
+	more := ti.children(3)
+	more = make([]int, 1)
+	more[0] = 4
+}

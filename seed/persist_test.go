@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/item"
 	"repro/internal/storage"
 )
 
@@ -529,5 +530,76 @@ func TestNoCompactionInsideTransaction(t *testing.T) {
 		if _, ok := db2.View().ObjectByName(name); !ok {
 			t.Errorf("committed object %s lost", name)
 		}
+	}
+}
+
+// TestSnapshotFormatV1Load: databases compacted before the symbol-coded
+// snapshot format landed must still load. The test encodes the state in the
+// retired format-1 layout (inline strings per item, no symbol table) and
+// feeds it through the recovery path.
+func TestSnapshotFormatV1Load(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db := openDB(t, dir, Options{Schema: Figure3Schema(), Clock: fixedClock()})
+	defer db.Close()
+
+	alarms := create(t, db, "Data", "Alarms")
+	sensor := create(t, db, "Action", "Sensor")
+	acc, err := db.CreateRelationship("Access", map[string]ID{"from": alarms, "by": sensor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := db.CreateSubObject(alarms, "Text")
+	sel, err := db.CreateValueObject(text, "Selector", NewString("Representation"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.SaveVersion("v1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Encode the current state exactly as the retired format 1 did, under
+	// the lock the engine and version fields are guarded by.
+	db.mu.RLock()
+	e := storage.NewEncoder(nil)
+	e.Uint64(snapshotFormatV1)
+	e.Uint64(uint64(db.engine.NextID()))
+	e.Int(len(db.schemas))
+	for _, sch := range db.schemas {
+		e.String(RenderSDL(sch))
+	}
+	objs, rels := db.engine.CaptureAll()
+	e.Int(len(objs))
+	for i := range objs {
+		item.EncodeObject(e, &objs[i])
+	}
+	e.Int(len(rels))
+	for i := range rels {
+		item.EncodeRelationship(e, &rels[i])
+	}
+	dirty := db.engine.DirtyIDs()
+	e.Int(len(dirty))
+	for _, id := range dirty {
+		e.Uint64(uint64(id))
+	}
+	db.vers.Encode(e)
+	db.mu.RUnlock()
+
+	db2 := openDB(t, filepath.Join(t.TempDir(), "db2"), Options{Schema: Figure3Schema(), Clock: fixedClock()})
+	defer db2.Close()
+	if err := db2.loadSnapshot(e.Bytes()); err != nil {
+		t.Fatalf("format-1 snapshot load: %v", err)
+	}
+	v := db2.View()
+	if id, ok := v.ObjectByName("Alarms"); !ok || id != alarms {
+		t.Fatalf("Alarms after v1 load = %d %v", id, ok)
+	}
+	if o, ok := v.Object(sel); !ok || o.Value.Str() != "Representation" {
+		t.Errorf("Selector after v1 load = %v %v", o.Value, ok)
+	}
+	if r, ok := v.Relationship(acc); !ok || r.Assoc.Name() != "Access" {
+		t.Errorf("Access after v1 load: %v", ok)
+	}
+	if names := db2.Versions(); len(names) == 0 {
+		t.Error("version tree lost in v1 load")
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/item"
+	"repro/internal/schema"
 	"repro/internal/sdl"
 	"repro/internal/storage"
 	"repro/internal/version"
@@ -12,16 +13,24 @@ import (
 
 // Snapshot format (the payload handed to storage.Store.Compact):
 //
-//	format   uvarint (1)
+//	format   uvarint (2)
 //	nextID   uvarint
 //	schemas  count + SDL text per schema version
-//	objects  count + item encodings (against the latest schema)
-//	rels     count + item encodings
+//	symbols  the symbol table: count + strings, serialized once — item
+//	         encodings reference strings by uvarint symbol
+//	items    blob: objects count + sym-coded encodings (against the latest
+//	         schema), then rels count + sym-coded encodings
 //	dirty    count + IDs
 //	versions the version tree (per-node deltas encoded against the schema
 //	         version each node was created under)
+//
+// Format 1 (inline strings per item, no symbol table) is still loaded for
+// databases compacted before the columnar store landed.
 
-const snapshotFormat = 1
+const (
+	snapshotFormat   = 2
+	snapshotFormatV1 = 1
+)
 
 // compactLocked rewrites the log as one snapshot record.
 //
@@ -45,15 +54,21 @@ func (db *Database) encodeSnapshot() ([]byte, error) {
 	for _, sch := range db.schemas {
 		e.String(sdl.Render(sch))
 	}
+	// Items are sym-coded into a side buffer first, so the symbol table they
+	// populate can be serialized ahead of them.
 	objs, rels := db.engine.CaptureAll()
-	e.Int(len(objs))
+	tab := item.NewSymTab()
+	be := storage.NewEncoder(nil)
+	be.Int(len(objs))
 	for i := range objs {
-		item.EncodeObject(e, &objs[i])
+		item.EncodeObjectSym(be, tab, &objs[i])
 	}
-	e.Int(len(rels))
+	be.Int(len(rels))
 	for i := range rels {
-		item.EncodeRelationship(e, &rels[i])
+		item.EncodeRelationshipSym(be, tab, &rels[i])
 	}
+	item.EncodeSymTab(e, tab)
+	e.Blob(be.Bytes())
 	dirty := db.engine.DirtyIDs()
 	e.Int(len(dirty))
 	for _, id := range dirty {
@@ -73,7 +88,7 @@ func (db *Database) loadSnapshot(payload []byte) error {
 	if err != nil {
 		return err
 	}
-	if format != snapshotFormat {
+	if format != snapshotFormat && format != snapshotFormatV1 {
 		return fmt.Errorf("seed: unsupported snapshot format %d", format)
 	}
 	nextID, err := d.Uint64()
@@ -109,27 +124,15 @@ func (db *Database) loadSnapshot(payload []byte) error {
 	}
 	en.BeginReplay()
 
-	objCount, err := d.Int()
+	var objs []item.Object
+	var rels []item.Relationship
+	if format == snapshotFormatV1 {
+		objs, rels, err = decodeItemsV1(d, latest)
+	} else {
+		objs, rels, err = decodeItemsV2(d, latest)
+	}
 	if err != nil {
 		return err
-	}
-	objs := make([]item.Object, objCount)
-	for i := range objs {
-		objs[i], err = item.DecodeObject(d, latest)
-		if err != nil {
-			return err
-		}
-	}
-	relCount, err := d.Int()
-	if err != nil {
-		return err
-	}
-	rels := make([]item.Relationship, relCount)
-	for i := range rels {
-		rels[i], err = item.DecodeRelationship(d, latest)
-		if err != nil {
-			return err
-		}
 	}
 	en.Restore(objs, rels)
 	en.ForceNextID(item.ID(nextID))
@@ -157,4 +160,64 @@ func (db *Database) loadSnapshot(payload []byte) error {
 	db.engine = en
 	db.vers = vers
 	return nil
+}
+
+// decodeItemsV1 reads the format-1 item sections: inline strings per item.
+func decodeItemsV1(d *storage.Decoder, latest *schema.Schema) ([]item.Object, []item.Relationship, error) {
+	objCount, err := d.Int()
+	if err != nil {
+		return nil, nil, err
+	}
+	objs := make([]item.Object, objCount)
+	for i := range objs {
+		if objs[i], err = item.DecodeObject(d, latest); err != nil {
+			return nil, nil, err
+		}
+	}
+	relCount, err := d.Int()
+	if err != nil {
+		return nil, nil, err
+	}
+	rels := make([]item.Relationship, relCount)
+	for i := range rels {
+		if rels[i], err = item.DecodeRelationship(d, latest); err != nil {
+			return nil, nil, err
+		}
+	}
+	return objs, rels, nil
+}
+
+// decodeItemsV2 reads the format-2 item sections: the symbol table, then the
+// sym-coded items blob.
+func decodeItemsV2(d *storage.Decoder, latest *schema.Schema) ([]item.Object, []item.Relationship, error) {
+	strs, err := item.DecodeSymTab(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	body, err := d.Blob()
+	if err != nil {
+		return nil, nil, err
+	}
+	bd := storage.NewDecoder(body)
+	objCount, err := bd.Int()
+	if err != nil {
+		return nil, nil, err
+	}
+	objs := make([]item.Object, objCount)
+	for i := range objs {
+		if objs[i], err = item.DecodeObjectSym(bd, strs, latest); err != nil {
+			return nil, nil, err
+		}
+	}
+	relCount, err := bd.Int()
+	if err != nil {
+		return nil, nil, err
+	}
+	rels := make([]item.Relationship, relCount)
+	for i := range rels {
+		if rels[i], err = item.DecodeRelationshipSym(bd, strs, latest); err != nil {
+			return nil, nil, err
+		}
+	}
+	return objs, rels, nil
 }
