@@ -14,11 +14,12 @@
 // concurrency engine, E8 the copy-on-write snapshot generations plus the
 // class-indexed query path beyond the paper, E9 the concurrent
 // lock-scoped check-in path against the old serialized write gate, E10
-// the pipelined v2 wire protocol with server-side queries, and E12 the
-// columnar item store against the map-backed ablation. With -json, the
-// machine-readable data of the selected measurement experiment (e8, or
-// e9/e10/e12 when selected with -exp) is written out so the perf
-// trajectory is tracked across PRs. The experiment list below is the
+// the pipelined v2 wire protocol with server-side queries, E12 the
+// columnar item store against the map-backed ablation, and E14 the
+// production-hardening fault harness (overload shedding, chaos clients,
+// graceful drain). With -json, the machine-readable data of the selected
+// measurement experiment (e8, or e9/e10/e12/e14 when selected with -exp)
+// is written out so the perf trajectory is tracked across PRs. The experiment list below is the
 // single source of truth: -list and the -exp flag help enumerate it.
 package main
 
@@ -47,6 +48,7 @@ var experiments = []struct {
 	{"e9", "check-ins: lock-scoped concurrency vs the global write gate", nil},  // wired in main
 	{"e10", "wire v2: pipelined frames and server-side queries", nil},           // wired in main
 	{"e12", "columnar store: bytes/item, freeze and query latency vs map", nil}, // wired in main
+	{"e14", "hardening: overload shedding, fault injection, graceful drain", nil}, // wired in main
 }
 
 // experimentIDs enumerates the registered experiments, so the flag help and
@@ -77,16 +79,19 @@ func main() {
 	e9Workload := bench.DefaultCheckinWorkload
 	e10Workload := bench.DefaultPipelineWorkload
 	e12Workload := bench.DefaultColumnarWorkload
+	e14Workload := bench.DefaultFaultWorkload
 	if *short {
 		e8Workload = bench.ShortChurnWorkload
 		e9Workload = bench.ShortCheckinWorkload
 		e10Workload = bench.ShortPipelineWorkload
 		e12Workload = bench.ShortColumnarWorkload
+		e14Workload = bench.ShortFaultWorkload
 	}
 	var e8Data *bench.E8Data
 	var e9Data *bench.E9Data
 	var e10Data *bench.E10Data
 	var e12Data *bench.E12Data
+	var e14Data *bench.E14Data
 
 	failed := false
 	for _, e := range experiments {
@@ -103,6 +108,8 @@ func main() {
 			r, e10Data = bench.E10Stats(e10Workload)
 		case "e12":
 			r, e12Data = bench.E12Stats(e12Workload)
+		case "e14":
+			r, e14Data = bench.E14Stats(e14Workload)
 		default:
 			r = e.run()
 		}
@@ -135,6 +142,12 @@ func main() {
 				os.Exit(1)
 			}
 			payload = e12Data
+		case strings.EqualFold(*exp, "e14"):
+			if e14Data == nil {
+				fmt.Fprintf(os.Stderr, "seedbench: -json given but experiment e14 did not run (-exp %s)\n", *exp)
+				os.Exit(1)
+			}
+			payload = e14Data
 		default:
 			if e8Data == nil {
 				fmt.Fprintf(os.Stderr, "seedbench: -json given but experiment e8 did not run (-exp %s)\n", *exp)

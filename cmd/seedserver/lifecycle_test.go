@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+)
+
+// TestLifecycle exercises the binary end to end: start with ephemeral wire
+// and metrics ports, confirm /healthz and /readyz answer, run live client
+// traffic, SIGTERM mid-traffic, and require a clean exit-0 drain within the
+// configured timeout — with /readyz having flipped to 503 on the way down.
+func TestLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	bin := filepath.Join(t.TempDir(), "seedserver")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building seedserver: %v\n%s", err, out)
+	}
+	schema := filepath.Join(t.TempDir(), "schema.sdl")
+	if err := os.WriteFile(schema, []byte("schema Life version 1\nclass Doc {\n    Title: STRING 0..1\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin,
+		"-dir", filepath.Join(t.TempDir(), "db"),
+		"-addr", "127.0.0.1:0",
+		"-metrics-addr", "127.0.0.1:0",
+		"-schema", schema,
+		"-sync", "group",
+		"-drain-timeout", "10s",
+		"-log-format", "text",
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	}()
+
+	// The binary logs its bound addresses; scrape both off stderr.
+	serveRe := regexp.MustCompile(`serving .* on (\S+)`)
+	metricsRe := regexp.MustCompile(`metrics on (\S+)`)
+	addrCh := make(chan [2]string, 1)
+	var logMu sync.Mutex
+	var logText strings.Builder
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		var wireAddr, metricsAddr string
+		for sc.Scan() {
+			line := sc.Text()
+			logMu.Lock()
+			logText.WriteString(line + "\n")
+			logMu.Unlock()
+			if m := serveRe.FindStringSubmatch(line); m != nil {
+				wireAddr = m[1]
+			}
+			if m := metricsRe.FindStringSubmatch(line); m != nil {
+				metricsAddr = m[1]
+			}
+			if wireAddr != "" && metricsAddr != "" {
+				select {
+				case addrCh <- [2]string{wireAddr, metricsAddr}:
+				default:
+				}
+			}
+		}
+	}()
+	var wireAddr, metricsAddr string
+	select {
+	case a := <-addrCh:
+		wireAddr, metricsAddr = a[0], a[1]
+	case <-time.After(15 * time.Second):
+		logMu.Lock()
+		defer logMu.Unlock()
+		t.Fatalf("server never logged its addresses; log so far:\n%s", logText.String())
+	}
+
+	if body := httpGet(t, "http://"+metricsAddr+"/healthz", http.StatusOK); !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %q", body)
+	}
+	if body := httpGet(t, "http://"+metricsAddr+"/readyz", http.StatusOK); !strings.Contains(body, "ready") {
+		t.Errorf("/readyz = %q", body)
+	}
+	if body := httpGet(t, "http://"+metricsAddr+"/metrics", http.StatusOK); !strings.Contains(body, "seed_up 1") {
+		t.Errorf("/metrics missing seed_up:\n%.400s", body)
+	}
+
+	// Live traffic: writers check objects in while the drain lands on them.
+	stop := make(chan struct{})
+	var traffic sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		traffic.Add(1)
+		go func(i int) {
+			defer traffic.Done()
+			c, err := client.Dial(wireAddr)
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ws, err := c.Checkout()
+				if err != nil {
+					return // drain refusal or teardown: both expected
+				}
+				ws.CreateObject("Doc", fmt.Sprintf("Doc%dn%d", i, n))
+				if err := ws.Commit(); err != nil {
+					return
+				}
+			}
+		}(i)
+	}
+	time.Sleep(200 * time.Millisecond)
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// /readyz must flip to 503 while the process is still draining.
+	flipped := false
+	for i := 0; i < 200; i++ {
+		resp, err := http.Get("http://" + metricsAddr + "/readyz")
+		if err != nil {
+			break // metrics listener died with the process: drain finished
+		}
+		code := resp.StatusCode
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if code == http.StatusServiceUnavailable {
+			flipped = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			logMu.Lock()
+			defer logMu.Unlock()
+			t.Fatalf("seedserver exited non-zero after SIGTERM: %v\nlog:\n%s", err, logText.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("seedserver did not exit within the drain window")
+	}
+	close(stop)
+	traffic.Wait()
+
+	if !flipped {
+		// The drain can complete faster than the first probe; only fail if
+		// the log shows the drain never happened at all.
+		logMu.Lock()
+		text := logText.String()
+		logMu.Unlock()
+		if !strings.Contains(text, "drain-begin") {
+			t.Errorf("no readyz flip observed and no drain-begin logged:\n%s", text)
+		}
+	}
+}
+
+func httpGet(t *testing.T, url string, want int) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != want {
+		t.Fatalf("GET %s = %d, want %d (body %q)", url, resp.StatusCode, want, body)
+	}
+	return string(body)
+}

@@ -6,6 +6,9 @@
 //	seedserver -dir /var/lib/seed -addr 127.0.0.1:7544 [-schema schema.sdl]
 //	           [-segment-size 4194304] [-sync request|group]
 //	           [-idle-timeout 5m] [-write-timeout 30s]
+//	           [-max-inflight 256] [-queue-depth 64]
+//	           [-metrics-addr 127.0.0.1:7545] [-drain-timeout 30s]
+//	           [-log-format text|json]
 //
 // A fresh directory requires -schema (an SDL file); an existing database
 // loads its schema from storage. -segment-size caps one write-ahead-log
@@ -22,14 +25,39 @@
 // links, since a near-limit 8 MiB frame needs the whole bound. Zero
 // (the default) disables either; both deadlines preserve pre-v2 behavior
 // unless explicitly armed.
+//
+// Overload protection: -max-inflight caps the requests executing at once
+// across all connections, and -queue-depth bounds how many more may wait
+// for a slot; everything beyond both is shed immediately with the
+// retryable "overloaded" wire code (clients using client.Retry back off
+// and come back). -max-inflight 0 (the default) disables the gate.
+//
+// Observability: -metrics-addr starts a side HTTP listener serving
+// /metrics (Prometheus text format: per-operation latency histograms,
+// response-code counters, connection/lock/queue/WAL gauges), /healthz
+// (liveness), and /readyz (flips to 503 the moment a drain begins, so a
+// load balancer stops routing before the listener goes away). Empty (the
+// default) disables it. -log-format selects the structured log rendering:
+// text (key=value lines) or json (one object per line).
+//
+// Shutdown: on SIGTERM or SIGINT the server drains gracefully — it stops
+// accepting connections, refuses new mutations with the retryable
+// "shutting-down" code, waits up to -drain-timeout for in-flight
+// check-ins to reach group-commit durability, seals the write-ahead log's
+// tail segment, closes the remaining connections, and exits 0. A second
+// signal, or the timeout, forces immediate teardown.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/server"
 	"repro/seed"
@@ -43,6 +71,11 @@ func main() {
 	syncMode := flag.String("sync", "request", "durability policy: request (fsync on save points) or group (group-committed fsync per operation)")
 	idleTimeout := flag.Duration("idle-timeout", 0, "disconnect a client after this silence, releasing its locks and in-flight check-in (0 disables; note a checked-out client editing locally is legitimately silent, so enable only with clients that reconnect and re-checkout on error)")
 	writeTimeout := flag.Duration("write-timeout", 0, "maximum time one response frame may take to reach a client before the connection is reaped (0 disables; bound one frame's transfer, so size it to the slowest link expected to carry an 8 MiB frame)")
+	maxInflight := flag.Int("max-inflight", 0, "maximum requests executing at once across all connections; excess waits in the admission queue or is shed with the retryable overloaded code (0 disables the gate)")
+	queueDepth := flag.Int("queue-depth", 64, "requests allowed to wait for an execution slot when -max-inflight is reached; beyond this they are shed immediately")
+	metricsAddr := flag.String("metrics-addr", "", "side HTTP listen address for /metrics, /healthz, /readyz (empty disables)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM/SIGINT, how long to wait for in-flight check-ins to reach durability before forcing teardown")
+	logFormat := flag.String("log-format", server.LogText, "structured log rendering: text (key=value) or json (one object per line)")
 	flag.Parse()
 
 	opts := seed.Options{CompactAfter: 4 << 20, SegmentSize: *segmentSize}
@@ -69,22 +102,54 @@ func main() {
 	if err != nil {
 		log.Fatalf("opening database: %v", err)
 	}
-	defer db.Close()
 
 	srv := server.New(db)
 	srv.SetLogger(log.Printf)
+	if err := srv.SetLogFormat(*logFormat); err != nil {
+		log.Fatalf("%v", err)
+	}
 	srv.SetTimeouts(*idleTimeout, *writeTimeout)
+	srv.SetAdmission(*maxInflight, *queueDepth, 0)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("listening: %v", err)
 	}
 	log.Printf("seedserver: serving %s on %s", *dir, bound)
 
-	sig := make(chan os.Signal, 1)
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics listener: %v", err)
+		}
+		log.Printf("seedserver: metrics on %s", mln.Addr().String())
+		go func() {
+			// The metrics plane dies with the process; /readyz keeps
+			// answering through the drain so orchestrators see the flip.
+			if err := http.Serve(mln, srv.MetricsHandler()); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("seedserver: shutting down")
-	if err := srv.Close(); err != nil {
-		log.Printf("close: %v", err)
+	log.Printf("seedserver: draining (timeout %s; signal again to force)", *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	go func() {
+		<-sig // a second signal forces immediate teardown
+		cancel()
+	}()
+	err = srv.Shutdown(ctx)
+	cancel()
+	if err != nil {
+		log.Printf("drain: %v", err)
+		if err := srv.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
 	}
+	if err := db.Close(); err != nil {
+		log.Fatalf("closing database: %v", err)
+	}
+	log.Printf("seedserver: exit")
 }

@@ -7,6 +7,13 @@
 //	seedsh                      # in-memory database, figure 3 schema
 //	seedsh -dir db              # file-backed (fresh dirs get figure 3)
 //	seedsh -dir db -schema s.sdl
+//	seedsh -addr host:7544      # remote: retrieval/versions/stats over the wire
+//
+// With -addr the shell connects to a running seedserver instead of opening
+// a database: ls, query, show, tree, check, save, versions, and stats run
+// server-side (stats then reports the serving plane too — connections,
+// locks, admission gauges, drain state); editing commands are refused,
+// since edits go through checkout-based clients.
 //
 // Type 'help' at the prompt for commands.
 package main
@@ -20,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/client"
 	"repro/internal/item"
 	"repro/seed"
 )
@@ -27,32 +35,45 @@ import (
 func main() {
 	dir := flag.String("dir", "", "database directory (empty: in-memory)")
 	schemaFile := flag.String("schema", "", "SDL schema file for fresh databases")
+	addr := flag.String("addr", "", "seedserver address; connects remotely instead of opening a database")
 	flag.Parse()
 
-	sch := seed.Figure3Schema()
-	if *schemaFile != "" {
-		text, err := os.ReadFile(*schemaFile)
+	sh := &shell{out: os.Stdout}
+	if *addr != "" {
+		if *dir != "" || *schemaFile != "" {
+			log.Fatal("-addr is exclusive with -dir and -schema (the database lives server-side)")
+		}
+		c, err := client.Dial(*addr)
 		if err != nil {
 			log.Fatal(err)
 		}
-		sch, err = seed.ParseSDL(string(text))
-		if err != nil {
-			log.Fatal(err)
-		}
-	}
-	var db *seed.Database
-	var err error
-	if *dir == "" {
-		db, err = seed.NewMemory(sch)
+		defer c.Close()
+		sh.remote = c
 	} else {
-		db, err = seed.Open(*dir, seed.Options{Schema: sch, CompactAfter: 4 << 20})
+		sch := seed.Figure3Schema()
+		if *schemaFile != "" {
+			text, err := os.ReadFile(*schemaFile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sch, err = seed.ParseSDL(string(text))
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		var db *seed.Database
+		var err error
+		if *dir == "" {
+			db, err = seed.NewMemory(sch)
+		} else {
+			db, err = seed.Open(*dir, seed.Options{Schema: sch, CompactAfter: 4 << 20})
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer db.Close()
+		sh.db = db
 	}
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer db.Close()
-
-	sh := &shell{db: db, out: os.Stdout}
 	fmt.Println("SEED shell — 'help' lists commands, 'quit' exits")
 	scanner := bufio.NewScanner(os.Stdin)
 	for {
@@ -74,11 +95,15 @@ func main() {
 }
 
 type shell struct {
-	db  *seed.Database
-	out *os.File
+	db     *seed.Database
+	remote *client.Client // non-nil in -addr mode; db is nil then
+	out    *os.File
 }
 
 func (s *shell) exec(line string) error {
+	if s.remote != nil {
+		return s.execRemote(line)
+	}
 	args := strings.Fields(line)
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -312,22 +337,8 @@ func (s *shell) query(rest []string) error {
 // (int:5, real:1.5, bool:true, date:1986-02-05, str:x); without a prefix
 // the value is a string.
 func parseQueryValue(raw string) (seed.Value, error) {
-	kind := seed.KindString
-	if k, rest, ok := strings.Cut(raw, ":"); ok {
-		switch k {
-		case "str":
-			kind, raw = seed.KindString, rest
-		case "int":
-			kind, raw = seed.KindInteger, rest
-		case "real":
-			kind, raw = seed.KindReal, rest
-		case "bool":
-			kind, raw = seed.KindBoolean, rest
-		case "date":
-			kind, raw = seed.KindDate, rest
-		}
-	}
-	return seed.ParseValue(kind, raw)
+	kind, rest := splitKindPrefix(raw)
+	return seed.ParseValue(kind, rest)
 }
 
 func (s *shell) make(rest []string, pattern bool) error {

@@ -1,0 +1,247 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/wire"
+	"repro/seed"
+)
+
+// execRemote dispatches one shell command against a remote seedserver (the
+// -addr mode): the retrieval and version surface goes over the wire
+// protocol, while local-database editing commands — which would bypass the
+// server's checkout discipline — are refused with a pointer at check-out
+// based clients.
+func (s *shell) execRemote(line string) error {
+	args := strings.Fields(line)
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "help":
+		s.help()
+		fmt.Fprintln(s.out, "\nremote mode: retrieval (ls, query, show, tree, check), save, versions,")
+		fmt.Fprintln(s.out, "and stats run against the server; editing commands need a checkout client")
+		return nil
+	case "ls":
+		class := ""
+		if len(rest) > 0 {
+			class = rest[0]
+		}
+		names, err := s.remote.List(class)
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			fmt.Fprintln(s.out, n)
+		}
+		return nil
+	case "query":
+		return s.remoteQuery(rest)
+	case "show", "tree":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: %s <name>", cmd)
+		}
+		return s.remoteTree(rest[0])
+	case "check":
+		findings, err := s.remote.Completeness()
+		if err != nil {
+			return err
+		}
+		for _, f := range findings {
+			fmt.Fprintf(s.out, "item=%d rule=%s %s\n", f.Item, f.Rule, f.Detail)
+		}
+		return nil
+	case "save":
+		num, err := s.remote.SaveVersion(strings.Join(rest, " "))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "saved version %s\n", num)
+		return nil
+	case "versions":
+		infos, err := s.remote.Versions()
+		if err != nil {
+			return err
+		}
+		for _, info := range infos {
+			fmt.Fprintf(s.out, "%-8s delta=%-4d schema=v%d  %s\n",
+				info.Num, info.DeltaSize, info.SchemaVer, info.Note)
+		}
+		return nil
+	case "stats":
+		return s.remoteStats()
+	case "schema", "mk", "mkpattern", "sub", "set", "ln", "rm", "reclass",
+		"inherit", "select", "history":
+		return fmt.Errorf("command %q is not available in remote mode (use a checkout-based client for edits)", cmd)
+	}
+	return fmt.Errorf("unknown command %q (try 'help')", cmd)
+}
+
+// remoteQuery parses the same clause syntax the local query command takes
+// into a wire query and executes it server-side.
+func (s *shell) remoteQuery(rest []string) error {
+	q := &wire.Query{}
+	for i := 0; i < len(rest); {
+		clause := rest[i]
+		arg := func(n int) ([]string, error) {
+			if len(rest)-i-1 < n {
+				return nil, fmt.Errorf("clause %q needs %d argument(s); 'help' shows the syntax", clause, n)
+			}
+			args := rest[i+1 : i+1+n]
+			i += 1 + n
+			return args, nil
+		}
+		switch clause {
+		case "class":
+			a, err := arg(1)
+			if err != nil {
+				return err
+			}
+			q.Class = a[0]
+			if i < len(rest) && rest[i] == "specs" {
+				q.Specs = true
+				i++
+			}
+		case "name":
+			a, err := arg(1)
+			if err != nil {
+				return err
+			}
+			q.NameGlob = a[0]
+		case "where":
+			a, err := arg(3)
+			if err != nil {
+				return err
+			}
+			kind, raw := splitKindPrefix(a[2])
+			q.Where = append(q.Where, wire.Where{
+				Path: a[0], Op: a[1], ValueKind: uint8(kind), Value: raw,
+			})
+		case "follow":
+			a, err := arg(3)
+			if err != nil {
+				return err
+			}
+			q.Follow = append(q.Follow, wire.FollowStep{Assoc: a[0], From: a[1], To: a[2]})
+		case "limit", "offset":
+			a, err := arg(1)
+			if err != nil {
+				return err
+			}
+			n, err := strconv.Atoi(a[0])
+			if err != nil || n < 0 {
+				return fmt.Errorf("bad %s %q", clause, a[0])
+			}
+			if clause == "limit" {
+				q.Limit = n
+			} else {
+				q.Offset = n
+			}
+		default:
+			return fmt.Errorf("unknown clause %q ('help' shows the syntax)", clause)
+		}
+	}
+	objs, total, err := s.remote.Query(q)
+	if err != nil {
+		return err
+	}
+	for _, o := range objs {
+		label := o.Name
+		if o.Path != "" {
+			label = o.Path
+		}
+		fmt.Fprintf(s.out, "%-32s %s", label, o.Class)
+		if o.ValueKind != 0 {
+			fmt.Fprintf(s.out, " = %s", o.Value)
+		}
+		fmt.Fprintln(s.out)
+	}
+	fmt.Fprintf(s.out, "%d of %d match(es)\n", len(objs), total)
+	return nil
+}
+
+// remoteTree renders one retrieved subtree: objects indented by their path
+// depth, then the root's relationships.
+func (s *shell) remoteTree(name string) error {
+	snaps, err := s.remote.Get(name)
+	if err != nil {
+		return err
+	}
+	for _, snap := range snaps {
+		for _, o := range snap.Objects {
+			depth := strings.Count(o.Path, ".")
+			label := o.Path
+			if label == "" {
+				label = o.Name
+			}
+			fmt.Fprintf(s.out, "%s%s (%s)", strings.Repeat("  ", depth), label, o.Class)
+			if o.ValueKind != 0 {
+				fmt.Fprintf(s.out, " = %s", o.Value)
+			}
+			fmt.Fprintln(s.out)
+		}
+		for _, r := range snap.Rels {
+			fmt.Fprintf(s.out, "  -- %s:", r.Assoc)
+			for role, end := range r.Ends {
+				fmt.Fprintf(s.out, " %s=%s", role, end)
+			}
+			fmt.Fprintln(s.out)
+		}
+	}
+	return nil
+}
+
+// remoteStats renders the server's structured stats — database shape plus
+// the serving-plane gauges (connections, locks, admission state, drain).
+func (s *shell) remoteStats() error {
+	st, err := s.remote.StatsInfo()
+	if err != nil {
+		return err
+	}
+	for _, row := range []struct {
+		name  string
+		value any
+	}{
+		{"objects", st.Objects},
+		{"relationships", st.Relationships},
+		{"patterns", st.Patterns},
+		{"deleted", st.Deleted},
+		{"versions", st.Versions},
+		{"schema-version", st.SchemaVersion},
+		{"generation", st.Generation},
+		{"open-txs", st.OpenTxs},
+		{"wal-segments", st.WALSegments},
+		{"wal-bytes", st.WALBytes},
+		{"connections", st.Connections},
+		{"locks", st.Locks},
+		{"in-flight", st.InFlight},
+		{"queued", st.Queued},
+		{"rejected", st.Rejected},
+		{"draining", st.Draining},
+	} {
+		fmt.Fprintf(s.out, "%-16s %v\n", row.name, row.value)
+	}
+	return nil
+}
+
+// splitKindPrefix splits an optional kind prefix (int:5, real:1.5,
+// bool:true, date:1986-02-05, str:x) off a comparison value; without a
+// prefix the value is a string.
+func splitKindPrefix(raw string) (seed.Kind, string) {
+	if k, rest, ok := strings.Cut(raw, ":"); ok {
+		switch k {
+		case "str":
+			return seed.KindString, rest
+		case "int":
+			return seed.KindInteger, rest
+		case "real":
+			return seed.KindReal, rest
+		case "bool":
+			return seed.KindBoolean, rest
+		case "date":
+			return seed.KindDate, rest
+		}
+	}
+	return seed.KindString, raw
+}

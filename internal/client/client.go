@@ -10,6 +10,12 @@
 // Send/Await expose the pipeline directly for callers that want many
 // requests in flight from one goroutine. DialLockstep pins a connection to
 // the v1 one-request-one-response protocol.
+//
+// Transient server-side failures — a lock held by another client
+// (ErrLocked), a check-in conflict (ErrConflict), or an admission-control
+// rejection when the server is overloaded (ErrOverloaded) — are retryable:
+// wrap the operation in Retry, which backs off exponentially with jitter
+// (capped, context-bounded) and gives up immediately on everything else.
 package client
 
 import (
@@ -36,6 +42,15 @@ var (
 	// concurrently staged check-ins overlapped. Retryable — check out
 	// again and re-stage the batch.
 	ErrConflict = errors.New("client: check-in conflicted with a concurrent check-in")
+	// ErrOverloaded mirrors the server's admission-control rejection: the
+	// global in-flight limit was reached and the bounded wait queue was
+	// full, so the request was shed without executing. Retryable with
+	// backoff — Retry handles it.
+	ErrOverloaded = errors.New("client: server overloaded, request shed")
+	// ErrShuttingDown mirrors the server's graceful-drain refusal: the
+	// server stopped accepting new mutations while it drains. Retryable
+	// against the server's replacement, not against this server.
+	ErrShuttingDown = errors.New("client: server shutting down, mutation refused")
 )
 
 // Client is one connection to a SEED server. A v2 client is safe for
@@ -290,6 +305,10 @@ func remoteError(resp *wire.Response) error {
 		return fmt.Errorf("%w: %w: %s", ErrRemote, ErrNotLocked, resp.Err)
 	case wire.CodeConflict:
 		return fmt.Errorf("%w: %w: %s", ErrRemote, ErrConflict, resp.Err)
+	case wire.CodeOverloaded:
+		return fmt.Errorf("%w: %w: %s", ErrRemote, ErrOverloaded, resp.Err)
+	case wire.CodeShuttingDown:
+		return fmt.Errorf("%w: %w: %s", ErrRemote, ErrShuttingDown, resp.Err)
 	}
 	return fmt.Errorf("%w: %s", ErrRemote, resp.Err)
 }

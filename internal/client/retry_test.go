@@ -1,0 +1,95 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+)
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	err := client.RetryWith(context.Background(),
+		client.RetryPolicy{Base: time.Millisecond, Cap: 4 * time.Millisecond, Attempts: 6},
+		func() error {
+			calls++
+			if calls < 3 {
+				return fmt.Errorf("wrapped: %w", client.ErrOverloaded)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+}
+
+func TestRetryStopsOnPermanentError(t *testing.T) {
+	boom := errors.New("permanent")
+	calls := 0
+	err := client.Retry(context.Background(), func() error { calls++; return boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want the permanent error unchanged", err)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (no retries of a permanent error)", calls)
+	}
+}
+
+func TestRetryExhaustionKeepsIdentity(t *testing.T) {
+	calls := 0
+	err := client.RetryWith(context.Background(),
+		client.RetryPolicy{Base: time.Microsecond, Cap: time.Microsecond, Attempts: 4},
+		func() error { calls++; return client.ErrLocked })
+	if calls != 4 {
+		t.Errorf("calls = %d, want 4", calls)
+	}
+	if !errors.Is(err, client.ErrLocked) {
+		t.Errorf("exhaustion error %v lost the sentinel identity", err)
+	}
+}
+
+func TestRetryHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- client.RetryWith(ctx,
+			client.RetryPolicy{Base: time.Hour, Cap: time.Hour, Attempts: 10},
+			func() error { calls++; return client.ErrConflict })
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+		if !errors.Is(err, client.ErrConflict) {
+			t.Errorf("err = %v, should keep the last attempt's identity", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("retry did not notice the cancelled context")
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1", calls)
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	for _, err := range []error{client.ErrLocked, client.ErrConflict, client.ErrOverloaded} {
+		if !client.Retryable(fmt.Errorf("w: %w", err)) {
+			t.Errorf("Retryable(%v) = false", err)
+		}
+	}
+	for _, err := range []error{client.ErrShuttingDown, client.ErrNotLocked, client.ErrRemote, errors.New("x")} {
+		if client.Retryable(err) {
+			t.Errorf("Retryable(%v) = true", err)
+		}
+	}
+}

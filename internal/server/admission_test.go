@@ -1,0 +1,152 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func waitQueued(t *testing.T, a *admission, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, q := a.gauges(); q == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			_, q := a.gauges()
+			t.Fatalf("queue never reached %d (at %d)", want, q)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestAdmissionGrantQueueShed(t *testing.T) {
+	var a admission
+	a.configure(2, 1)
+	cancel := make(chan struct{})
+
+	r1, ok, shed := a.acquire(cancel)
+	r2, ok2, shed2 := a.acquire(cancel)
+	if !ok || !ok2 || shed || shed2 {
+		t.Fatal("acquires under the limit did not grant")
+	}
+	if running, queued := a.gauges(); running != 2 || queued != 0 {
+		t.Fatalf("gauges = %d, %d", running, queued)
+	}
+
+	// Third waits in the queue.
+	granted := make(chan func(), 1)
+	go func() {
+		r, ok, _ := a.acquire(cancel)
+		if ok {
+			granted <- r
+		}
+	}()
+	waitQueued(t, &a, 1)
+
+	// Fourth finds the queue full: shed.
+	if _, ok, shed := a.acquire(cancel); ok || !shed {
+		t.Fatalf("over-queue acquire: ok=%v shed=%v, want shed", ok, shed)
+	}
+	if got := a.rejected.Load(); got != 1 {
+		t.Errorf("rejected = %d, want 1", got)
+	}
+
+	// A release transfers the token to the waiter; running stays at limit.
+	r1()
+	select {
+	case r3 := <-granted:
+		if running, queued := a.gauges(); running != 2 || queued != 0 {
+			t.Errorf("after transfer: gauges = %d, %d", running, queued)
+		}
+		r3()
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued acquire never granted after a release")
+	}
+	r2()
+	if running, queued := a.gauges(); running != 0 || queued != 0 {
+		t.Errorf("after all releases: gauges = %d, %d", running, queued)
+	}
+}
+
+func TestAdmissionQueueIsFIFO(t *testing.T) {
+	var a admission
+	a.configure(1, 10)
+	cancel := make(chan struct{})
+	r, _, _ := a.acquire(cancel)
+
+	order := make(chan int, 5)
+	for i := 0; i < 5; i++ {
+		go func(i int) {
+			rel, ok, _ := a.acquire(cancel)
+			if ok {
+				order <- i
+				rel()
+			}
+		}(i)
+		waitQueued(t, &a, i+1) // pin each waiter's queue position
+	}
+	r()
+	for want := 0; want < 5; want++ {
+		select {
+		case got := <-order:
+			if got != want {
+				t.Fatalf("grant order: got waiter %d, want %d", got, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("waiter %d never granted", want)
+		}
+	}
+}
+
+func TestAdmissionCancelWhileWaiting(t *testing.T) {
+	var a admission
+	a.configure(1, 10)
+	cancel := make(chan struct{})
+	r, _, _ := a.acquire(make(chan struct{}))
+
+	done := make(chan bool, 1)
+	go func() {
+		_, ok, shed := a.acquire(cancel)
+		done <- ok || shed
+	}()
+	waitQueued(t, &a, 1)
+	close(cancel)
+	select {
+	case wrong := <-done:
+		if wrong {
+			t.Error("cancelled acquire reported a grant or a shed")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled acquire never returned")
+	}
+	r()
+	// No token leaked: the gate is idle and grants immediately again.
+	if running, queued := a.gauges(); running != 0 || queued != 0 {
+		t.Fatalf("after cancel: gauges = %d, %d", running, queued)
+	}
+	r2, ok, _ := a.acquire(make(chan struct{}))
+	if !ok {
+		t.Fatal("gate did not grant after cancellation cleanup")
+	}
+	r2()
+}
+
+func TestAdmissionUnlimitedByDefault(t *testing.T) {
+	var a admission // zero value: no limit
+	cancel := make(chan struct{})
+	rels := make([]func(), 0, 100)
+	for i := 0; i < 100; i++ {
+		r, ok, shed := a.acquire(cancel)
+		if !ok || shed {
+			t.Fatalf("unlimited gate refused acquire %d", i)
+		}
+		rels = append(rels, r)
+	}
+	for _, r := range rels {
+		r()
+	}
+	if running, _ := a.gauges(); running != 0 {
+		t.Errorf("running = %d after all releases", running)
+	}
+}

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/wire"
+	"repro/seed"
+)
+
+// TestDrainRefusalMatrix pins exactly which operations a draining server
+// refuses: the ones that start new work (checkout, checkin, save-version),
+// with the retryable shutting-down code — while retrieval and lock release
+// keep working so clients can finish and wind down.
+func TestDrainRefusalMatrix(t *testing.T) {
+	db, err := seed.NewMemory(seed.Figure3Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.CreateObject("Data", "Root"); err != nil {
+		t.Fatal(err)
+	}
+	s := New(db)
+	s.draining.Store(true)
+
+	for _, req := range []*wire.Request{
+		{Op: wire.OpCheckout, Names: []string{"Root"}},
+		{Op: wire.OpCheckin, Names: []string{"Root"}},
+		{Op: wire.OpSaveVersion, Note: "nope"},
+	} {
+		resp := s.handle("client-1", req)
+		if resp.Code != wire.CodeShuttingDown {
+			t.Errorf("%s during drain: code %q, want %q (err %q)", req.Op, resp.Code, wire.CodeShuttingDown, resp.Err)
+		}
+	}
+	for _, req := range []*wire.Request{
+		{Op: wire.OpGet, Names: []string{"Root"}},
+		{Op: wire.OpList},
+		{Op: wire.OpRelease, Names: []string{"Root"}},
+		{Op: wire.OpVersions},
+		{Op: wire.OpCompleteness},
+		{Op: wire.OpStats},
+	} {
+		resp := s.handle("client-1", req)
+		if resp.Err != "" {
+			t.Errorf("%s during drain failed: %s (code %q)", req.Op, resp.Err, resp.Code)
+		}
+	}
+	if !errors.Is(ErrShuttingDown, ErrShuttingDown) || codeOf(ErrShuttingDown) != wire.CodeShuttingDown {
+		t.Error("ErrShuttingDown does not map onto its wire code")
+	}
+	if codeOf(ErrOverloaded) != wire.CodeOverloaded {
+		t.Error("ErrOverloaded does not map onto its wire code")
+	}
+}
+
+// TestShutdownUnderLoad drives mutating traffic from several clients, calls
+// Shutdown mid-stream, and requires: a nil drain error, every lock and
+// in-flight transaction released, and the goroutine count settling back to
+// its pre-server baseline — no leaked readers, writers, handlers, or
+// admission waiters.
+func TestShutdownUnderLoad(t *testing.T) {
+	before := runtime.NumGoroutine()
+	db, err := seed.NewMemory(seed.Figure3Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := db.CreateObject("Data", fmt.Sprintf("Obj%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := New(db)
+	s.SetAdmission(8, 16, 0)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			obj := fmt.Sprintf("Obj%d", i)
+			for n := 0; ; n++ {
+				ws, err := c.Checkout(obj)
+				if err != nil {
+					return // drain refusal or teardown ends the loop
+				}
+				ws.CreateValue(obj, "Description", uint8(seed.KindString), fmt.Sprintf("v%d", n))
+				if err := ws.Commit(); err != nil {
+					return
+				}
+			}
+		}(i)
+	}
+	time.Sleep(100 * time.Millisecond) // let the load establish itself
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Errorf("Shutdown under load: %v", err)
+	}
+	wg.Wait()
+
+	s.mu.Lock()
+	locks, inflight, conns := len(s.locks), len(s.inflight), len(s.conns)
+	s.mu.Unlock()
+	if locks != 0 || inflight != 0 || conns != 0 {
+		t.Errorf("after shutdown: %d locks, %d inflight txs, %d conns — want all zero", locks, inflight, conns)
+	}
+
+	// Goroutines must settle back to the baseline (small slack for the
+	// runtime's own background goroutines).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d before, %d after shutdown\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Shutdown twice is a no-op, and Close after Shutdown is safe.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Errorf("second Shutdown: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("Close after Shutdown: %v", err)
+	}
+}

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Structured logging rides the existing SetLogger seam: every event is one
+// line, either logfmt-style key=value text (default, for humans and grep)
+// or a JSON object (for log pipelines), with the per-connection client ID
+// threaded through as conn=... so one connection's accept, checkouts,
+// check-ins, and disconnect correlate. The sink stays whatever SetLogger
+// installed (log.Printf in seedserver), so callers keep full control over
+// destination and timestamps.
+
+// Log formats for SetLogFormat.
+const (
+	LogText = "text"
+	LogJSON = "json"
+)
+
+// SetLogFormat selects the structured-log rendering: LogText (key=value
+// lines) or LogJSON (one JSON object per line). Call before Listen.
+func (s *Server) SetLogFormat(format string) error {
+	switch format {
+	case LogText, "":
+		s.jsonLog = false
+	case LogJSON:
+		s.jsonLog = true
+	default:
+		return fmt.Errorf("server: unknown log format %q (want %q or %q)", format, LogText, LogJSON)
+	}
+	return nil
+}
+
+// event emits one structured log line. conn is the per-connection client
+// ID ("" for server-scope events); kv alternates keys and values.
+func (s *Server) event(conn, event string, kv ...any) {
+	var b strings.Builder
+	if s.jsonLog {
+		b.WriteString(`{"event":`)
+		b.Write(jsonValue(event))
+		if conn != "" {
+			b.WriteString(`,"conn":`)
+			b.Write(jsonValue(conn))
+		}
+		for i := 0; i+1 < len(kv); i += 2 {
+			b.WriteByte(',')
+			b.Write(jsonValue(fmt.Sprint(kv[i])))
+			b.WriteByte(':')
+			b.Write(jsonValue(kv[i+1]))
+		}
+		b.WriteByte('}')
+	} else {
+		b.WriteString("event=")
+		b.WriteString(textValue(event))
+		if conn != "" {
+			b.WriteString(" conn=")
+			b.WriteString(textValue(conn))
+		}
+		for i := 0; i+1 < len(kv); i += 2 {
+			fmt.Fprintf(&b, " %v=%s", kv[i], textValue(kv[i+1]))
+		}
+	}
+	s.logf("%s", b.String())
+}
+
+// jsonValue renders one value as a JSON token; values JSON cannot encode
+// fall back to their quoted string form so a log line is never dropped.
+func jsonValue(v any) []byte {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		buf, _ = json.Marshal(fmt.Sprint(v))
+	}
+	return buf
+}
+
+// textValue renders one value for a key=value line, quoting anything with
+// spaces or quotes so lines stay unambiguous to split.
+func textValue(v any) string {
+	str, ok := v.(string)
+	if !ok {
+		str = fmt.Sprint(v)
+	}
+	if strings.ContainsAny(str, " \t\"=") || str == "" {
+		return fmt.Sprintf("%q", str)
+	}
+	return str
+}

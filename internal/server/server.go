@@ -7,6 +7,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -16,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/item"
@@ -29,6 +31,13 @@ var (
 	ErrLocked    = errors.New("server: object is checked out by another client")
 	ErrNotLocked = errors.New("server: object is not checked out by this client")
 	ErrConflict  = errors.New("server: check-in conflicted with a concurrent check-in")
+	// ErrOverloaded is returned when admission control sheds a request:
+	// the global in-flight limit was reached and the bounded wait queue
+	// was full. Retryable with backoff (client.Retry does).
+	ErrOverloaded = errors.New("server: overloaded, request shed by admission control")
+	// ErrShuttingDown is returned to new mutations while the server drains
+	// for a graceful shutdown. Retryable against the server's replacement.
+	ErrShuttingDown = errors.New("server: shutting down, new mutations refused")
 )
 
 // Server serves one SEED database to many clients over wire protocol v2:
@@ -71,15 +80,37 @@ type Server struct {
 	idleTimeout  time.Duration
 	writeTimeout time.Duration
 
-	mu       sync.Mutex
-	locks    map[string]string   // seed:guarded-by(mu) — object name -> client ID holding the lock
-	creating map[string]string   // seed:guarded-by(mu) — object name -> client ID creating it in an in-flight check-in
-	inflight map[string]*seed.Tx // seed:guarded-by(mu) — client ID -> staged check-in transaction
-	nextCli  int                 // seed:guarded-by(mu)
+	// Admission control (SetAdmission, before Listen): adm is the global
+	// in-flight limit with its bounded wait queue; perConn bounds one
+	// connection's pipelined dispatch (reads block in the reader loop —
+	// natural TCP backpressure — rather than being shed, so one client
+	// cannot monopolize the global budget).
+	adm     admission
+	perConn int
+	met     *metrics
+
+	// Lifecycle. draining flips when Shutdown begins: new mutations are
+	// refused with ErrShuttingDown while in-flight check-ins finish; ready
+	// mirrors it for the /readyz probe. stop is closed (once) when the
+	// server force-closes connections, unblocking admission waiters.
+	draining atomic.Bool
+	ready    atomic.Bool
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	mu        sync.Mutex
+	locks     map[string]string     // seed:guarded-by(mu) — object name -> client ID holding the lock
+	creating  map[string]string     // seed:guarded-by(mu) — object name -> client ID creating it in an in-flight check-in
+	inflight  map[string]*seed.Tx   // seed:guarded-by(mu) — client ID -> staged check-in transaction
+	conns     map[net.Conn]struct{} // seed:guarded-by(mu) — open connections, for forced teardown
+	mutActive int                   // seed:guarded-by(mu) — mutating requests being handled right now
+	nextCli   int                   // seed:guarded-by(mu)
 
 	wg     sync.WaitGroup
 	closed bool // seed:guarded-by(mu)
 	logf   func(format string, args ...any)
+
+	jsonLog bool // SetLogFormat, before Listen
 }
 
 // New creates a server over a database.
@@ -89,7 +120,26 @@ func New(db *seed.Database) *Server {
 		locks:    make(map[string]string),
 		creating: make(map[string]string),
 		inflight: make(map[string]*seed.Tx),
+		conns:    make(map[net.Conn]struct{}),
+		stop:     make(chan struct{}),
+		met:      newMetrics(),
+		perConn:  maxPipelinedReads,
 		logf:     func(string, ...any) {},
+	}
+}
+
+// SetAdmission configures overload protection: at most maxInflight
+// requests execute at once across all connections, up to queueDepth more
+// wait in FIFO order for a slot, and everything beyond that is shed
+// immediately with the retryable wire.CodeOverloaded. perConn bounds one
+// connection's concurrently dispatched requests (0 keeps the default);
+// unlike the global limit it never sheds — the connection's reader simply
+// stops pulling frames, which backpressures the client through the TCP
+// window. maxInflight 0 disables the global gate. Call before Listen.
+func (s *Server) SetAdmission(maxInflight, queueDepth, perConn int) {
+	s.adm.configure(maxInflight, queueDepth)
+	if perConn > 0 {
+		s.perConn = perConn
 	}
 }
 
@@ -126,22 +176,108 @@ func (s *Server) Listen(addr string) (string, error) {
 		return "", err
 	}
 	s.ln = ln
+	s.ready.Store(true)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener and waits for connection handlers.
+// Close stops the listener, force-closes every open connection, and waits
+// for their handlers (each connection's teardown releases its locks, name
+// reservations, and in-flight transaction). For a shutdown that lets
+// in-flight check-ins finish first, use Shutdown.
 func (s *Server) Close() error {
+	s.ready.Store(false)
+	s.draining.Store(true)
 	s.mu.Lock()
+	already := s.closed
 	s.closed = true
 	s.mu.Unlock()
 	var err error
-	if s.ln != nil {
+	if s.ln != nil && !already {
 		err = s.ln.Close()
 	}
+	s.closeConns()
 	s.wg.Wait()
 	return err
+}
+
+// Shutdown drains the server gracefully: the listener closes (no new
+// connections), the readiness probe flips to not-ready, new mutations are
+// refused with the retryable wire.CodeShuttingDown while in-flight
+// mutating requests — crucially, staged check-ins — run to group-commit
+// durability, the write-ahead log's tail segment is sealed, and only then
+// are the remaining connections closed. The drain wait is bounded by ctx:
+// on expiry the remaining connections are torn down anyway (their staged
+// transactions roll back, exactly as a disconnect would) and ctx's error
+// is returned. A nil return means every accepted mutation reached
+// durability before the tail was sealed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+	s.ready.Store(false)
+	s.draining.Store(true)
+	s.event("", "drain-begin")
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+
+	// Wait out the mutating requests that were already executing (or
+	// queued in a connection's FIFO lane) when the drain began. New ones
+	// are refused above the database, so this converges as fast as the
+	// slowest in-flight group commit — unless a wedged client holds one
+	// up, which ctx bounds.
+	var waitErr error
+	for {
+		s.mu.Lock()
+		idle := s.mutActive == 0 && len(s.inflight) == 0
+		s.mu.Unlock()
+		if idle {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			waitErr = ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+		if waitErr != nil {
+			break
+		}
+	}
+
+	// Seal the WAL tail: everything acknowledged now lives in sealed,
+	// immutable segments, so recovery after this clean exit never has to
+	// reason about a torn tail.
+	if err := s.db.SealLog(); err != nil && waitErr == nil {
+		waitErr = err
+	}
+
+	s.closeConns()
+	s.wg.Wait()
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.event("", "drain-complete", "err", fmt.Sprint(waitErr))
+	return waitErr
+}
+
+// closeConns unblocks admission waiters and force-closes every open
+// connection; their handlers run the usual teardown (releaseAll).
+func (s *Server) closeConns() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
 }
 
 func (s *Server) acceptLoop() {
@@ -178,10 +314,25 @@ const maxPipelinedReads = 32
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	s.mu.Lock()
+	if s.closed {
+		// Accepted in the race window while Close tore the listener down;
+		// registering now would leak past closeConns' snapshot.
+		s.mu.Unlock()
+		return
+	}
+	s.conns[conn] = struct{}{}
 	s.nextCli++
 	clientID := "client-" + strconv.Itoa(s.nextCli)
 	s.mu.Unlock()
-	defer s.releaseAll(clientID)
+	s.met.connsTotal.Add(1)
+	s.event(clientID, "accept", "remote", conn.RemoteAddr().String())
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.releaseAll(clientID)
+		s.event(clientID, "disconnect")
+	}()
 
 	// A stalled client must never disable the idle hygiene: when only the
 	// idle timeout is armed, responses inherit it as the write bound.
@@ -193,7 +344,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	if writeTimeout == 0 {
 		writeTimeout = s.idleTimeout
 	}
-	writeCh := make(chan *wire.Response, maxPipelinedReads*2)
+	writeCh := make(chan *wire.Response, s.perConn*2)
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
@@ -251,14 +402,12 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 
 	var handlers sync.WaitGroup
-	mutCh := make(chan *wire.Request, maxPipelinedReads)
+	mutCh := make(chan admitted, s.perConn)
 	handlers.Add(1)
 	go func() {
 		defer handlers.Done()
-		for req := range mutCh {
-			resp := s.handle(clientID, req)
-			resp.Seq = req.Seq
-			writeCh <- resp
+		for a := range mutCh {
+			s.run(clientID, a.req, a.release, writeCh)
 		}
 	}()
 
@@ -270,7 +419,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	// keep their own FIFO lane and the serialized writer its coalescing
 	// either way, so ordering and framing are identical in both regimes.
 	dispatch := runtime.GOMAXPROCS(0) > 1
-	sem := make(chan struct{}, maxPipelinedReads)
+	sem := make(chan struct{}, s.perConn)
 	rd := wire.NewReader(bufio.NewReader(conn))
 	for {
 		if s.idleTimeout > 0 {
@@ -280,27 +429,49 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := rd.Read(req); err != nil {
 			break // disconnect, protocol error, or idle timeout
 		}
+		// Admission: every frame but the handshake takes a global
+		// execution token before it is dispatched. A request that cannot
+		// get one — limit reached, wait queue full — is shed right here
+		// with the retryable overloaded code instead of parking in the
+		// dispatch path; while this reader waits in the bounded queue it
+		// pulls no further frames, which is the per-connection
+		// backpressure. Hello stays un-gated so a saturated server still
+		// answers handshakes (and probes) instantly.
+		var release func()
+		if req.Op != wire.OpHello {
+			rel, ok, shed := s.adm.acquire(s.stop)
+			if shed {
+				s.met.countCode(wire.CodeOverloaded)
+				running, queued := s.adm.gauges()
+				writeCh <- &wire.Response{
+					Seq:  req.Seq,
+					Err:  fmt.Sprintf("%v (%d in flight, %d queued)", ErrOverloaded, running, queued),
+					Code: wire.CodeOverloaded,
+				}
+				continue
+			}
+			if !ok {
+				break // server teardown while waiting for admission
+			}
+			release = rel
+		}
 		switch {
 		case req.Seq == 0:
 			// Lockstep: the response reaches the FIFO write channel before
 			// the next frame is read, exactly the v1 ordering.
-			writeCh <- s.handle(clientID, req)
+			s.run(clientID, req, release, writeCh)
 		case mutates(req.Op):
-			mutCh <- req
+			mutCh <- admitted{req: req, release: release}
 		case !dispatch:
-			resp := s.handle(clientID, req)
-			resp.Seq = req.Seq
-			writeCh <- resp
+			s.run(clientID, req, release, writeCh)
 		default:
 			sem <- struct{}{}
 			handlers.Add(1)
-			go func(req *wire.Request) {
+			go func(req *wire.Request, release func()) {
 				defer handlers.Done()
 				defer func() { <-sem }()
-				resp := s.handle(clientID, req)
-				resp.Seq = req.Seq
-				writeCh <- resp
-			}(req)
+				s.run(clientID, req, release, writeCh)
+			}(req, release)
 		}
 	}
 	// The connection is done (disconnect, protocol error, or idle
@@ -313,6 +484,59 @@ func (s *Server) serveConn(conn net.Conn) {
 	handlers.Wait()
 	close(writeCh)
 	<-writerDone
+}
+
+// admitted pairs a request with its admission-token release for the
+// mutation FIFO lane.
+type admitted struct {
+	req     *wire.Request
+	release func()
+}
+
+// run executes one admitted request: it times the handler, records the
+// latency and outcome under the metrics plane, returns the admission
+// token, and queues the response. The token is released before the
+// response enters the write channel — a slow-reading client holds only
+// its own connection's buffers, never the global execution budget — while
+// the mutActive drain gauge stays up through the enqueue, so Shutdown's
+// wait covers the response reaching the writer, not just the handler.
+func (s *Server) run(clientID string, req *wire.Request, release func(), writeCh chan<- *wire.Response) {
+	mut := mutates(req.Op)
+	if mut {
+		s.mu.Lock()
+		s.mutActive++
+		s.mu.Unlock()
+	}
+	start := time.Now()
+	resp := s.handle(clientID, req)
+	resp.Seq = req.Seq
+	s.met.observe(req.Op, outcomeCode(resp), time.Since(start))
+	if release != nil {
+		release()
+	}
+	writeCh <- resp
+	if mut {
+		s.mu.Lock()
+		s.mutActive--
+		s.mu.Unlock()
+	}
+}
+
+// refusedWhileDraining reports which ops a draining server refuses with
+// the retryable shutting-down code: anything that would start new work —
+// check-outs, check-ins, version freezes. Release stays allowed so
+// clients can wind down their locks, and retrievals keep answering until
+// the connections close. The switch enumerates every op with no default
+// (opexhaustive) so a new op makes an explicit drain decision.
+func refusedWhileDraining(op wire.Op) bool {
+	switch op {
+	case wire.OpCheckout, wire.OpCheckin, wire.OpSaveVersion:
+		return true
+	case wire.OpHello, wire.OpGet, wire.OpList, wire.OpQuery, wire.OpRelease,
+		wire.OpVersions, wire.OpCompleteness, wire.OpStats:
+		return false
+	}
+	return false // unknown op: let dispatch reject it with its usual error
 }
 
 // mutates reports whether an op changes server or database state and must
@@ -358,6 +582,9 @@ func (s *Server) releaseAll(clientID string) {
 }
 
 func (s *Server) handle(clientID string, req *wire.Request) *wire.Response {
+	if s.draining.Load() && refusedWhileDraining(req.Op) {
+		return fail(ErrShuttingDown)
+	}
 	switch req.Op {
 	case wire.OpHello:
 		// Version negotiation: a client announcing v2 or newer gets v2
@@ -414,7 +641,10 @@ func (s *Server) handle(clientID string, req *wire.Request) *wire.Response {
 		st := s.db.Stats()
 		s.mu.Lock()
 		open := len(s.inflight)
+		conns := len(s.conns)
+		locks := len(s.locks)
 		s.mu.Unlock()
+		running, queued := s.adm.gauges()
 		return &wire.Response{
 			// The one-line summary stays for v1 clients and shells.
 			Stats: fmt.Sprintf("objects=%d rels=%d versions=%d schema=v%d",
@@ -430,6 +660,12 @@ func (s *Server) handle(clientID string, req *wire.Request) *wire.Response {
 				OpenTxs:       open,
 				WALSegments:   st.LogSegments,
 				WALBytes:      st.LogBytes,
+				Connections:   conns,
+				Locks:         locks,
+				InFlight:      running,
+				Queued:        queued,
+				Rejected:      s.adm.rejected.Load(),
+				Draining:      s.draining.Load(),
 			},
 		}
 	}
@@ -451,6 +687,10 @@ func codeOf(err error) string {
 		return wire.CodeNotLocked
 	case errors.Is(err, ErrConflict), errors.Is(err, seed.ErrTxConflict):
 		return wire.CodeConflict
+	case errors.Is(err, ErrOverloaded):
+		return wire.CodeOverloaded
+	case errors.Is(err, ErrShuttingDown):
+		return wire.CodeShuttingDown
 	}
 	return ""
 }
@@ -604,7 +844,7 @@ func (s *Server) handleCheckout(clientID string, req *wire.Request) *wire.Respon
 		}
 		snaps = append(snaps, snap)
 	}
-	s.logf("checkout %v by %s", req.Names, clientID)
+	s.event(clientID, "checkout", "names", fmt.Sprint(req.Names))
 	return &wire.Response{Snapshots: snaps}
 }
 
@@ -713,7 +953,7 @@ func (s *Server) handleCheckin(clientID string, req *wire.Request) *wire.Respons
 		}
 	}
 	s.mu.Unlock()
-	s.logf("checkin %d updates by %s", len(req.Updates), clientID)
+	s.event(clientID, "checkin", "updates", len(req.Updates))
 	return &wire.Response{}
 }
 

@@ -112,6 +112,16 @@ func (s *Store) AppendBatch(payloads [][]byte) (wait func() error, err error) {
 // Sync makes all appended records durable.
 func (s *Store) Sync() error { return s.wal.Sync() }
 
+// Seal drains staged group-commit batches, seals the WAL's tail segment
+// durably, and starts a fresh empty tail. Every record acknowledged before
+// the call now lives in a sealed, immutable segment — the shape a graceful
+// shutdown leaves behind, so recovery after a clean exit never has to
+// reason about a torn tail.
+func (s *Store) Seal() error {
+	_, err := s.wal.Rotate()
+	return err
+}
+
 // LogSize returns the current WAL size in bytes across all live segments.
 func (s *Store) LogSize() int64 { return s.wal.Size() }
 

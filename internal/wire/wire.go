@@ -172,6 +172,15 @@ type Stats struct {
 	OpenTxs       int    `json:"open_txs"`     // check-ins staged right now
 	WALSegments   int    `json:"wal_segments"` // 0 for in-memory databases
 	WALBytes      int64  `json:"wal_bytes"`
+
+	// Serving-plane gauges (PR 8): the admission-control and connection
+	// state of the server answering the request.
+	Connections int    `json:"connections"` // open client connections
+	Locks       int    `json:"locks"`       // check-out locks held across all clients
+	InFlight    int    `json:"in_flight"`   // requests executing right now (admission tokens held)
+	Queued      int    `json:"queued"`      // requests waiting in the bounded admission queue
+	Rejected    uint64 `json:"rejected"`    // requests shed with CodeOverloaded since start
+	Draining    bool   `json:"draining,omitempty"`
 }
 
 // VersionInfo is the wire form of a saved version.
@@ -204,6 +213,15 @@ const (
 	// outside its lock set into another batch's write set). Retryable:
 	// re-read and re-stage the batch.
 	CodeConflict = "conflict"
+	// CodeOverloaded: the server's admission control shed the request —
+	// the global in-flight limit was reached and the bounded wait queue
+	// was full. Retryable with backoff: nothing about the request was
+	// wrong, the server just had no capacity for it right now.
+	CodeOverloaded = "overloaded"
+	// CodeShuttingDown: the server is draining (graceful shutdown) and
+	// refuses new mutations while in-flight check-ins finish. Retryable
+	// against the server's replacement once it is back.
+	CodeShuttingDown = "shutting-down"
 )
 
 // Request is one client request frame. Seq correlates the request with its

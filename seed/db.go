@@ -261,6 +261,20 @@ func (db *Database) Sync() error {
 	return db.store.Sync()
 }
 
+// SealLog seals the write-ahead log's tail segment durably (staged
+// group-commit batches drain first) and starts a fresh empty tail. A
+// graceful server drain calls this after the last check-in commits, so the
+// log a clean shutdown leaves behind consists only of sealed, immutable
+// segments. In-memory databases have no log; the call is a no-op.
+func (db *Database) SealLog() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.store == nil {
+		return nil
+	}
+	return db.store.Seal()
+}
+
 // Schema returns the current schema version.
 func (db *Database) Schema() *Schema {
 	db.mu.RLock()
