@@ -14,11 +14,13 @@
 // concurrency engine, E8 the copy-on-write snapshot generations plus the
 // class-indexed query path beyond the paper, E9 the concurrent
 // lock-scoped check-in path against the old serialized write gate, E10
-// the pipelined v2 wire protocol with server-side queries, E12 the
-// columnar item store against the map-backed ablation, and E14 the
-// production-hardening fault harness (overload shedding, chaos clients,
-// graceful drain). With -json, the machine-readable data of the selected
-// measurement experiment (e8, or e9/e10/e12/e14 when selected with -exp)
+// the pipelined v2 wire protocol with server-side queries, E11 the
+// follower-replication read scale-out with its lag and convergence
+// differential, E12 the columnar item store against the map-backed
+// ablation, and E14 the production-hardening fault harness (overload
+// shedding, chaos clients, graceful drain). With -json, the
+// machine-readable data of the selected measurement experiment (e8, or
+// e9/e10/e11/e12/e14 when selected with -exp)
 // is written out so the perf trajectory is tracked across PRs. The experiment list below is the
 // single source of truth: -list and the -exp flag help enumerate it.
 package main
@@ -44,10 +46,11 @@ var experiments = []struct {
 	{"e5", "SPADES on SEED vs. direct data structures", bench.E5},
 	{"e6", "storage: group commit vs per-record fsync", bench.E6},
 	{"e7", "concurrency: parallel snapshot reads vs serialized check-ins", bench.E7},
-	{"e8", "snapshots: COW generations and the class-indexed read path", nil},   // wired in main
-	{"e9", "check-ins: lock-scoped concurrency vs the global write gate", nil},  // wired in main
-	{"e10", "wire v2: pipelined frames and server-side queries", nil},           // wired in main
-	{"e12", "columnar store: bytes/item, freeze and query latency vs map", nil}, // wired in main
+	{"e8", "snapshots: COW generations and the class-indexed read path", nil},     // wired in main
+	{"e9", "check-ins: lock-scoped concurrency vs the global write gate", nil},    // wired in main
+	{"e10", "wire v2: pipelined frames and server-side queries", nil},             // wired in main
+	{"e11", "replication: follower read scale-out, lag, convergence", nil},        // wired in main
+	{"e12", "columnar store: bytes/item, freeze and query latency vs map", nil},   // wired in main
 	{"e14", "hardening: overload shedding, fault injection, graceful drain", nil}, // wired in main
 }
 
@@ -78,18 +81,21 @@ func main() {
 	e8Workload := bench.DefaultChurnWorkload
 	e9Workload := bench.DefaultCheckinWorkload
 	e10Workload := bench.DefaultPipelineWorkload
+	e11Workload := bench.DefaultReplicaWorkload
 	e12Workload := bench.DefaultColumnarWorkload
 	e14Workload := bench.DefaultFaultWorkload
 	if *short {
 		e8Workload = bench.ShortChurnWorkload
 		e9Workload = bench.ShortCheckinWorkload
 		e10Workload = bench.ShortPipelineWorkload
+		e11Workload = bench.ShortReplicaWorkload
 		e12Workload = bench.ShortColumnarWorkload
 		e14Workload = bench.ShortFaultWorkload
 	}
 	var e8Data *bench.E8Data
 	var e9Data *bench.E9Data
 	var e10Data *bench.E10Data
+	var e11Data *bench.E11Data
 	var e12Data *bench.E12Data
 	var e14Data *bench.E14Data
 
@@ -106,6 +112,8 @@ func main() {
 			r, e9Data = bench.E9Stats(e9Workload)
 		case "e10":
 			r, e10Data = bench.E10Stats(e10Workload)
+		case "e11":
+			r, e11Data = bench.E11Stats(e11Workload)
 		case "e12":
 			r, e12Data = bench.E12Stats(e12Workload)
 		case "e14":
@@ -136,6 +144,12 @@ func main() {
 				os.Exit(1)
 			}
 			payload = e10Data
+		case strings.EqualFold(*exp, "e11"):
+			if e11Data == nil {
+				fmt.Fprintf(os.Stderr, "seedbench: -json given but experiment e11 did not run (-exp %s)\n", *exp)
+				os.Exit(1)
+			}
+			payload = e11Data
 		case strings.EqualFold(*exp, "e12"):
 			if e12Data == nil {
 				fmt.Fprintf(os.Stderr, "seedbench: -json given but experiment e12 did not run (-exp %s)\n", *exp)

@@ -8,7 +8,7 @@
 //	           [-idle-timeout 5m] [-write-timeout 30s]
 //	           [-max-inflight 256] [-queue-depth 64]
 //	           [-metrics-addr 127.0.0.1:7545] [-drain-timeout 30s]
-//	           [-log-format text|json]
+//	           [-log-format text|json] [-follow 127.0.0.1:7544]
 //
 // A fresh directory requires -schema (an SDL file); an existing database
 // loads its schema from storage. -segment-size caps one write-ahead-log
@@ -39,6 +39,21 @@
 // load balancer stops routing before the listener goes away). Empty (the
 // default) disables it. -log-format selects the structured log rendering:
 // text (key=value lines) or json (one object per line).
+//
+// Replication: -follow turns the process into a read-only follower of the
+// primary at the given address. The follower keeps an in-memory replica
+// converged by subscribing to the primary's write-ahead log (snapshot +
+// sealed segments + live records), serves the whole retrieval surface
+// (get, list, query, versions, completeness, stats) from its own pinned
+// snapshots at replication lag, and refuses every mutation with the
+// retryable "not-primary" wire code — clients redial the primary
+// (client.Classify reports ClassRedial). The listener starts only after
+// the first complete bootstrap, so a follower that accepts connections is
+// serving real state; dropped primary connections reconnect with backoff
+// and resync without interrupting reads. -dir, -schema, -segment-size and
+// -sync are ignored in follower mode (the replica is not durable — it
+// re-bootstraps from the primary on restart). OpStats reports the
+// follower's applied generation and observed lag.
 //
 // Shutdown: on SIGTERM or SIGINT the server drains gracefully — it stops
 // accepting connections, refuses new mutations with the retryable
@@ -76,31 +91,44 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "side HTTP listen address for /metrics, /healthz, /readyz (empty disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM/SIGINT, how long to wait for in-flight check-ins to reach durability before forcing teardown")
 	logFormat := flag.String("log-format", server.LogText, "structured log rendering: text (key=value) or json (one object per line)")
+	follow := flag.String("follow", "", "primary address to replicate from: serve as a read-only follower (ignores -dir/-schema/-segment-size/-sync; mutations are refused with the retryable not-primary code)")
 	flag.Parse()
 
-	opts := seed.Options{CompactAfter: 4 << 20, SegmentSize: *segmentSize}
-	switch *syncMode {
-	case "request":
-		opts.SyncPolicy = seed.SyncOnRequest
-	case "group":
-		opts.SyncPolicy = seed.SyncGroupCommit
-	default:
-		log.Fatalf("unknown -sync policy %q (want request or group)", *syncMode)
-	}
-	if *schemaFile != "" {
-		text, err := os.ReadFile(*schemaFile)
-		if err != nil {
-			log.Fatalf("reading schema: %v", err)
+	var db *seed.Database
+	var fol *server.Follower
+	folCtx, folStop := context.WithCancel(context.Background())
+	defer folStop()
+	if *follow != "" {
+		db = seed.NewFollower()
+		fol = server.NewFollower(db, *follow)
+		fol.SetLogger(log.Printf)
+		go fol.Run(folCtx)
+	} else {
+		opts := seed.Options{CompactAfter: 4 << 20, SegmentSize: *segmentSize}
+		switch *syncMode {
+		case "request":
+			opts.SyncPolicy = seed.SyncOnRequest
+		case "group":
+			opts.SyncPolicy = seed.SyncGroupCommit
+		default:
+			log.Fatalf("unknown -sync policy %q (want request or group)", *syncMode)
 		}
-		sch, err := seed.ParseSDL(string(text))
-		if err != nil {
-			log.Fatalf("parsing schema: %v", err)
+		if *schemaFile != "" {
+			text, err := os.ReadFile(*schemaFile)
+			if err != nil {
+				log.Fatalf("reading schema: %v", err)
+			}
+			sch, err := seed.ParseSDL(string(text))
+			if err != nil {
+				log.Fatalf("parsing schema: %v", err)
+			}
+			opts.Schema = sch
 		}
-		opts.Schema = sch
-	}
-	db, err := seed.Open(*dir, opts)
-	if err != nil {
-		log.Fatalf("opening database: %v", err)
+		var err error
+		db, err = seed.Open(*dir, opts)
+		if err != nil {
+			log.Fatalf("opening database: %v", err)
+		}
 	}
 
 	srv := server.New(db)
@@ -110,11 +138,29 @@ func main() {
 	}
 	srv.SetTimeouts(*idleTimeout, *writeTimeout)
 	srv.SetAdmission(*maxInflight, *queueDepth, 0)
+	if fol != nil {
+		// A follower listens only once it serves real state: the first
+		// bootstrap must complete before the first client connects. A
+		// signal during the wait aborts the boot.
+		log.Printf("seedserver: following %s, waiting for first catch-up", *follow)
+		wctx, wstop := signal.NotifyContext(folCtx, os.Interrupt, syscall.SIGTERM)
+		err := fol.WaitReady(wctx)
+		wstop()
+		if err != nil {
+			log.Fatalf("follower bootstrap: %v", err)
+		}
+		srv.SetFollower(true)
+		srv.SetReplicaStatus(fol.Status)
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("listening: %v", err)
 	}
-	log.Printf("seedserver: serving %s on %s", *dir, bound)
+	if fol != nil {
+		log.Printf("seedserver: follower of %s serving on %s", *follow, bound)
+	} else {
+		log.Printf("seedserver: serving %s on %s", *dir, bound)
+	}
 
 	if *metricsAddr != "" {
 		mln, err := net.Listen("tcp", *metricsAddr)
@@ -148,6 +194,7 @@ func main() {
 			log.Printf("close: %v", err)
 		}
 	}
+	folStop() // stop replicating before the replica closes
 	if err := db.Close(); err != nil {
 		log.Fatalf("closing database: %v", err)
 	}

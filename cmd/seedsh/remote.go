@@ -222,6 +222,10 @@ func (s *shell) remoteStats() error {
 	} {
 		fmt.Fprintf(s.out, "%-16s %v\n", row.name, row.value)
 	}
+	if st.Follower {
+		fmt.Fprintf(s.out, "%-16s %v\n", "follower-gen", st.FollowerGen)
+		fmt.Fprintf(s.out, "%-16s %v\n", "follower-lag", st.FollowerLag)
+	}
 	return nil
 }
 

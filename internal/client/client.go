@@ -51,6 +51,10 @@ var (
 	// server stopped accepting new mutations while it drains. Retryable
 	// against the server's replacement, not against this server.
 	ErrShuttingDown = errors.New("client: server shutting down, mutation refused")
+	// ErrNotPrimary mirrors a read-only follower's refusal: mutations (and
+	// log subscriptions) must go to the primary. Retryable after redialing
+	// — never against this connection (Classify says ClassRedial).
+	ErrNotPrimary = errors.New("client: server is a read-only follower, mutate on the primary")
 )
 
 // Client is one connection to a SEED server. A v2 client is safe for
@@ -71,9 +75,15 @@ type Client struct {
 	rd  *wire.Reader  // owned by the demux goroutine once it starts
 
 	mu      sync.Mutex
-	pending map[uint64]chan result // seed:guarded-by(mu) — Seq -> caller awaiting the response
-	nextSeq uint64                 // seed:guarded-by(mu)
-	err     error                  // seed:guarded-by(mu) — sticky transport failure; set once the demux dies
+	pending map[uint64]chan result         // seed:guarded-by(mu) — Seq -> caller awaiting the response
+	streams map[uint64]chan *wire.Response // seed:guarded-by(mu) — Seq -> log-stream tap (SubscribeLog)
+	nextSeq uint64                         // seed:guarded-by(mu)
+	err     error                          // seed:guarded-by(mu) — sticky transport failure; set once the demux dies
+
+	// done closes when the connection fails (after err is set), waking
+	// stream readers; pending callers get their error delivered directly.
+	done     chan struct{}
+	doneOnce sync.Once
 }
 
 // result is one demultiplexed response delivery.
@@ -100,6 +110,7 @@ func dial(addr string, proto int) (*Client, error) {
 		bw:      bufio.NewWriterSize(conn, 32<<10),
 		rd:      wire.NewReader(bufio.NewReader(conn)),
 		pending: make(map[uint64]chan result),
+		done:    make(chan struct{}),
 	}
 	c.wr = wire.NewWriter(c.bw)
 	// The hello runs lockstep in either mode: the demux starts only after
@@ -149,6 +160,19 @@ func (c *Client) demux() {
 			return
 		}
 		c.mu.Lock()
+		if sch, isStream := c.streams[resp.Seq]; isStream {
+			c.mu.Unlock()
+			// A full stream tap blocks the demux: the reader stops pulling
+			// frames and backpressure reaches the server through TCP. A
+			// subscriber that stops consuming its stream therefore stalls
+			// this whole connection — followers dedicate one.
+			select {
+			case sch <- resp:
+			case <-c.done:
+				return
+			}
+			continue
+		}
 		ch, ok := c.pending[resp.Seq]
 		delete(c.pending, resp.Seq)
 		c.mu.Unlock()
@@ -172,6 +196,9 @@ func (c *Client) fail(err error) {
 	c.pending = make(map[uint64]chan result)
 	c.mu.Unlock()
 	c.conn.Close()
+	// done closes strictly after err is published: a stream reader woken by
+	// done always observes the sticky error.
+	c.doneOnce.Do(func() { close(c.done) })
 	for _, ch := range stranded {
 		ch <- result{err: err}
 	}
@@ -309,6 +336,8 @@ func remoteError(resp *wire.Response) error {
 		return fmt.Errorf("%w: %w: %s", ErrRemote, ErrOverloaded, resp.Err)
 	case wire.CodeShuttingDown:
 		return fmt.Errorf("%w: %w: %s", ErrRemote, ErrShuttingDown, resp.Err)
+	case wire.CodeNotPrimary:
+		return fmt.Errorf("%w: %w: %s", ErrRemote, ErrNotPrimary, resp.Err)
 	}
 	return fmt.Errorf("%w: %s", ErrRemote, resp.Err)
 }

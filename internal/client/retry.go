@@ -22,13 +22,60 @@ type RetryPolicy struct {
 // 500ms cap — about two seconds of total patience.
 var DefaultRetry = RetryPolicy{Base: 5 * time.Millisecond, Cap: 500 * time.Millisecond, Attempts: 8}
 
+// FailureClass is the retry decision an error maps onto. Retryable and
+// RetryableWith collapse it to a boolean; callers that manage their own
+// connections branch on the class directly.
+type FailureClass int
+
+const (
+	// ClassPermanent: retrying cannot help — a validation failure, an
+	// unknown name, a protocol error. Surface it.
+	ClassPermanent FailureClass = iota
+	// ClassRetry: transient pushback from this server — a held lock, a
+	// check-in conflict, an admission-control rejection. Retry the same
+	// connection with backoff.
+	ClassRetry
+	// ClassRedial: this server will never stop refusing — it is draining
+	// for shutdown, or it is a read-only follower. Retry only against a
+	// different endpoint: the drained server's replacement, the primary.
+	ClassRedial
+)
+
+// Classify maps an error onto its retry decision. Errors that are not the
+// client's matchable sentinels (transport failures included) classify as
+// permanent: a retry loop must not spin on an error it cannot reason about.
+func Classify(err error) FailureClass {
+	switch {
+	case errors.Is(err, ErrLocked), errors.Is(err, ErrConflict), errors.Is(err, ErrOverloaded):
+		return ClassRetry
+	case errors.Is(err, ErrShuttingDown), errors.Is(err, ErrNotPrimary):
+		return ClassRedial
+	}
+	return ClassPermanent
+}
+
 // Retryable reports whether an error is transient server pushback worth
 // retrying: a lock held by another client, a check-in conflict, or an
-// admission-control rejection. Everything else — including ErrShuttingDown,
-// which this server will never stop returning — is permanent for the
-// purposes of a retry loop against one connection.
+// admission-control rejection. Everything else — including ErrShuttingDown
+// and ErrNotPrimary, which this server will never stop returning — is
+// permanent for the purposes of a retry loop against one connection.
 func Retryable(err error) bool {
-	return errors.Is(err, ErrLocked) || errors.Is(err, ErrConflict) || errors.Is(err, ErrOverloaded)
+	return Classify(err) == ClassRetry
+}
+
+// RetryableWith is Retryable for callers that can redial: when canRedial is
+// true, the redial class (shutting-down, not-primary) counts as retryable
+// too, because the caller re-resolves its endpoint between attempts.
+func RetryableWith(err error, canRedial bool) bool {
+	switch Classify(err) {
+	case ClassRetry:
+		return true
+	case ClassRedial:
+		return canRedial
+	case ClassPermanent:
+		return false
+	}
+	return false
 }
 
 // Retry runs op, retrying with DefaultRetry's jittered exponential backoff

@@ -93,3 +93,60 @@ func TestRetryableClassification(t *testing.T) {
 		}
 	}
 }
+
+// TestClassifyTable pins the full failure taxonomy: transient pushback
+// retries in place, a draining or follower server demands a redial, and
+// everything the client cannot reason about is permanent.
+func TestClassifyTable(t *testing.T) {
+	cases := []struct {
+		err  error
+		want client.FailureClass
+	}{
+		{client.ErrLocked, client.ClassRetry},
+		{client.ErrConflict, client.ClassRetry},
+		{client.ErrOverloaded, client.ClassRetry},
+		{client.ErrShuttingDown, client.ClassRedial},
+		{client.ErrNotPrimary, client.ClassRedial},
+		{client.ErrNotLocked, client.ClassPermanent},
+		{client.ErrRemote, client.ClassPermanent},
+		{errors.New("transport: broken pipe"), client.ClassPermanent},
+		{nil, client.ClassPermanent},
+	}
+	for _, c := range cases {
+		if got := client.Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+		// Wrapping must not change the decision.
+		if c.err != nil {
+			if got := client.Classify(fmt.Errorf("w: %w", c.err)); got != c.want {
+				t.Errorf("Classify(wrapped %v) = %v, want %v", c.err, got, c.want)
+			}
+		}
+	}
+}
+
+// TestRetryableWithRedial: the redial class counts as retryable exactly
+// when the caller can re-resolve its endpoint between attempts.
+func TestRetryableWithRedial(t *testing.T) {
+	for _, c := range []struct {
+		err       error
+		canRedial bool
+		want      bool
+	}{
+		{client.ErrOverloaded, false, true}, // in-place retry never needs a redial
+		{client.ErrOverloaded, true, true},
+		{client.ErrShuttingDown, false, false},
+		{client.ErrShuttingDown, true, true},
+		{client.ErrNotPrimary, false, false},
+		{client.ErrNotPrimary, true, true},
+		{client.ErrRemote, true, false}, // permanent stays permanent with a dialer in hand
+	} {
+		if got := client.RetryableWith(fmt.Errorf("w: %w", c.err), c.canRedial); got != c.want {
+			t.Errorf("RetryableWith(%v, %v) = %v, want %v", c.err, c.canRedial, got, c.want)
+		}
+	}
+	// Retryable is RetryableWith pinned to one connection.
+	if client.Retryable(client.ErrNotPrimary) {
+		t.Error("Retryable(ErrNotPrimary) = true; a follower never becomes the primary on retry")
+	}
+}

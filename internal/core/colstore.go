@@ -698,6 +698,12 @@ func (cs *colStore) relsOf(obj item.ID) []item.ID {
 	return cs.relsOfA.at(ord)
 }
 
+// symbolCount is the total across the three append-only intern tables; see
+// Engine.SymbolCount.
+func (cs *colStore) symbolCount() int {
+	return cs.schemaSyms.Len() + cs.nameSyms.Len() + cs.valSyms.Len()
+}
+
 func (cs *colStore) linkRel(obj, rel item.ID) {
 	cs.reopen()
 	ord, ok := cs.objOrd(obj)

@@ -200,3 +200,16 @@ func (en *Engine) Stats() Stats {
 	s.DirtySinceFreeze = en.dirty.Len()
 	return s
 }
+
+// SymbolCount reports the total entries across the store's intern tables
+// (class/association/role names, root names, short string values), or 0 for
+// a store without intern tables (the map ablation). The tables are
+// append-only between snapshots, so a long churn of unique values grows
+// them without bound — the database layer rebuilds them at compaction and
+// uses this count to verify the rebuild took.
+func (en *Engine) SymbolCount() int {
+	if sc, ok := en.st.(interface{ symbolCount() int }); ok {
+		return sc.symbolCount()
+	}
+	return 0
+}

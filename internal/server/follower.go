@@ -1,0 +1,228 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/wire"
+	"repro/seed"
+)
+
+// Follower replication, subscriber side (DESIGN.md section 13). A Follower
+// owns one replica database and keeps it converged with a primary: dial,
+// subscribe-log, apply the bootstrap into a private staging follower while
+// the serving database keeps answering from its last consistent state, swap
+// the staging state in at the caught-up marker (seed.ReplicaAdopt), then
+// apply live chunks directly. Any stream failure — a dropped connection, a
+// lagged subscription, a protocol violation — tears the stream down and the
+// loop redials with backoff; the bootstrap-into-staging discipline makes
+// every reconnect a clean resync with no partially-applied state and no
+// double-applied batches (the new snapshot already contains everything the
+// old stream delivered).
+
+// Reconnect backoff bounds.
+const (
+	followerBackoffMin = 50 * time.Millisecond
+	followerBackoffMax = 2 * time.Second
+)
+
+// Follower replicates one primary into one replica database.
+type Follower struct {
+	db      *seed.Database
+	primary string
+	logf    func(format string, args ...any)
+
+	ready     chan struct{} // closed at the first caught-up marker
+	readyOnce sync.Once
+
+	mu         sync.Mutex
+	cli        *client.Client // seed:guarded-by(mu) — live connection, for forced disconnects
+	appliedGen uint64         // seed:guarded-by(mu) — primary generation the replica has applied
+	headGen    uint64         // seed:guarded-by(mu) — latest primary generation observed on the stream
+	applied    uint64         // seed:guarded-by(mu) — total records applied (bootstrap included)
+	resyncs    uint64         // seed:guarded-by(mu) — completed bootstraps
+
+	// chunkHook, when set (tests, before Run), observes every chunk before
+	// it is applied; an error cuts the stream at exactly that point, which
+	// is how the crash/truncation matrix injects disconnects at every
+	// segment and record-chunk boundary.
+	chunkHook func(n int, chunk *wire.LogChunk) error
+}
+
+// NewFollower wires a replica database (seed.NewFollower) to a primary
+// address. Run starts replicating; the database may be served (read-only)
+// immediately, but reads are meaningful only after WaitReady.
+func NewFollower(db *seed.Database, primaryAddr string) *Follower {
+	return &Follower{
+		db:      db,
+		primary: primaryAddr,
+		ready:   make(chan struct{}),
+		logf:    func(string, ...any) {},
+	}
+}
+
+// SetLogger installs a diagnostic logger. Call before Run.
+func (f *Follower) SetLogger(logf func(format string, args ...any)) { f.logf = logf }
+
+// Run replicates until ctx is cancelled: each pass dials, bootstraps and
+// streams; failures redial with exponential backoff, reset whenever a
+// stream reaches the live state (so a flapping network retries fast after
+// each good stream, while an unreachable primary backs off).
+func (f *Follower) Run(ctx context.Context) {
+	backoff := followerBackoffMin
+	for ctx.Err() == nil {
+		live, err := f.stream(ctx)
+		if ctx.Err() != nil {
+			return
+		}
+		f.logf("follower: stream to %s ended (live=%v): %v", f.primary, live, err)
+		if live {
+			backoff = followerBackoffMin
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > followerBackoffMax {
+			backoff = followerBackoffMax
+		}
+	}
+}
+
+// stream runs one subscription to completion: bootstrap into staging, adopt,
+// then live apply. It reports whether the stream reached the live state.
+func (f *Follower) stream(ctx context.Context) (live bool, err error) {
+	cli, err := client.Dial(f.primary)
+	if err != nil {
+		return false, err
+	}
+	// ctx cancellation must unblock a Next parked on a healthy-but-quiet
+	// stream; closing the client is the one lever that reaches it.
+	stopWatch := context.AfterFunc(ctx, func() { cli.Close() })
+	defer stopWatch()
+	defer cli.Close()
+	f.setClient(cli)
+	defer f.setClient(nil)
+
+	ls, err := cli.SubscribeLog()
+	if err != nil {
+		return false, err
+	}
+	// The bootstrap applies into a fresh private follower; the serving
+	// database keeps answering from its last consistent state until the
+	// caught-up swap. A reconnect mid-bootstrap just drops staging.
+	staging := seed.NewFollower()
+	for n := 1; ; n++ {
+		chunk, err := ls.Next()
+		if err != nil {
+			return live, err
+		}
+		if f.chunkHook != nil {
+			if err := f.chunkHook(n, chunk); err != nil {
+				return live, err
+			}
+		}
+		switch chunk.Kind {
+		case wire.LogSnapshot:
+			if live {
+				return live, errors.New("server: snapshot chunk on a live stream")
+			}
+			if err := staging.ApplyLogSnapshot(chunk.Snapshot); err != nil {
+				return live, err
+			}
+			f.observe(chunk.Gen, 0, false)
+		case wire.LogRecords:
+			target := staging
+			if live {
+				target = f.db
+			}
+			if err := target.ApplyLogRecords(chunk.Records); err != nil {
+				return live, err
+			}
+			f.observe(chunk.Gen, uint64(len(chunk.Records)), live)
+		case wire.LogCaughtUp:
+			if live {
+				return live, errors.New("server: duplicate caught-up marker")
+			}
+			if err := f.db.ReplicaAdopt(staging); err != nil {
+				return live, err
+			}
+			live = true
+			f.mu.Lock()
+			f.appliedGen = chunk.Gen
+			if chunk.Gen > f.headGen {
+				f.headGen = chunk.Gen
+			}
+			f.resyncs++
+			f.mu.Unlock()
+			f.readyOnce.Do(func() { close(f.ready) })
+		default:
+			return live, errors.New("server: unknown log chunk kind " + chunk.Kind)
+		}
+	}
+}
+
+// observe advances the stream position gauges after a chunk is applied.
+func (f *Follower) observe(gen, records uint64, appliedLive bool) {
+	f.mu.Lock()
+	if gen > f.headGen {
+		f.headGen = gen
+	}
+	f.applied += records
+	if appliedLive {
+		f.appliedGen = gen
+	}
+	f.mu.Unlock()
+}
+
+func (f *Follower) setClient(cli *client.Client) {
+	f.mu.Lock()
+	f.cli = cli
+	f.mu.Unlock()
+}
+
+// WaitReady blocks until the replica has completed its first bootstrap —
+// the point where its reads are meaningful — or ctx expires.
+func (f *Follower) WaitReady(ctx context.Context) error {
+	select {
+	case <-f.ready:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Status reports the replication position: the primary generation the
+// replica has applied, the latest primary generation observed on the
+// stream, and the total records applied. This is the probe a follower
+// server publishes through OpStats (SetReplicaStatus).
+func (f *Follower) Status() (appliedGen, headGen, applied uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.appliedGen, f.headGen, f.applied
+}
+
+// Resyncs reports completed bootstraps — at least 1 once ready; each
+// reconnect-and-catch-up adds one. The replication tests assert forced
+// disconnects actually exercised the resync path.
+func (f *Follower) Resyncs() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.resyncs
+}
+
+// Disconnect force-closes the current stream connection (no-op when between
+// connections). The run loop redials; tests use this to exercise
+// reconnect-and-catch-up under load.
+func (f *Follower) Disconnect() {
+	f.mu.Lock()
+	cli := f.cli
+	f.mu.Unlock()
+	if cli != nil {
+		cli.Close()
+	}
+}

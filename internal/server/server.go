@@ -38,6 +38,10 @@ var (
 	// ErrShuttingDown is returned to new mutations while the server drains
 	// for a graceful shutdown. Retryable against the server's replacement.
 	ErrShuttingDown = errors.New("server: shutting down, new mutations refused")
+	// ErrNotPrimary is returned to mutations addressed to a read-only
+	// follower. Retryable against the primary: the request was fine, it
+	// reached the wrong process.
+	ErrNotPrimary = errors.New("server: read-only follower, mutations go to the primary")
 )
 
 // Server serves one SEED database to many clients over wire protocol v2:
@@ -88,6 +92,14 @@ type Server struct {
 	adm     admission
 	perConn int
 	met     *metrics
+
+	// Follower serving (SetFollower/SetReplicaStatus, before Listen). A
+	// follower server fronts a replica database: the whole read surface
+	// answers from the replica's pinned snapshots, every mutating op is
+	// refused with the retryable not-primary code (refusedOnFollower), and
+	// OpStats reports the replication position replicaStatus observes.
+	follower      bool
+	replicaStatus func() (appliedGen, headGen, applied uint64)
 
 	// Lifecycle. draining flips when Shutdown begins: new mutations are
 	// refused with ErrShuttingDown while in-flight check-ins finish; ready
@@ -401,6 +413,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 	}()
 
+	// connDone tells long-lived publisher goroutines that this connection's
+	// reader has exited: they are counted in handlers, and the write channel
+	// closes after handlers drain, so a publisher must observe connDone (or
+	// server stop) and return rather than block on a dead connection's
+	// writeCh forever.
+	connDone := make(chan struct{})
+
 	var handlers sync.WaitGroup
 	mutCh := make(chan admitted, s.perConn)
 	handlers.Add(1)
@@ -455,6 +474,21 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			release = rel
 		}
+		// Log subscriptions never fit the request/response dispatch: one
+		// request fans out into an unbounded response stream from a
+		// dedicated publisher goroutine. Intercept before dispatch; the
+		// admission token is returned immediately — a publisher is paced by
+		// the subscriber's reads, not by the execution budget.
+		if req.Op == wire.OpSubscribeLog {
+			if release != nil {
+				release()
+			}
+			if resp := s.startPublisher(req, writeCh, connDone, &handlers); resp != nil {
+				resp.Seq = req.Seq
+				writeCh <- resp
+			}
+			continue
+		}
 		switch {
 		case req.Seq == 0:
 			// Lockstep: the response reaches the FIFO write channel before
@@ -480,6 +514,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	// handlers behind the full write channel, and keep releaseAll — the
 	// lock and transaction cleanup below — from ever running.
 	conn.Close()
+	close(connDone)
 	close(mutCh)
 	handlers.Wait()
 	close(writeCh)
@@ -530,9 +565,31 @@ func (s *Server) run(clientID string, req *wire.Request, release func(), writeCh
 // (opexhaustive) so a new op makes an explicit drain decision.
 func refusedWhileDraining(op wire.Op) bool {
 	switch op {
-	case wire.OpCheckout, wire.OpCheckin, wire.OpSaveVersion:
+	case wire.OpCheckout, wire.OpCheckin, wire.OpSaveVersion,
+		// A draining server is about to stop committing; a follower that
+		// bootstrapped from it would stream from a log with no future.
+		wire.OpSubscribeLog:
 		return true
 	case wire.OpHello, wire.OpGet, wire.OpList, wire.OpQuery, wire.OpRelease,
+		wire.OpVersions, wire.OpCompleteness, wire.OpStats:
+		return false
+	}
+	return false // unknown op: let dispatch reject it with its usual error
+}
+
+// refusedOnFollower reports which ops a follower server refuses with the
+// retryable not-primary code: everything that mutates (the primary owns the
+// commit order), and subscribe-log (followers do not chain — a follower's
+// log position is not the primary's log). The whole retrieval surface stays:
+// get, list, query, versions, completeness and stats answer from the
+// replica's pinned snapshots. Same opexhaustive shape as the drain matrix: a
+// new op must make an explicit follower decision.
+func refusedOnFollower(op wire.Op) bool {
+	switch op {
+	case wire.OpCheckout, wire.OpCheckin, wire.OpRelease, wire.OpSaveVersion,
+		wire.OpSubscribeLog:
+		return true
+	case wire.OpHello, wire.OpGet, wire.OpList, wire.OpQuery,
 		wire.OpVersions, wire.OpCompleteness, wire.OpStats:
 		return false
 	}
@@ -550,7 +607,10 @@ func mutates(op wire.Op) bool {
 	case wire.OpCheckout, wire.OpCheckin, wire.OpRelease, wire.OpSaveVersion:
 		return true
 	case wire.OpHello, wire.OpGet, wire.OpList, wire.OpVersions,
-		wire.OpCompleteness, wire.OpStats, wire.OpQuery:
+		wire.OpCompleteness, wire.OpStats, wire.OpQuery,
+		// Intercepted before dispatch (serveConn); classified here only so
+		// the defensive handle() path treats a stray one as non-mutating.
+		wire.OpSubscribeLog:
 		return false
 	}
 	return true // unknown op: keep FIFO order, dispatch rejects it anyway
@@ -584,6 +644,9 @@ func (s *Server) releaseAll(clientID string) {
 func (s *Server) handle(clientID string, req *wire.Request) *wire.Response {
 	if s.draining.Load() && refusedWhileDraining(req.Op) {
 		return fail(ErrShuttingDown)
+	}
+	if s.follower && refusedOnFollower(req.Op) {
+		return fail(ErrNotPrimary)
 	}
 	switch req.Op {
 	case wire.OpHello:
@@ -645,29 +708,43 @@ func (s *Server) handle(clientID string, req *wire.Request) *wire.Response {
 		locks := len(s.locks)
 		s.mu.Unlock()
 		running, queued := s.adm.gauges()
+		sv := &wire.Stats{
+			Objects:       st.Core.Objects,
+			Relationships: st.Core.Relationships,
+			Patterns:      st.Core.Patterns,
+			Deleted:       st.Core.DeletedObjects + st.Core.DeletedRels,
+			Versions:      st.Versions,
+			SchemaVersion: st.SchemaV,
+			Generation:    st.Generation,
+			OpenTxs:       open,
+			WALSegments:   st.LogSegments,
+			WALBytes:      st.LogBytes,
+			Connections:   conns,
+			Locks:         locks,
+			InFlight:      running,
+			Queued:        queued,
+			Rejected:      s.adm.rejected.Load(),
+			Draining:      s.draining.Load(),
+			Follower:      s.follower,
+		}
+		if s.follower && s.replicaStatus != nil {
+			appliedGen, headGen, _ := s.replicaStatus()
+			sv.FollowerGen = appliedGen
+			if headGen > appliedGen {
+				sv.FollowerLag = headGen - appliedGen
+			}
+		}
 		return &wire.Response{
 			// The one-line summary stays for v1 clients and shells.
 			Stats: fmt.Sprintf("objects=%d rels=%d versions=%d schema=v%d",
 				st.Core.Objects, st.Core.Relationships, st.Versions, st.SchemaV),
-			StatsV2: &wire.Stats{
-				Objects:       st.Core.Objects,
-				Relationships: st.Core.Relationships,
-				Patterns:      st.Core.Patterns,
-				Deleted:       st.Core.DeletedObjects + st.Core.DeletedRels,
-				Versions:      st.Versions,
-				SchemaVersion: st.SchemaV,
-				Generation:    st.Generation,
-				OpenTxs:       open,
-				WALSegments:   st.LogSegments,
-				WALBytes:      st.LogBytes,
-				Connections:   conns,
-				Locks:         locks,
-				InFlight:      running,
-				Queued:        queued,
-				Rejected:      s.adm.rejected.Load(),
-				Draining:      s.draining.Load(),
-			},
+			StatsV2: sv,
 		}
+	case wire.OpSubscribeLog:
+		// Unreachable through the normal path: serveConn intercepts
+		// subscribe-log before dispatch (startPublisher). Kept for the
+		// opexhaustive contract and as a defensive refusal.
+		return fail(errors.New("server: subscribe-log must be the connection's streaming request"))
 	}
 	return fail(fmt.Errorf("server: unknown op %q", req.Op))
 }
@@ -691,6 +768,8 @@ func codeOf(err error) string {
 		return wire.CodeOverloaded
 	case errors.Is(err, ErrShuttingDown):
 		return wire.CodeShuttingDown
+	case errors.Is(err, ErrNotPrimary), errors.Is(err, seed.ErrNotPrimary):
+		return wire.CodeNotPrimary
 	}
 	return ""
 }

@@ -35,6 +35,12 @@ type WAL struct {
 	sealed []sealedSeg // seed:guarded-by(mu)
 	closed bool        // seed:guarded-by(mu)
 
+	// subs are the live replication taps (see ship.go), mapped to the
+	// lowest segment each still needs for bootstrap (noRetention once
+	// done). Appends publish to every tap; DeleteBefore respects the
+	// lowest floor.
+	subs map[*Subscription]uint64 // seed:guarded-by(mu)
+
 	batchMu  sync.Mutex // guards curBatch, accepting
 	curBatch *batch     // seed:guarded-by(batchMu)
 	stopping bool       // seed:guarded-by(batchMu)
@@ -236,6 +242,9 @@ func (w *WAL) appendLocked(payload []byte) error {
 		w.poisonLocked() // buffer state unknown after an I/O failure
 		return err
 	}
+	if len(w.subs) > 0 {
+		w.publishLocked(payload)
+	}
 	if w.tail.size >= w.opts.SegmentSize {
 		if err := w.rotateLocked(); err != nil && !w.closed {
 			// Rotation could not start a successor (transient ENOSPC or
@@ -398,6 +407,7 @@ func (w *WAL) syncLocked() error {
 // seed:locked-caller
 func (w *WAL) poisonLocked() {
 	w.closed = true
+	w.closeSubsLocked()
 	w.tail.f.Close()
 }
 
@@ -421,12 +431,15 @@ func (w *WAL) Rotate() (uint64, error) {
 }
 
 // DeleteBefore removes sealed segments below index (their records are
-// covered by a durable snapshot). The live tail is never touched. The call
-// is idempotent: already-deleted files are fine, and a partial failure
-// leaves the remaining entries in place for the next attempt.
+// covered by a durable snapshot). The live tail is never touched, and
+// segments a bootstrapping subscriber still needs are kept (they fall to
+// the next compaction once the subscriber finishes). The call is
+// idempotent: already-deleted files are fine, and a partial failure leaves
+// the remaining entries in place for the next attempt.
 func (w *WAL) DeleteBefore(index uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	index = w.retentionFloorLocked(index)
 	var firstErr error
 	keep := w.sealed[:0]
 	for _, s := range w.sealed {
@@ -483,6 +496,7 @@ func (w *WAL) Close() error {
 		return nil
 	}
 	w.closed = true
+	w.closeSubsLocked()
 	if err := w.tail.sync(); err != nil {
 		w.tail.f.Close()
 		return err

@@ -1,0 +1,263 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// collect drains one Next call with a timeout so a broken tap fails the
+// test instead of hanging it.
+func collect(t *testing.T, sub *Subscription) [][]byte {
+	t.Helper()
+	type res struct {
+		recs [][]byte
+		err  error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		recs, err := sub.Next(nil)
+		ch <- res{recs, err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			t.Fatalf("Next: %v", r.err)
+		}
+		return r.recs
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next: timed out")
+		return nil
+	}
+}
+
+// readSealed replays every sealed segment of a subscription in order.
+func readSealed(t *testing.T, sub *Subscription) []string {
+	t.Helper()
+	var got []string
+	for _, seg := range sub.SealedSegments() {
+		if err := sub.ReadSegment(seg, func(p []byte) error {
+			got = append(got, string(p))
+			return nil
+		}); err != nil {
+			t.Fatalf("ReadSegment(%d): %v", seg, err)
+		}
+	}
+	return got
+}
+
+// TestFollowSubscribeCut: every record appended before Subscribe is in the
+// sealed bootstrap range, every record after reaches the live tap, and no
+// record is in both — the exactly-once cut the follower depends on.
+func TestFollowSubscribeCut(t *testing.T) {
+	st, err := Open(filepath.Join(t.TempDir(), "db"), nil, tinySegments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 20; i++ {
+		if err := st.Append([]byte(fmt.Sprintf("pre-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub, err := st.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	if snap, firstSeg := sub.Snapshot(); snap != nil || firstSeg != 1 {
+		t.Fatalf("fresh store snapshot = %v firstSeg=%d, want nil/1", snap, firstSeg)
+	}
+	sealed := readSealed(t, sub)
+	if len(sealed) != 20 {
+		t.Fatalf("sealed records = %d, want 20", len(sealed))
+	}
+	for i, s := range sealed {
+		if s != fmt.Sprintf("pre-%03d", i) {
+			t.Fatalf("sealed[%d] = %q", i, s)
+		}
+	}
+	sub.EndBootstrap()
+
+	for i := 0; i < 10; i++ {
+		if err := st.Append([]byte(fmt.Sprintf("post-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var tapped []string
+	for len(tapped) < 10 {
+		for _, r := range collect(t, sub) {
+			tapped = append(tapped, string(r))
+		}
+	}
+	if len(tapped) != 10 {
+		t.Fatalf("tapped %d records, want 10", len(tapped))
+	}
+	for i, s := range tapped {
+		if s != fmt.Sprintf("post-%03d", i) {
+			t.Fatalf("tap[%d] = %q", i, s)
+		}
+	}
+}
+
+// TestFollowSubscribeAfterCompact: a subscription on a compacted store
+// bootstraps from the snapshot plus the segments it does not cover.
+func TestFollowSubscribeAfterCompact(t *testing.T) {
+	st, err := Open(filepath.Join(t.TempDir(), "db"), nil, tinySegments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_ = st.Append([]byte("old-1"))
+	_ = st.Append([]byte("old-2"))
+	if err := st.Compact([]byte("STATE")); err != nil {
+		t.Fatal(err)
+	}
+	_ = st.Append([]byte("new-1"))
+
+	sub, err := st.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	snap, firstSeg := sub.Snapshot()
+	if string(snap) != "STATE" {
+		t.Fatalf("snapshot = %q, want STATE", snap)
+	}
+	if firstSeg < 2 {
+		t.Fatalf("firstSeg = %d, want past the compacted range", firstSeg)
+	}
+	sealed := readSealed(t, sub)
+	if len(sealed) != 1 || sealed[0] != "new-1" {
+		t.Fatalf("sealed = %q, want [new-1]", sealed)
+	}
+}
+
+// TestFollowRetentionPin: while a subscription bootstraps, compaction must
+// not delete its sealed segments; EndBootstrap releases the pin.
+func TestFollowRetentionPin(t *testing.T) {
+	st, err := Open(filepath.Join(t.TempDir(), "db"), nil, tinySegments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 20; i++ {
+		_ = st.Append([]byte(fmt.Sprintf("rec-%03d", i)))
+	}
+	sub, err := st.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	// A compaction between subscribe and bootstrap-read must leave the
+	// pinned segments on disk.
+	if err := st.Compact([]byte("STATE")); err != nil {
+		t.Fatal(err)
+	}
+	if got := readSealed(t, sub); len(got) != 20 {
+		t.Fatalf("pinned bootstrap read %d records, want 20", len(got))
+	}
+
+	sub.EndBootstrap()
+	if err := st.Compact([]byte("STATE2")); err != nil {
+		t.Fatal(err)
+	}
+	// The pin is gone: at least the lowest bootstrap segment is deleted.
+	segs, err := listSegments(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := sub.SealedSegments()[0]
+	for _, s := range segs {
+		if s == first {
+			t.Fatalf("segment %d still on disk after EndBootstrap+Compact (segments %v)", first, segs)
+		}
+	}
+}
+
+// TestFollowTapLagOverflow: a subscriber that stops draining breaks with
+// ErrSubscriberLagged once the tap buffer is over budget, and the lag is
+// terminal.
+func TestFollowTapLagOverflow(t *testing.T) {
+	sub := &Subscription{ready: make(chan struct{}, 1)}
+	rec := make([]byte, 1<<20)
+	for i := 0; i < subBufMax/len(rec)+2; i++ {
+		sub.push(rec)
+	}
+	if _, err := sub.Next(nil); !errors.Is(err, ErrSubscriberLagged) {
+		t.Fatalf("Next after overflow = %v, want ErrSubscriberLagged", err)
+	}
+	sub.push([]byte("late"))
+	if _, err := sub.Next(nil); !errors.Is(err, ErrSubscriberLagged) {
+		t.Fatalf("lag must be terminal, got %v", err)
+	}
+}
+
+// TestFollowTapCloseDrains: records pushed before the WAL closes are still
+// delivered; only then does the tap report closed.
+func TestFollowTapCloseDrains(t *testing.T) {
+	st, err := Open(filepath.Join(t.TempDir(), "db"), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := st.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.EndBootstrap()
+	_ = st.Append([]byte("final"))
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := sub.Next(nil)
+	if err != nil || len(recs) != 1 || string(recs[0]) != "final" {
+		t.Fatalf("drain after close = %q, %v", recs, err)
+	}
+	if _, err := sub.Next(nil); !errors.Is(err, ErrSubscriberClosed) {
+		t.Fatalf("Next after drain = %v, want ErrSubscriberClosed", err)
+	}
+}
+
+// TestStoreOpenRemovesStaleTemp: a crash between writing snapshot.seed.tmp
+// and renaming it into place must not strand the temporary forever — Open
+// sweeps *.tmp.
+func TestStoreOpenRemovesStaleTemp(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	st, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = st.Append([]byte("r1"))
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, SnapshotFile+".tmp")
+	if err := os.WriteFile(stale, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	other := filepath.Join(dir, "scratch.tmp")
+	if err := os.WriteFile(other, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var rec recorder
+	st2, err := Open(dir, &rec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	for _, p := range []string{stale, other} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("%s survived reopen (err=%v)", filepath.Base(p), err)
+		}
+	}
+	// The sweep must not have eaten real state.
+	if len(rec.records) != 1 || string(rec.records[0]) != "r1" {
+		t.Fatalf("records after sweep = %q", rec.records)
+	}
+}

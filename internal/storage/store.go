@@ -57,6 +57,9 @@ func Open(dir string, h RecoveryHandler, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	if err := removeStaleTemp(dir); err != nil {
+		return nil, err
+	}
 	snapPath := filepath.Join(dir, SnapshotFile)
 	payload, firstSeg, err := readSnapshot(snapPath)
 	if err != nil {
@@ -162,6 +165,28 @@ func (s *Store) Compact(snapshot []byte) error {
 
 // Close flushes and closes the store.
 func (s *Store) Close() error { return s.wal.Close() }
+
+// removeStaleTemp deletes temporary files a crashed Compact left behind: the
+// snapshot is written to SnapshotFile+".tmp" and renamed into place, so a
+// crash (or write error) between the two strands the temporary forever —
+// nothing else ever looks at it. Followers compact far more often during
+// catch-up, which is what made the leak worth closing. Any *.tmp in the
+// store directory is by construction mid-rename garbage.
+func removeStaleTemp(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".tmp" {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 func writeSnapshot(path string, payload []byte, firstSeg uint64) error {
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)

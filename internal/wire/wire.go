@@ -60,7 +60,8 @@ const (
 	OpVersions     Op = "versions"     // list versions
 	OpCompleteness Op = "completeness" // run the completeness check
 	OpStats        Op = "stats"
-	OpQuery        Op = "query" // server-side query on the indexed snapshot (v2)
+	OpQuery        Op = "query"         // server-side query on the indexed snapshot (v2)
+	OpSubscribeLog Op = "subscribe-log" // follower replication stream: snapshot, sealed segments, live batches (v2)
 )
 
 // Object is the wire form of one object.
@@ -181,6 +182,37 @@ type Stats struct {
 	Queued      int    `json:"queued"`      // requests waiting in the bounded admission queue
 	Rejected    uint64 `json:"rejected"`    // requests shed with CodeOverloaded since start
 	Draining    bool   `json:"draining,omitempty"`
+
+	// Replication gauges (PR 9), present on a follower: FollowerGen is the
+	// primary generation last applied locally, FollowerLag the primary
+	// generations received on the stream but not yet applied. On a
+	// follower, Generation above counts local apply steps, not primary
+	// generations — FollowerGen is the cross-process coordinate.
+	Follower    bool   `json:"follower,omitempty"`
+	FollowerGen uint64 `json:"follower_gen,omitempty"`
+	FollowerLag uint64 `json:"follower_lag,omitempty"`
+}
+
+// LogChunk kinds, in stream order: one snapshot, any number of records
+// chunks, one caught-up marking the end of bootstrap, then live records
+// chunks until the connection dies.
+const (
+	LogSnapshot = "snapshot"  // store snapshot payload (bootstrap base)
+	LogRecords  = "records"   // raw WAL records, log order
+	LogCaughtUp = "caught-up" // bootstrap done: the follower is at the cut and may serve reads
+)
+
+// LogChunk is one frame of the replication stream an OpSubscribeLog opens.
+// The subscription's response frames share the request's Seq and keep
+// arriving until the connection closes or the publisher reports a terminal
+// error in Response.Err (for example the follower fell behind the
+// publisher's buffer and must resubscribe from a fresh snapshot).
+type LogChunk struct {
+	Kind     string   `json:"kind"`
+	Snapshot []byte   `json:"snapshot,omitempty"` // LogSnapshot: snapshot payload; absent when the primary has none (replay starts at segment 1)
+	Records  [][]byte `json:"records,omitempty"`  // LogRecords: raw WAL record payloads in log order
+	Seg      uint64   `json:"seg,omitempty"`      // LogRecords during bootstrap: source segment index
+	Gen      uint64   `json:"gen,omitempty"`      // primary mutation generation: the cut for bootstrap chunks, current for live chunks
 }
 
 // VersionInfo is the wire form of a saved version.
@@ -222,6 +254,10 @@ const (
 	// refuses new mutations while in-flight check-ins finish. Retryable
 	// against the server's replacement once it is back.
 	CodeShuttingDown = "shutting-down"
+	// CodeNotPrimary: the server is a read-only follower and refuses
+	// mutations (and lock traffic) outright. Retryable against the primary:
+	// the request was well-formed, it just reached the wrong process.
+	CodeNotPrimary = "not-primary"
 )
 
 // Request is one client request frame. Seq correlates the request with its
@@ -257,6 +293,7 @@ type Response struct {
 	StatsV2   *Stats        `json:"statsv2,omitempty"`
 	Objects   []Object      `json:"objects,omitempty"` // query results
 	Total     int           `json:"total,omitempty"`   // query matches before paging
+	Log       *LogChunk     `json:"log,omitempty"`     // replication stream chunk (OpSubscribeLog)
 }
 
 // WriteFrame writes one length-prefixed JSON frame.

@@ -24,6 +24,9 @@ func (db *Database) guardWrite(ids ...ID) error {
 	if db.closed {
 		return ErrClosed
 	}
+	if db.replica {
+		return ErrNotPrimary
+	}
 	for _, id := range ids {
 		if pattern.IsVirtualID(id) {
 			return fmt.Errorf("%w (item %d)", ErrInheritedData, id)
@@ -205,6 +208,9 @@ func (db *Database) BeginTx() (*Tx, error) {
 	defer db.mu.Unlock()
 	if db.closed {
 		return nil, ErrClosed
+	}
+	if db.replica {
+		return nil, ErrNotPrimary
 	}
 	tx := &Tx{db: db, core: db.engine.BeginTx()}
 	// Freeze any pending auto-committed changes now: once staging starts,
@@ -402,6 +408,9 @@ func (db *Database) Begin() error {
 	defer db.mu.Unlock()
 	if db.closed {
 		return ErrClosed
+	}
+	if db.replica {
+		return ErrNotPrimary
 	}
 	if err := db.engine.Begin(); err != nil {
 		return err

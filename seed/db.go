@@ -132,6 +132,14 @@ type Database struct {
 
 	legacy *Tx // seed:guarded-by(mu) — transaction opened by the legacy Begin (global operations join it)
 
+	// Follower replication (replica.go). replica marks a read-only
+	// follower — every mutation entry point refuses with ErrNotPrimary.
+	// rep is the follower's recovery dispatch: it persists transaction
+	// batch framing across ApplyLogRecords calls, so a batch split over
+	// stream chunks still applies atomically.
+	replica bool      // immutable after construction
+	rep     *recovery // seed:guarded-by(mu) — follower apply state
+
 	transitions map[string]TransitionRule // seed:guarded-by(mu) — history-sensitive consistency rules
 
 	closed bool // seed:guarded-by(mu)
@@ -365,6 +373,9 @@ func (db *Database) EvolveSchema(edit func(*Schema) error) error {
 	if db.closed {
 		return ErrClosed
 	}
+	if db.replica {
+		return ErrNotPrimary
+	}
 	if db.engine.InTx() {
 		return ErrTxOpen
 	}
@@ -458,10 +469,10 @@ type Stats struct {
 func (db *Database) Stats() Stats {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	s := Stats{
-		Core:       db.engine.Stats(),
-		SchemaV:    db.engine.Schema().Version(),
-		Generation: db.gen,
+	s := Stats{Generation: db.gen}
+	if db.engine != nil { // nil on a follower before its first bootstrap
+		s.Core = db.engine.Stats()
+		s.SchemaV = db.engine.Schema().Version()
 	}
 	s.Versions = db.vers.Count()
 	if db.store != nil {
@@ -525,6 +536,12 @@ func (db *Database) maybeCompact() error {
 func (db *Database) Compact() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if db.replica {
+		return ErrNotPrimary // a follower has no log of its own to compact
+	}
 	if db.engine.InTx() {
 		return ErrTxOpen
 	}

@@ -32,7 +32,8 @@ const (
 	snapshotFormatV1 = 1
 )
 
-// compactLocked rewrites the log as one snapshot record.
+// compactLocked rewrites the log as one snapshot record, then rebuilds the
+// engine's intern tables from the live rows.
 //
 // seed:locked-caller
 func (db *Database) compactLocked() error {
@@ -40,7 +41,46 @@ func (db *Database) compactLocked() error {
 	if err != nil {
 		return err
 	}
-	return db.store.Compact(payload)
+	if err := db.store.Compact(payload); err != nil {
+		return err
+	}
+	db.rebuildStoreLocked()
+	return nil
+}
+
+// rebuildStoreLocked re-interns the engine's state into a fresh store. The
+// columnar store's symbol/value intern tables are append-only between
+// rebuilds — a long churn of unique short values grows them without bound
+// (only live rows keep the table entries referenced) — so every compaction
+// pays one capture+restore to shed the dead entries, on the primary and on
+// any database that compacts during catch-up. Compact already refuses to
+// run inside a transaction, which is the one state Restore cannot handle;
+// readers keep their pinned snapshots and rebuild from the fresh store on
+// the next view.
+//
+// seed:locked-caller
+func (db *Database) rebuildStoreLocked() {
+	en := db.engine
+	next := en.NextID()
+	dirty := en.DirtyIDs()
+	objs, rels := en.CaptureAll()
+	en.Restore(objs, rels)
+	en.RestoreDirty(dirty)
+	en.ForceNextID(next)
+	db.gen++
+}
+
+// SymbolCount reports the engine's total interned symbols (class, name and
+// short-value tables; 0 on the map-store ablation and on a follower before
+// its first bootstrap). The churn regression test gates on it shrinking
+// across a Compact.
+func (db *Database) SymbolCount() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.engine == nil {
+		return 0
+	}
+	return db.engine.SymbolCount()
 }
 
 // encodeSnapshot serializes the full database state.

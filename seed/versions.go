@@ -33,6 +33,9 @@ func (db *Database) SaveVersion(note string) (VersionNumber, error) {
 	if db.closed {
 		return nil, ErrClosed
 	}
+	if db.replica {
+		return nil, ErrNotPrimary
+	}
 	if db.engine.InTx() {
 		// A version must never freeze a half-applied batch, and the gen
 		// bump would let readers snapshot mid-transaction state.
@@ -110,6 +113,9 @@ func (db *Database) SelectVersion(num VersionNumber) error {
 	if db.closed {
 		return ErrClosed
 	}
+	if db.replica {
+		return ErrNotPrimary
+	}
 	if db.engine.DirtyCount() > 0 {
 		return fmt.Errorf("%w: %d changed items", ErrUnsavedChanges, db.engine.DirtyCount())
 	}
@@ -122,6 +128,9 @@ func (db *Database) SelectVersionDiscard(num VersionNumber) error {
 	defer db.mu.Unlock()
 	if db.closed {
 		return ErrClosed
+	}
+	if db.replica {
+		return ErrNotPrimary
 	}
 	return db.selectVersionJournaled(num)
 }
@@ -187,6 +196,9 @@ func (db *Database) DeleteVersion(num VersionNumber) error {
 	if db.closed {
 		return ErrClosed
 	}
+	if db.replica {
+		return ErrNotPrimary
+	}
 	if db.engine.InTx() {
 		return ErrTxOpen // the gen bump would expose mid-transaction state
 	}
@@ -212,6 +224,9 @@ func (db *Database) Vacuum() (int, error) {
 	defer db.mu.Unlock()
 	if db.closed {
 		return 0, ErrClosed
+	}
+	if db.replica {
+		return 0, ErrNotPrimary
 	}
 	if db.engine.InTx() {
 		return 0, ErrTxOpen
