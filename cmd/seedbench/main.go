@@ -17,10 +17,11 @@
 // the pipelined v2 wire protocol with server-side queries, E11 the
 // follower-replication read scale-out with its lag and convergence
 // differential, E12 the columnar item store against the map-backed
-// ablation, and E14 the production-hardening fault harness (overload
-// shedding, chaos clients, graceful drain). With -json, the
+// ablation, E13 the attribute indexes and cost-based planner against the
+// forced linear scan, and E14 the production-hardening fault harness
+// (overload shedding, chaos clients, graceful drain). With -json, the
 // machine-readable data of the selected measurement experiment (e8, or
-// e9/e10/e11/e12/e14 when selected with -exp)
+// e9/e10/e11/e12/e13/e14 when selected with -exp)
 // is written out so the perf trajectory is tracked across PRs. The experiment list below is the
 // single source of truth: -list and the -exp flag help enumerate it.
 package main
@@ -51,6 +52,7 @@ var experiments = []struct {
 	{"e10", "wire v2: pipelined frames and server-side queries", nil},             // wired in main
 	{"e11", "replication: follower read scale-out, lag, convergence", nil},        // wired in main
 	{"e12", "columnar store: bytes/item, freeze and query latency vs map", nil},   // wired in main
+	{"e13", "planner: attribute-indexed predicates vs forced linear scan", nil},   // wired in main
 	{"e14", "hardening: overload shedding, fault injection, graceful drain", nil}, // wired in main
 }
 
@@ -83,6 +85,7 @@ func main() {
 	e10Workload := bench.DefaultPipelineWorkload
 	e11Workload := bench.DefaultReplicaWorkload
 	e12Workload := bench.DefaultColumnarWorkload
+	e13Workload := bench.DefaultPredicateWorkload
 	e14Workload := bench.DefaultFaultWorkload
 	if *short {
 		e8Workload = bench.ShortChurnWorkload
@@ -90,6 +93,7 @@ func main() {
 		e10Workload = bench.ShortPipelineWorkload
 		e11Workload = bench.ShortReplicaWorkload
 		e12Workload = bench.ShortColumnarWorkload
+		e13Workload = bench.ShortPredicateWorkload
 		e14Workload = bench.ShortFaultWorkload
 	}
 	var e8Data *bench.E8Data
@@ -97,6 +101,7 @@ func main() {
 	var e10Data *bench.E10Data
 	var e11Data *bench.E11Data
 	var e12Data *bench.E12Data
+	var e13Data *bench.E13Data
 	var e14Data *bench.E14Data
 
 	failed := false
@@ -116,6 +121,8 @@ func main() {
 			r, e11Data = bench.E11Stats(e11Workload)
 		case "e12":
 			r, e12Data = bench.E12Stats(e12Workload)
+		case "e13":
+			r, e13Data = bench.E13Stats(e13Workload)
 		case "e14":
 			r, e14Data = bench.E14Stats(e14Workload)
 		default:
@@ -156,6 +163,12 @@ func main() {
 				os.Exit(1)
 			}
 			payload = e12Data
+		case strings.EqualFold(*exp, "e13"):
+			if e13Data == nil {
+				fmt.Fprintf(os.Stderr, "seedbench: -json given but experiment e13 did not run (-exp %s)\n", *exp)
+				os.Exit(1)
+			}
+			payload = e13Data
 		case strings.EqualFold(*exp, "e14"):
 			if e14Data == nil {
 				fmt.Fprintf(os.Stderr, "seedbench: -json given but experiment e14 did not run (-exp %s)\n", *exp)

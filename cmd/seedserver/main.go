@@ -9,6 +9,7 @@
 //	           [-max-inflight 256] [-queue-depth 64]
 //	           [-metrics-addr 127.0.0.1:7545] [-drain-timeout 30s]
 //	           [-log-format text|json] [-follow 127.0.0.1:7544]
+//	           [-attr-index CLASS:PATH[:hash|ordered]]...
 //
 // A fresh directory requires -schema (an SDL file); an existing database
 // loads its schema from storage. -segment-size caps one write-ahead-log
@@ -55,6 +56,15 @@
 // re-bootstraps from the primary on restart). OpStats reports the
 // follower's applied generation and observed lag.
 //
+// Query acceleration: each -attr-index (repeatable) registers an attribute
+// index on a class and role path ("Tool.Defect:Text.Selector" indexes the
+// Selector value below Text sub-objects of Defect roots); the cost-based
+// planner then answers equality — and, for ordered indexes, range —
+// predicates on that path from the index instead of scanning. Indexes are
+// in-memory acceleration state, registered again from the flags on every
+// start; followers register them after the first bootstrap and keep them
+// across resyncs.
+//
 // Shutdown: on SIGTERM or SIGINT the server drains gracefully — it stops
 // accepting connections, refuses new mutations with the retryable
 // "shutting-down" code, waits up to -drain-timeout for in-flight
@@ -66,11 +76,13 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -92,6 +104,15 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM/SIGINT, how long to wait for in-flight check-ins to reach durability before forcing teardown")
 	logFormat := flag.String("log-format", server.LogText, "structured log rendering: text (key=value) or json (one object per line)")
 	follow := flag.String("follow", "", "primary address to replicate from: serve as a read-only follower (ignores -dir/-schema/-segment-size/-sync; mutations are refused with the retryable not-primary code)")
+	var attrIndexes []seed.AttrSpec
+	flag.Func("attr-index", "register an attribute index CLASS:PATH[:hash|ordered] at startup so predicate queries on that path run index-backed (repeatable; ordered is the default and also answers range predicates)", func(s string) error {
+		spec, err := parseAttrIndex(s)
+		if err != nil {
+			return err
+		}
+		attrIndexes = append(attrIndexes, spec)
+		return nil
+	})
 	flag.Parse()
 
 	var db *seed.Database
@@ -129,6 +150,13 @@ func main() {
 		if err != nil {
 			log.Fatalf("opening database: %v", err)
 		}
+		// Indexes are in-memory acceleration, not persistent state — a
+		// restart registers them again from the flags.
+		for _, spec := range attrIndexes {
+			if err := db.CreateAttrIndex(spec.Key.Class, spec.Key.Path, spec.Kind); err != nil {
+				log.Fatalf("registering attribute index %s: %v", spec.Key, err)
+			}
+		}
 	}
 
 	srv := server.New(db)
@@ -151,6 +179,13 @@ func main() {
 		}
 		srv.SetFollower(true)
 		srv.SetReplicaStatus(fol.Status)
+		// Followers register indexes after the first bootstrap, once the
+		// replicated schema (and its classes) exists to validate against.
+		for _, spec := range attrIndexes {
+			if err := db.CreateAttrIndex(spec.Key.Class, spec.Key.Path, spec.Kind); err != nil {
+				log.Fatalf("registering attribute index %s: %v", spec.Key, err)
+			}
+		}
 	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
@@ -199,4 +234,21 @@ func main() {
 		log.Fatalf("closing database: %v", err)
 	}
 	log.Printf("seedserver: exit")
+}
+
+// parseAttrIndex parses one -attr-index value: CLASS:PATH[:hash|ordered].
+func parseAttrIndex(s string) (seed.AttrSpec, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 3 || parts[0] == "" || parts[1] == "" {
+		return seed.AttrSpec{}, fmt.Errorf("want CLASS:PATH[:hash|ordered], got %q", s)
+	}
+	kind := seed.AttrOrdered
+	if len(parts) == 3 {
+		var err error
+		kind, err = seed.ParseAttrKind(parts[2])
+		if err != nil {
+			return seed.AttrSpec{}, err
+		}
+	}
+	return seed.AttrSpec{Key: seed.AttrKey{Class: parts[0], Path: parts[1]}, Kind: kind}, nil
 }

@@ -117,6 +117,8 @@ func (s *shell) exec(line string) error {
 		return s.list(rest)
 	case "query":
 		return s.query(rest)
+	case "index":
+		return s.index(rest)
 	case "mk":
 		return s.make(rest, false)
 	case "mkpattern":
@@ -199,6 +201,11 @@ retrieval
                                     value takes an optional kind prefix str:/int:/real:/bool:/date:)
                                   follow <assoc> <fromRole> <toRole>
                                   limit <n> | offset <n>
+                                  explain                         (print the chosen access path
+                                    and estimated vs actual cardinalities)
+  index                         list attribute indexes
+  index <class> <path> [kind]   register an attribute index (kind: ordered* or hash)
+  index drop <class> <path>     drop an attribute index
   show <path>                   show one object
   tree <name>                   show an object subtree with relationships
   check                         completeness report
@@ -239,6 +246,7 @@ func (s *shell) query(rest []string) error {
 	q := seed.NewQuery()
 	var follows []seed.FollowStep
 	limit, offset := 0, 0
+	explain := false
 	for i := 0; i < len(rest); {
 		clause := rest[i]
 		arg := func(n int) ([]string, error) {
@@ -301,14 +309,20 @@ func (s *shell) query(rest []string) error {
 			} else {
 				offset = n
 			}
+		case "explain":
+			explain = true
+			i++
 		default:
 			return fmt.Errorf("unknown clause %q ('help' shows the syntax)", clause)
 		}
 	}
 	v := s.db.View()
-	ids, err := q.Run(v)
+	ids, plan, err := seed.RunPlan(q, v)
 	if err != nil {
 		return err
+	}
+	if explain {
+		fmt.Fprintf(s.out, "plan: %s\n", plan)
 	}
 	ids, total, err := seed.FollowPage(v, ids, follows, limit, offset)
 	if err != nil {
@@ -331,6 +345,33 @@ func (s *shell) query(rest []string) error {
 	}
 	fmt.Fprintf(s.out, "%d of %d match(es)\n", len(ids), total)
 	return nil
+}
+
+// index registers, drops, and lists attribute indexes on the local database.
+func (s *shell) index(rest []string) error {
+	switch {
+	case len(rest) == 0:
+		for _, spec := range s.db.AttrIndexes() {
+			fmt.Fprintf(s.out, "%-40s %s\n", spec.Key, spec.Kind)
+		}
+		return nil
+	case rest[0] == "drop":
+		if len(rest) != 3 {
+			return fmt.Errorf("usage: index drop <class> <path>")
+		}
+		return s.db.DropAttrIndex(rest[1], rest[2])
+	case len(rest) == 2 || len(rest) == 3:
+		kind := seed.AttrOrdered
+		if len(rest) == 3 {
+			var err error
+			kind, err = seed.ParseAttrKind(rest[2])
+			if err != nil {
+				return err
+			}
+		}
+		return s.db.CreateAttrIndex(rest[0], rest[1], kind)
+	}
+	return fmt.Errorf("usage: index [<class> <path> [hash|ordered] | drop <class> <path>]")
 }
 
 // parseQueryValue parses a comparison value with an optional kind prefix

@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -72,7 +73,7 @@ func (s *shell) execRemote(line string) error {
 	case "stats":
 		return s.remoteStats()
 	case "schema", "mk", "mkpattern", "sub", "set", "ln", "rm", "reclass",
-		"inherit", "select", "history":
+		"inherit", "select", "history", "index":
 		return fmt.Errorf("command %q is not available in remote mode (use a checkout-based client for edits)", cmd)
 	}
 	return fmt.Errorf("unknown command %q (try 'help')", cmd)
@@ -82,6 +83,7 @@ func (s *shell) execRemote(line string) error {
 // into a wire query and executes it server-side.
 func (s *shell) remoteQuery(rest []string) error {
 	q := &wire.Query{}
+	explain := false
 	for i := 0; i < len(rest); {
 		clause := rest[i]
 		arg := func(n int) ([]string, error) {
@@ -138,13 +140,32 @@ func (s *shell) remoteQuery(rest []string) error {
 			} else {
 				q.Offset = n
 			}
+		case "explain":
+			explain = true
+			i++
 		default:
 			return fmt.Errorf("unknown clause %q ('help' shows the syntax)", clause)
 		}
 	}
-	objs, total, err := s.remote.Query(q)
+	objs, total, plan, err := s.remote.QueryPlan(q)
 	if err != nil {
 		return err
+	}
+	if explain {
+		if plan == nil {
+			fmt.Fprintln(s.out, "plan: (server reports no plan)")
+		} else {
+			fmt.Fprintf(s.out, "plan: access=%s", plan.Access)
+			if plan.Index != "" {
+				fmt.Fprintf(s.out, " index=%q", plan.Index)
+			}
+			fmt.Fprintf(s.out, " est=%d candidates=%d matched=%d residual=%d",
+				plan.Est, plan.Candidates, plan.Matched, plan.Residual)
+			if plan.Forced {
+				fmt.Fprint(s.out, " forced")
+			}
+			fmt.Fprintln(s.out)
+		}
 	}
 	for _, o := range objs {
 		label := o.Name
@@ -225,6 +246,16 @@ func (s *shell) remoteStats() error {
 	if st.Follower {
 		fmt.Fprintf(s.out, "%-16s %v\n", "follower-gen", st.FollowerGen)
 		fmt.Fprintf(s.out, "%-16s %v\n", "follower-lag", st.FollowerLag)
+	}
+	if len(st.QueryPlans) > 0 {
+		paths := make([]string, 0, len(st.QueryPlans))
+		for p := range st.QueryPlans {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			fmt.Fprintf(s.out, "%-16s %v\n", "queries-"+p, st.QueryPlans[p])
+		}
 	}
 	return nil
 }

@@ -370,11 +370,19 @@ func (c *Client) List(class string) ([]string, error) {
 // objects and the total match count before paging, so callers fetching a
 // large result advance Offset until the pages cover Total.
 func (c *Client) Query(q *wire.Query) ([]wire.Object, int, error) {
+	objs, total, _, err := c.QueryPlan(q)
+	return objs, total, err
+}
+
+// QueryPlan executes a query like Query and also returns the access plan
+// the server's planner executed — the explain surface of the wire
+// protocol. The plan is nil when the server predates plan reporting.
+func (c *Client) QueryPlan(q *wire.Query) ([]wire.Object, int, *wire.QueryPlan, error) {
 	resp, err := c.roundTrip(&wire.Request{Op: wire.OpQuery, Query: q})
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
-	return resp.Objects, resp.Total, nil
+	return resp.Objects, resp.Total, resp.Plan, nil
 }
 
 // SaveVersion snapshots the central database.

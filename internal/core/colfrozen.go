@@ -1,6 +1,10 @@
 package core
 
 import (
+	"hash/maphash"
+	"sort"
+	"strings"
+
 	"repro/internal/item"
 	"repro/internal/schema"
 )
@@ -40,6 +44,52 @@ type colFrozen struct {
 	objIDs   []item.ID   // live objects, ascending
 	relIDs   []item.ID   // live relationships, ascending
 	inherits []item.ID   // live inherits-relationships, ascending
+
+	// Name indexes, maintained per generation like the class index.
+	// nameStrs is a snapshot of the symbol table's published string array
+	// (append-only, entries immutable), so probes resolve symbols without
+	// the RWMutex round trip SymTab.Lookup pays per call — the 1.5x
+	// by-name gap vs the map ablation E12 measured. byName is the ordered
+	// name index — every interned name symbol sorted by its string; the
+	// query planner ranges over it for prefix name globs — and nameHash is
+	// an open-addressed point-lookup table over the same symbols. Both may
+	// hold symbols of currently unbound (deleted or staged) names:
+	// liveness is decided by nameToID. Unbinding never shrinks them, so
+	// they only grow with newly interned symbols and are shared
+	// pointer-wise across generations otherwise.
+	nameStrs   []string
+	byName     []item.Sym
+	nameHash   []item.Sym // power-of-two open addressing; NoSym = empty slot
+	nameSymLen int        // nameSyms prefix covered by byName/nameHash
+
+	attrs map[item.AttrKey]*item.AttrIdx // registered attribute indexes
+}
+
+// nameHashSeed keys the frozen name-lookup tables. One process-wide seed
+// keeps a table valid across every generation that shares it.
+var nameHashSeed = maphash.MakeSeed()
+
+// buildNameHash builds an open-addressed table at most half full, so the
+// expected probe chain stays near one.
+func buildNameHash(syms []item.Sym, strs []string) []item.Sym {
+	size := 8
+	for size < 2*(len(syms)+1) {
+		size <<= 1
+	}
+	tab := make([]item.Sym, size)
+	for _, s := range syms {
+		nameHashInsert(tab, strs, s)
+	}
+	return tab
+}
+
+func nameHashInsert(tab []item.Sym, strs []string, s item.Sym) {
+	mask := uint64(len(tab) - 1)
+	h := maphash.String(nameHashSeed, strs[s]) & mask
+	for tab[h] != item.NoSym {
+		h = (h + 1) & mask
+	}
+	tab[h] = s
 }
 
 // ---- columnar store freeze policy ----
@@ -95,7 +145,7 @@ func (cs *colStore) sealFreeze(sch *schema.Schema, prev *colFrozen, dirty map[it
 	}
 	cs.sealed = true
 	if prev != nil && prev.sch == sch {
-		patchIndexes(f, prev, dirty)
+		cs.patchIndexes(f, prev, dirty)
 	} else {
 		cs.scanIndexes(f)
 	}
@@ -129,12 +179,112 @@ func (cs *colStore) scanIndexes(f *colFrozen) {
 	for _, ids := range f.byClass {
 		sortIDs(ids)
 	}
+	cs.scanNameIndex(f)
+	f.attrs = buildAttrs(cs.attrSpecs, f, colAttrPostings)
+}
+
+// scanNameIndex builds the name indexes from the full symbol table.
+func (cs *colStore) scanNameIndex(f *colFrozen) {
+	f.nameStrs = cs.nameSyms.Strs()
+	f.nameSymLen = len(f.nameStrs)
+	f.byName = make([]item.Sym, 0, f.nameSymLen-1)
+	for s := 1; s < f.nameSymLen; s++ { // skip the reserved empty symbol
+		f.byName = append(f.byName, item.Sym(s))
+	}
+	sort.Slice(f.byName, func(i, j int) bool { return f.nameStrs[f.byName[i]] < f.nameStrs[f.byName[j]] })
+	f.nameHash = buildNameHash(f.byName, f.nameStrs)
+}
+
+// patchNameIndex extends prev's name indexes with the symbols interned
+// since, sharing the arrays when no new name appeared (rebinding and
+// unbinding change only nameToID, not the symbol set).
+func (cs *colStore) patchNameIndex(f, prev *colFrozen) {
+	f.nameStrs = cs.nameSyms.Strs()
+	f.nameSymLen = len(f.nameStrs)
+	if f.nameSymLen == prev.nameSymLen {
+		f.byName, f.nameHash = prev.byName, prev.nameHash
+		return
+	}
+	start := prev.nameSymLen
+	if start == 0 {
+		start = 1 // skip the reserved empty symbol
+	}
+	added := make([]item.Sym, 0, f.nameSymLen-start)
+	for s := start; s < f.nameSymLen; s++ {
+		added = append(added, item.Sym(s))
+	}
+	sort.Slice(added, func(i, j int) bool { return f.nameStrs[added[i]] < f.nameStrs[added[j]] })
+	out := make([]item.Sym, 0, len(prev.byName)+len(added))
+	ai := 0
+	for _, s := range prev.byName {
+		for ai < len(added) && f.nameStrs[added[ai]] < f.nameStrs[s] {
+			out = append(out, added[ai])
+			ai++
+		}
+		out = append(out, s)
+	}
+	f.byName = append(out, added[ai:]...)
+	if 2*(len(f.byName)+1) <= len(prev.nameHash) {
+		// Still under the load ceiling: extend a copy of the table.
+		tab := append([]item.Sym(nil), prev.nameHash...)
+		for _, s := range added {
+			nameHashInsert(tab, f.nameStrs, s)
+		}
+		f.nameHash = tab
+	} else {
+		f.nameHash = buildNameHash(f.byName, f.nameStrs)
+	}
+}
+
+// colAttrPostings is the columnar-native posting walk: role symbols resolve
+// once per path, the frontier runs over the frozen kid lists, and leaf
+// values decode straight off the rows — no item.Object materialization.
+func colAttrPostings(v frozen, root item.ID, roles []string) []item.AttrPosting {
+	f, ok := v.(*colFrozen)
+	if !ok {
+		return item.AttrPostingsOf(v, root, roles)
+	}
+	frontier := []item.ID{root}
+	for _, role := range roles {
+		sym, ok := f.dec.schemaSyms.Lookup(role)
+		if !ok {
+			return nil
+		}
+		var next []item.ID
+		for _, id := range frontier {
+			kl := f.kidsOf(id)
+			if kl == nil {
+				continue
+			}
+			for i := range kl.entries {
+				if kl.entries[i].role == sym {
+					next = append(next, kl.entries[i].ids...)
+					break
+				}
+			}
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		frontier = next
+	}
+	var out []item.AttrPosting
+	for _, id := range frontier {
+		row, ok := f.objRowOf(id)
+		if !ok {
+			continue
+		}
+		if v := f.dec.decodeVal(&row); v.IsDefined() {
+			out = append(out, item.AttrPosting{Val: v, ID: root})
+		}
+	}
+	return out
 }
 
 // patchIndexes derives f's dense indexes from prev's by classifying each
 // dirty item: f's row arrays already hold the new truth (sealed or patched),
 // so current state is read from f and previous state from prev.
-func patchIndexes(f, prev *colFrozen, dirty map[item.ID]bool) {
+func (cs *colStore) patchIndexes(f, prev *colFrozen, dirty map[item.ID]bool) {
 	var objAdd, objDel, relAdd, relDel, inhAdd, inhDel []item.ID
 	classAdd := make(map[item.Sym][]item.ID)
 	classDel := make(map[item.Sym]map[item.ID]bool)
@@ -219,6 +369,9 @@ func patchIndexes(f, prev *colFrozen, dirty map[item.ID]bool) {
 	for sym, del := range classDel {
 		f.byClass[sym] = patchSorted(prevOf(sym), nil, del)
 	}
+
+	cs.patchNameIndex(f, prev)
+	f.attrs = patchAttrs(cs.attrSpecs, f, prev, dirty, colAttrPostings)
 }
 
 // deltaFreeze builds a generation over prev's arrays, patching in exactly
@@ -360,7 +513,7 @@ func (cs *colStore) deltaFreeze(sch *schema.Schema, prev *colFrozen, dirty map[i
 		relsOfF:  bRelsOf.done(),
 		nameToID: bNames.done(),
 	}
-	patchIndexes(f, prev, dirty)
+	cs.patchIndexes(f, prev, dirty)
 	return f
 }
 
@@ -469,10 +622,27 @@ func (f *colFrozen) Relationship(id item.ID) (item.Relationship, bool) {
 	return f.dec.decodeRel(&row), true
 }
 
+// ObjectByName resolves a name through the frozen point-lookup table: one
+// hash and an expected single probe, fully lock-free, then the frozen name
+// binding. The table may hold symbols of unbound (deleted or staged)
+// names — nameToID decides liveness.
 func (f *colFrozen) ObjectByName(name string) (item.ID, bool) {
-	sym, ok := f.dec.nameSyms.Lookup(name)
-	if !ok {
+	if len(f.nameHash) == 0 {
 		return item.NoID, false
+	}
+	mask := uint64(len(f.nameHash) - 1)
+	h := maphash.String(nameHashSeed, name) & mask
+	sym := item.NoSym
+	for {
+		s := f.nameHash[h]
+		if s == item.NoSym {
+			return item.NoID, false
+		}
+		if f.nameStrs[s] == name {
+			sym = s
+			break
+		}
+		h = (h + 1) & mask
 	}
 	id := f.nameToID.at(int(sym))
 	if id == item.NoID {
@@ -537,6 +707,45 @@ func (f *colFrozen) ObjectsOfClass(qualified string) ([]item.ID, bool) {
 		return nil, true
 	}
 	return f.byClass[sym], true
+}
+
+// AttrIndex implements item.AttrIndexedView over the per-generation
+// attribute indexes.
+func (f *colFrozen) AttrIndex(key item.AttrKey) (*item.AttrIdx, bool) {
+	x, ok := f.attrs[key]
+	return x, ok
+}
+
+// EstNamePrefix implements item.NamePrefixView: the width of the ordered
+// name index window starting with prefix — an upper bound, since unbound
+// (deleted or staged) names stay in the index.
+func (f *colFrozen) EstNamePrefix(prefix string) (int, bool) {
+	lo, hi := f.namePrefixRange(prefix)
+	return hi - lo, true
+}
+
+// ObjectsWithNamePrefix implements item.NamePrefixView: the bound objects
+// whose name starts with prefix, ascending by ID.
+func (f *colFrozen) ObjectsWithNamePrefix(prefix string) ([]item.ID, bool) {
+	lo, hi := f.namePrefixRange(prefix)
+	ids := make([]item.ID, 0, hi-lo)
+	for _, sym := range f.byName[lo:hi] {
+		if id := f.nameToID.at(int(sym)); id != item.NoID {
+			ids = append(ids, id)
+		}
+	}
+	sortIDs(ids)
+	return ids, true
+}
+
+// namePrefixRange binary-searches the ordered name index for the window of
+// names starting with prefix (names sharing a prefix sort contiguously).
+func (f *colFrozen) namePrefixRange(prefix string) (int, int) {
+	lo := sort.Search(len(f.byName), func(i int) bool { return f.nameStrs[f.byName[i]] >= prefix })
+	hi := lo + sort.Search(len(f.byName)-lo, func(i int) bool {
+		return !strings.HasPrefix(f.nameStrs[f.byName[lo+i]], prefix)
+	})
+	return lo, hi
 }
 
 // InheritsRelationships implements item.InheritsLister: the live

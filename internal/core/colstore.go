@@ -53,7 +53,13 @@ type colStore struct {
 	// the builders (reopen) before writing.
 	sealed     bool
 	lastFrozen *colFrozen // previous frozen generation (COW base)
+
+	attrSpecs []item.AttrSpec // registered attribute indexes
 }
+
+// setAttrSpecs records the attribute index registrations; the engine
+// invalidates the frozen base so the next freeze builds them.
+func (cs *colStore) setAttrSpecs(specs []item.AttrSpec) { cs.attrSpecs = specs }
 
 // reopen restarts the builders on a fresh generation after a seal, so
 // mutations clone chunks instead of corrupting the frozen generation that

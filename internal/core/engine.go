@@ -92,6 +92,8 @@ type Engine struct {
 	mapStoreOn bool    // ablation: use the map-backed store for new state
 	nextID     item.ID // seed:guarded-by(external)
 
+	attrSpecs []item.AttrSpec // registered attribute indexes (in-memory DDL)
+
 	indexCtr map[item.ID]map[string]int // next sub-object index per parent and role
 
 	dirty item.IDSet // items changed since the last version freeze (dense bitset)

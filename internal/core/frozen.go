@@ -149,6 +149,12 @@ type frozenView struct {
 	objIDs   []item.ID // live objects, ascending (shared when unchanged)
 	relIDs   []item.ID // live relationships, ascending (shared when unchanged)
 	inherits []item.ID // live inherits-relationships, ascending (shared when unchanged)
+
+	// attrs holds the full attribute index set of this generation (indexes
+	// shared pointer-wise with the base when untouched) — unlike the entry
+	// maps above there is no overlay chain to walk, so collapse carries it
+	// unchanged.
+	attrs map[item.AttrKey]*item.AttrIdx
 }
 
 func (f *frozenView) liveCount() int { return len(f.objIDs) + len(f.relIDs) }
@@ -203,6 +209,7 @@ func (ms *mapStore) fullFreeze(sch *schema.Schema) *frozenView {
 			f.relsOf[obj] = copyIDs(ids)
 		}
 	}
+	f.attrs = buildAttrs(ms.attrSpecs, f, genericAttrPostings)
 	return f
 }
 
@@ -361,6 +368,7 @@ func (ms *mapStore) deltaFreeze(sch *schema.Schema, prev *frozenView, dirty map[
 	f.objIDs = patchMembers(prev.objIDs, objAdd, objDel)
 	f.relIDs = patchMembers(prev.relIDs, relAdd, relDel)
 	f.inherits = patchMembers(prev.inherits, inhAdd, inhDel)
+	f.attrs = patchAttrs(ms.attrSpecs, f, prev, dirty, genericAttrPostings)
 	return f
 }
 
@@ -389,6 +397,7 @@ func (f *frozenView) collapse() *frozenView {
 		objIDs:   f.objIDs,
 		relIDs:   f.relIDs,
 		inherits: f.inherits,
+		attrs:    f.attrs,
 	}
 	for i := len(chain) - 1; i >= 0; i-- {
 		v := chain[i]
@@ -613,6 +622,13 @@ func (f *frozenView) objectsOfClass(qualified string) []item.ID {
 // qualified name, ascending, as a shared immutable slice.
 func (f *frozenView) ObjectsOfClass(qualified string) ([]item.ID, bool) {
 	return f.objectsOfClass(qualified), true
+}
+
+// AttrIndex implements item.AttrIndexedView over the per-generation
+// attribute indexes (every generation carries the full set — no chain walk).
+func (f *frozenView) AttrIndex(key item.AttrKey) (*item.AttrIdx, bool) {
+	x, ok := f.attrs[key]
+	return x, ok
 }
 
 // InheritsRelationships implements item.InheritsLister: the live

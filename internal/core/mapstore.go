@@ -21,7 +21,13 @@ type mapStore struct {
 	relsOfM   map[item.ID][]item.ID            // live relationships per end object, ID order
 
 	lastFrozen *frozenView // previous frozen generation (COW base); nil forces a full build
+
+	attrSpecs []item.AttrSpec // registered attribute indexes
 }
+
+// setAttrSpecs records the attribute index registrations; the engine
+// invalidates the frozen base so the next freeze builds them.
+func (ms *mapStore) setAttrSpecs(specs []item.AttrSpec) { ms.attrSpecs = specs }
 
 func newMapStore() *mapStore {
 	return &mapStore{

@@ -108,22 +108,32 @@ type store interface {
 	// invalidate drops the incremental snapshot base: the next freezeView
 	// rebuilds from scratch.
 	invalidate()
+	// setAttrSpecs replaces the attribute index registrations. The caller
+	// invalidates afterwards; the store only records the specs for its
+	// freeze paths.
+	setAttrSpecs(specs []item.AttrSpec)
 }
 
 // frozen is the surface every frozen generation implements: item.View plus
-// the class index and inherits-list extensions.
+// the class, attribute, and inherits-list extensions.
 type frozen interface {
 	item.View
 	ObjectsOfClass(qualified string) ([]item.ID, bool)
+	AttrIndex(key item.AttrKey) (*item.AttrIdx, bool)
 	InheritsRelationships() []item.ID
 }
 
-// newStore creates an empty store of the engine's active representation.
+// newStore creates an empty store of the engine's active representation,
+// carrying the engine's attribute index registrations over.
 func (en *Engine) newStore() store {
+	var st store
 	if en.mapStoreOn {
-		return newMapStore()
+		st = newMapStore()
+	} else {
+		st = newColStore()
 	}
-	return newColStore()
+	st.setAttrSpecs(en.attrSpecs)
+	return st
 }
 
 // SetColumnarStore switches between the columnar store (the default) and the

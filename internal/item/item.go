@@ -216,6 +216,36 @@ type IndexedView interface {
 	ObjectsOfClass(qualified string) (ids []ID, ok bool)
 }
 
+// ClassCounter is an optional IndexedView refinement reporting the size of
+// a class extent without materializing the list. A wrapping view whose
+// ObjectsOfClass filters items out may over-report here (the count is read
+// off the wrapped index); the query planner treats the count as a
+// cardinality estimate, never as the result. Views without the extension
+// are counted by materializing the list instead.
+type ClassCounter interface {
+	// CountOfClass reports how many objects ObjectsOfClass would list for
+	// the qualified name, or an upper bound on it. ok=false mirrors
+	// ObjectsOfClass: the view maintains no usable index.
+	CountOfClass(qualified string) (n int, ok bool)
+}
+
+// NamePrefixView is an optional View extension implemented by views that
+// maintain an ordered name index. The query planner turns a prefix name
+// glob ("Obj0*") into a range over the index instead of scanning; the
+// executor re-checks every candidate against the full glob and the other
+// restrictions, so the estimate may over-count (unbound names) without
+// affecting results.
+type NamePrefixView interface {
+	// EstNamePrefix reports an upper bound on the objects whose name
+	// starts with prefix. ok=false mirrors ObjectsWithNamePrefix: the
+	// view maintains no ordered name index.
+	EstNamePrefix(prefix string) (n int, ok bool)
+
+	// ObjectsWithNamePrefix lists the objects whose name starts with
+	// prefix, ascending by ID.
+	ObjectsWithNamePrefix(prefix string) (ids []ID, ok bool)
+}
+
 // InheritsLister is an optional View extension enumerating the live
 // inherits-relationships directly, in ascending ID order, as a shared
 // immutable slice. Pattern splicing uses it to avoid scanning every

@@ -82,3 +82,9 @@ func (t *SymTab) Str(sym Sym) string {
 
 // Len returns the number of interned symbols (including the empty symbol).
 func (t *SymTab) Len() int { return len(*t.strs.Load()) }
+
+// Strs returns the published strings as an immutable snapshot indexed by
+// symbol. The table only appends and never rewrites an entry, so frozen
+// generations hold the snapshot and resolve symbols lock-free while the
+// writer keeps interning.
+func (t *SymTab) Strs() []string { return *t.strs.Load() }

@@ -356,6 +356,69 @@ func (s *Spliced) ObjectsOfClass(qualified string) ([]item.ID, bool) {
 	return append(out, virt...), true
 }
 
+// EstNamePrefix implements item.NamePrefixView by delegating to the base
+// view, under the same no-virtual-items rule as AttrIndex: virtual objects
+// and their names are invisible to the base index, so with any present the
+// range would under-report and the planner must use another path.
+func (s *Spliced) EstNamePrefix(prefix string) (int, bool) {
+	if len(s.vObjects) > 0 || len(s.vRels) > 0 {
+		return 0, false
+	}
+	nv, ok := s.base.(item.NamePrefixView)
+	if !ok {
+		return 0, false
+	}
+	return nv.EstNamePrefix(prefix)
+}
+
+// ObjectsWithNamePrefix implements item.NamePrefixView like EstNamePrefix.
+// Pattern roots remaining in the base range are harmless: the executor's
+// Object re-check hides them.
+func (s *Spliced) ObjectsWithNamePrefix(prefix string) ([]item.ID, bool) {
+	if len(s.vObjects) > 0 || len(s.vRels) > 0 {
+		return nil, false
+	}
+	nv, ok := s.base.(item.NamePrefixView)
+	if !ok {
+		return nil, false
+	}
+	return nv.ObjectsWithNamePrefix(prefix)
+}
+
+// CountOfClass implements item.ClassCounter: the base extent size plus the
+// virtual objects of the class, without the per-object filter walk that
+// materializing through ObjectsOfClass pays. Pattern roots the list would
+// hide stay counted — the planner wants a cheap upper bound, and whichever
+// access path executes re-checks every candidate against the view.
+func (s *Spliced) CountOfClass(qualified string) (int, bool) {
+	iv, ok := s.base.(item.IndexedView)
+	if !ok {
+		return 0, false
+	}
+	baseIDs, ok := iv.ObjectsOfClass(qualified)
+	if !ok {
+		return 0, false
+	}
+	return len(baseIDs) + len(s.vByClass[qualified]), true
+}
+
+// AttrIndex implements item.AttrIndexedView by delegating to the base view's
+// attribute index — but only while the splice holds no virtual items.
+// Virtual roots and virtual sub-object values are invisible to the base
+// index, so with any virtuals present the index would under-report and the
+// planner must fall back to another path. Pattern roots remaining in the
+// base postings are harmless: the executor's Object re-check hides them.
+func (s *Spliced) AttrIndex(key item.AttrKey) (*item.AttrIdx, bool) {
+	if len(s.vObjects) > 0 || len(s.vRels) > 0 {
+		return nil, false
+	}
+	av, ok := s.base.(item.AttrIndexedView)
+	if !ok {
+		return nil, false
+	}
+	return av.AttrIndex(key)
+}
+
 // Relationships lists real non-pattern, non-inherits relationships followed
 // by virtual relationships.
 func (s *Spliced) Relationships() []item.ID {

@@ -98,6 +98,7 @@ type Query struct {
 	preds        []predicate
 	limit        int
 	offset       int
+	force        Access // forced access path; AccessAuto plans
 	err          error
 }
 
@@ -167,78 +168,34 @@ func (q *Query) Offset(n int) *Query {
 // Run evaluates the query over a view, returning matching object IDs in
 // ascending order.
 //
-// Selection starts from the cheapest access path the view supports: a
-// literal name restriction resolves through the view's name index
-// (ObjectByName), and a class restriction over an item.IndexedView starts
-// from the class index — cost proportional to the candidate classes, not
-// the database. Every candidate still runs through the full predicate set,
-// so all paths return identical results; views without an index fall back
-// to the scan over Objects().
+// Selection starts from the most selective access path the view supports —
+// the planner (see plan.go) estimates candidate cardinalities from the
+// view's name, class, and attribute indexes and picks the cheapest. Every
+// candidate still runs through the full predicate set, so all paths return
+// identical results; views without an index fall back to the scan over
+// Objects(). RunPlan additionally reports the chosen plan.
 func (q *Query) Run(v item.View) ([]item.ID, error) {
-	if q.err != nil {
-		return nil, q.err
-	}
-	if q.nameGlob != "" && literalGlob(q.nameGlob) {
-		// Exact-name selection: at most one candidate, on any view.
-		if q.offset > 0 {
-			return nil, nil
-		}
-		id, ok := v.ObjectByName(q.nameGlob)
-		if !ok {
-			return nil, nil
-		}
-		o, ok := v.Object(id)
-		if !ok || !q.matches(v, o) {
-			return nil, nil
-		}
-		return []item.ID{id}, nil
-	}
-	var candidates []item.ID
-	narrowed := false
-	if q.className != "" {
-		candidates, narrowed = q.classCandidates(v)
-	}
-	if !narrowed {
-		candidates = v.Objects()
-	}
-	var out []item.ID
-	skip := q.offset
-	for _, id := range candidates {
-		o, ok := v.Object(id)
-		if !ok {
-			continue
-		}
-		if !q.matches(v, o) {
-			continue
-		}
-		if skip > 0 {
-			skip--
-			continue
-		}
-		out = append(out, id)
-		if q.limit > 0 && len(out) >= q.limit {
-			break
-		}
-	}
-	return out, nil
+	ids, _, err := q.RunPlan(v)
+	return ids, err
 }
 
-// classCandidates narrows the candidate set through the view's class index:
-// the restriction class itself plus, with includeSpecializations, its whole
-// specialization subtree. ok=false means the view maintains no usable index
-// and the caller scans.
-func (q *Query) classCandidates(v item.View) ([]item.ID, bool) {
-	iv, ok := v.(item.IndexedView)
-	if !ok {
-		return nil, false
-	}
+// classLists collects the class-index posting lists for the restriction
+// class plus, with includeSpecializations, its whole specialization
+// subtree. ok=false means the view maintains no usable index and the
+// caller scans. An unknown class returns (nil, true): it matches nothing —
+// the scan path compares qualified-name strings and never finds it either.
+func (q *Query) classLists(iv item.IndexedView) ([][]item.ID, bool) {
 	if !q.includeSpecs {
 		ids, ok := iv.ObjectsOfClass(q.className)
-		return ids, ok
+		if !ok {
+			return nil, false
+		}
+		if len(ids) == 0 {
+			return nil, true
+		}
+		return [][]item.ID{ids}, true
 	}
-	// A class name outside the schema matches nothing — the scan path
-	// compares qualified-name strings and never finds it either.
-	cls, err := v.Schema().Class(q.className)
+	cls, err := iv.Schema().Class(q.className)
 	if err != nil {
 		return nil, true
 	}
@@ -262,7 +219,50 @@ func (q *Query) classCandidates(v item.View) ([]item.ID, bool) {
 	if !collect(cls) {
 		return nil, false
 	}
-	return mergeSorted(lists), true
+	return lists, true
+}
+
+// classEst counts the extent classLists would collect, through
+// item.ClassCounter when the view offers it — a spliced view pays a
+// per-object filter walk to materialize its lists, and the planner asks for
+// the count on every restricted query only to rank the class path against
+// the others. The count may over-report what the lists would hold; the
+// estimate stays an upper bound, and candidates materialize lazily only
+// when the class path wins.
+func (q *Query) classEst(iv item.IndexedView) (int, bool) {
+	countOf := func(qualified string) (int, bool) {
+		if cc, ok := iv.(item.ClassCounter); ok {
+			return cc.CountOfClass(qualified)
+		}
+		ids, ok := iv.ObjectsOfClass(qualified)
+		return len(ids), ok
+	}
+	if !q.includeSpecs {
+		return countOf(q.className)
+	}
+	cls, err := iv.Schema().Class(q.className)
+	if err != nil {
+		return 0, true // unknown class: matches nothing, like classLists
+	}
+	est := 0
+	var collect func(c *schema.Class) bool
+	collect = func(c *schema.Class) bool {
+		n, ok := countOf(c.QualifiedName())
+		if !ok {
+			return false
+		}
+		est += n
+		for _, s := range c.Specializations() {
+			if !collect(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if !collect(cls) {
+		return 0, false
+	}
+	return est, true
 }
 
 // mergeSorted merges ascending, mutually disjoint ID lists (every object has
@@ -306,7 +306,10 @@ func literalGlob(pattern string) bool {
 	return true
 }
 
-func (q *Query) matches(v item.View, o item.Object) bool {
+// matches re-checks the full restriction set on one candidate. order, when
+// non-nil, gives the predicate evaluation order (most selective first, per
+// the planner's index estimates); nil keeps declaration order.
+func (q *Query) matches(v item.View, o item.Object, order []int) bool {
 	if q.className != "" {
 		if q.includeSpecs {
 			ok := false
@@ -331,8 +334,16 @@ func (q *Query) matches(v item.View, o item.Object) bool {
 			return false
 		}
 	}
-	for _, p := range q.preds {
-		if !evalPredicate(v, o.ID, p) {
+	if order == nil {
+		for _, p := range q.preds {
+			if !evalPredicate(v, o.ID, p) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, pi := range order {
+		if !evalPredicate(v, o.ID, q.preds[pi]) {
 			return false
 		}
 	}

@@ -110,6 +110,10 @@ type Server struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 
+	// planCounts tallies executed query operations per access path (index
+	// = seed.Access), surfaced by OpStats as Stats.QueryPlans.
+	planCounts [6]atomic.Uint64
+
 	mu        sync.Mutex
 	locks     map[string]string     // seed:guarded-by(mu) — object name -> client ID holding the lock
 	creating  map[string]string     // seed:guarded-by(mu) — object name -> client ID creating it in an in-flight check-in
@@ -734,6 +738,14 @@ func (s *Server) handle(clientID string, req *wire.Request) *wire.Response {
 				sv.FollowerLag = headGen - appliedGen
 			}
 		}
+		for a := range s.planCounts {
+			if n := s.planCounts[a].Load(); n > 0 {
+				if sv.QueryPlans == nil {
+					sv.QueryPlans = make(map[string]uint64)
+				}
+				sv.QueryPlans[seed.Access(a).String()] = n
+			}
+		}
 		return &wire.Response{
 			// The one-line summary stays for v1 clients and shells.
 			Stats: fmt.Sprintf("objects=%d rels=%d versions=%d schema=v%d",
@@ -822,9 +834,12 @@ func (s *Server) handleQuery(req *wire.Request) *wire.Response {
 		return fail(fmt.Errorf("server: query request without a query body"))
 	}
 	v := s.db.View()
-	ids, total, err := execQuery(v, req.Query)
+	ids, total, plan, err := execQuery(v, req.Query)
 	if err != nil {
 		return fail(err)
+	}
+	if a := int(plan.Access); a >= 0 && a < len(s.planCounts) {
+		s.planCounts[a].Add(1)
 	}
 	objs := make([]wire.Object, 0, len(ids))
 	size := 0
@@ -837,7 +852,15 @@ func (s *Server) handleQuery(req *wire.Request) *wire.Response {
 		size += len(w.Class) + len(w.Name) + len(w.Path) + len(w.Value) + 96
 		objs = append(objs, w)
 	}
-	resp := &wire.Response{Objects: objs, Total: total}
+	resp := &wire.Response{Objects: objs, Total: total, Plan: &wire.QueryPlan{
+		Access:     plan.Access.String(),
+		Index:      plan.Index,
+		Est:        plan.Est,
+		Candidates: plan.Candidates,
+		Matched:    plan.Matched,
+		Residual:   plan.Residual,
+		Forced:     plan.Forced,
+	}}
 	// A result that cannot fit one frame must be paged, not kill the
 	// connection (the per-connection writer treats an oversized frame as a
 	// transport failure). The running size is a cheap lower bound; only a
@@ -852,11 +875,12 @@ func (s *Server) handleQuery(req *wire.Request) *wire.Response {
 	return resp
 }
 
-// execQuery runs a wire query on a view: selection through the query
-// engine, Follow steps, then paging. Paging applies to the final result set
-// — after the Follow chain — so the selection itself runs unbounded and
-// Total reports the unpaged match count.
-func execQuery(v seed.View, wq *wire.Query) ([]seed.ID, int, error) {
+// execQuery runs a wire query on a view: cost-based selection through the
+// query engine, Follow steps, then paging. Paging applies to the final
+// result set — after the Follow chain — so the selection itself runs
+// unbounded and Total reports the unpaged match count. The returned plan
+// reports the access path the planner executed.
+func execQuery(v seed.View, wq *wire.Query) ([]seed.ID, int, *seed.Plan, error) {
 	q := seed.NewQuery()
 	if wq.Class != "" {
 		q = q.Class(wq.Class, wq.Specs)
@@ -867,23 +891,27 @@ func execQuery(v seed.View, wq *wire.Query) ([]seed.ID, int, error) {
 	for _, w := range wq.Where {
 		op, err := seed.ParseCompareOp(w.Op)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, nil, err
 		}
 		val, err := seed.ParseValue(seed.Kind(w.ValueKind), w.Value)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, nil, err
 		}
 		q = q.Where(w.Path, op, val)
 	}
-	ids, err := q.Run(v)
+	ids, plan, err := seed.RunPlan(q, v)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	steps := make([]seed.FollowStep, len(wq.Follow))
 	for i, f := range wq.Follow {
 		steps[i] = seed.FollowStep{Assoc: f.Assoc, From: f.From, To: f.To}
 	}
-	return seed.FollowPage(v, ids, steps, wq.Limit, wq.Offset)
+	ids, total, err := seed.FollowPage(v, ids, steps, wq.Limit, wq.Offset)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return ids, total, plan, nil
 }
 
 func (s *Server) handleCheckout(clientID string, req *wire.Request) *wire.Response {

@@ -54,6 +54,38 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(frameBytes(seedT, &Response{Stats: "objects=1", StatsV2: &Stats{
 		Objects: 1, Relationships: 2, Generation: 9, OpenTxs: 1, WALSegments: 3, WALBytes: 4096,
 	}}))
+	// Typed Where predicates across every value kind and operator class,
+	// and plan-bearing query responses (the v2 explain surface).
+	f.Add(frameBytes(seedT, &Request{Op: OpQuery, Query: &Query{
+		Class: "Thing", Specs: true,
+		Where: []Where{
+			{Path: "Description", Op: CmpContains, ValueKind: 2, Value: "desc"},
+			{Path: "Revised", Op: CmpGe, ValueKind: 6, Value: "1986-02-05"},
+			{Path: "Write.NumberOfWrites", Op: CmpLt, ValueKind: 3, Value: "-17"},
+		},
+	}}))
+	f.Add(frameBytes(seedT, &Request{Op: OpQuery, Seq: 3, Query: &Query{
+		Class: "Data",
+		Where: []Where{
+			{Path: "Flag", Op: CmpNe, ValueKind: 5, Value: "true"},
+			{Path: "Score", Op: CmpLe, ValueKind: 4, Value: "2.25"},
+			{Path: "Text.Selector", Op: CmpEq, ValueKind: 2, Value: ""},
+		},
+		Limit: 1,
+	}}))
+	f.Add(frameBytes(seedT, &Response{Seq: 3, Total: 7,
+		Objects: []Object{{ID: 3, Class: "Data", Name: "A"}},
+		Plan: &QueryPlan{Access: "attr-eq", Index: "Data/Text.Selector",
+			Est: 7, Candidates: 7, Matched: 7, Residual: 2},
+	}))
+	f.Add(frameBytes(seedT, &Response{Plan: &QueryPlan{
+		Access: "attr-range", Index: "Thing+/Revised",
+		Est: 120, Candidates: 118, Matched: 9, Forced: true,
+	}}))
+	f.Add(frameBytes(seedT, &Response{Plan: &QueryPlan{Access: "scan", Est: 100000, Candidates: 100000}}))
+	f.Add(frameBytes(seedT, &Response{StatsV2: &Stats{
+		Objects: 5, QueryPlans: map[string]uint64{"scan": 2, "attr-eq": 40, "name": 1},
+	}}))
 	f.Add(frameBytes(seedT, &Response{Names: []string{"A"}, Snapshots: []Snapshot{{
 		Root:    "A",
 		Objects: []Object{{ID: 1, Class: "Data", Name: "A", ValueKind: 2, Value: "x"}},

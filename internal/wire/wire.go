@@ -160,6 +160,20 @@ type Query struct {
 	Offset   int          `json:"offset,omitempty"`
 }
 
+// QueryPlan is the wire form of the planner's report for one executed
+// query: the chosen access path, the index behind it, and estimated vs
+// actual cardinalities. Attached to every OpQuery response so clients and
+// shells can explain what the server did.
+type QueryPlan struct {
+	Access     string `json:"access"`          // scan, name, class, attr-eq, attr-range
+	Index      string `json:"index,omitempty"` // index behind the path: class name, "Class/Role.Path", or the literal name
+	Est        int    `json:"est"`             // estimated candidates from index sizes
+	Candidates int    `json:"candidates"`      // candidates actually enumerated
+	Matched    int    `json:"matched"`         // matches observed
+	Residual   int    `json:"residual,omitempty"`
+	Forced     bool   `json:"forced,omitempty"`
+}
+
 // Stats is the structured form of the server's state summary. The legacy
 // one-line string stays in Response.Stats for v1 clients and shells.
 type Stats struct {
@@ -191,6 +205,11 @@ type Stats struct {
 	Follower    bool   `json:"follower,omitempty"`
 	FollowerGen uint64 `json:"follower_gen,omitempty"`
 	FollowerLag uint64 `json:"follower_lag,omitempty"`
+
+	// QueryPlans counts, per access path ("scan", "attr-eq", ...), the
+	// query operations the server executed through that path since start —
+	// the fleet-level view of what the planner decides.
+	QueryPlans map[string]uint64 `json:"query_plans,omitempty"`
 }
 
 // LogChunk kinds, in stream order: one snapshot, any number of records
@@ -293,6 +312,7 @@ type Response struct {
 	StatsV2   *Stats        `json:"statsv2,omitempty"`
 	Objects   []Object      `json:"objects,omitempty"` // query results
 	Total     int           `json:"total,omitempty"`   // query matches before paging
+	Plan      *QueryPlan    `json:"plan,omitempty"`    // access plan the query executed (OpQuery)
 	Log       *LogChunk     `json:"log,omitempty"`     // replication stream chunk (OpSubscribeLog)
 }
 

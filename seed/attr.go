@@ -1,0 +1,94 @@
+package seed
+
+import (
+	"repro/internal/item"
+	"repro/internal/query"
+)
+
+// Attribute-index and query-plan re-exports: applications register value
+// indexes and inspect chosen access paths through this package.
+
+type (
+	// AttrKind selects the index structure: AttrHash answers equality,
+	// AttrOrdered answers equality and ranges.
+	AttrKind = item.AttrKind
+	// AttrKey names an attribute index: a class and a role path below it.
+	AttrKey = item.AttrKey
+	// AttrSpec is one attribute index registration.
+	AttrSpec = item.AttrSpec
+	// Plan reports how one query Run executed.
+	Plan = query.Plan
+	// Access names a query access path.
+	Access = query.Access
+)
+
+// The attribute index kinds.
+const (
+	AttrHash    = item.AttrHash
+	AttrOrdered = item.AttrOrdered
+)
+
+// The query access paths.
+const (
+	AccessAuto      = query.AccessAuto
+	AccessScan      = query.AccessScan
+	AccessName      = query.AccessName
+	AccessClass     = query.AccessClass
+	AccessAttrEq    = query.AccessAttrEq
+	AccessAttrRange = query.AccessAttrRange
+)
+
+// ParseAttrKind parses "hash" or "ordered".
+var ParseAttrKind = item.ParseAttrKind
+
+// ParseAccess parses the surface spelling of an access path.
+var ParseAccess = query.ParseAccess
+
+// CreateAttrIndex registers an attribute index on class (qualified name)
+// over the role path ("Role" or "Role.Sub"), maintained incrementally per
+// generation from then on. Indexes are in-memory acceleration state, not
+// part of the persistent log: a reopened or restored database starts
+// without them and re-registers what it needs. Re-registering an existing
+// key with a different kind rebuilds it as that kind. Followers may create
+// indexes too — they accelerate reads and never mutate item state.
+func (db *Database) CreateAttrIndex(class, path string, kind AttrKind) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if db.engine.InTx() {
+		return ErrTxOpen
+	}
+	spec := AttrSpec{Key: AttrKey{Class: class, Path: path}, Kind: kind}
+	if err := db.engine.CreateAttrIndex(spec); err != nil {
+		return err
+	}
+	db.gen++ // the next snapshot freezes with the index built
+	return nil
+}
+
+// DropAttrIndex removes an attribute index registration. Dropping an
+// unregistered key reports core.ErrNoAttrIndex.
+func (db *Database) DropAttrIndex(class, path string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if db.engine.InTx() {
+		return ErrTxOpen
+	}
+	if err := db.engine.DropAttrIndex(AttrKey{Class: class, Path: path}); err != nil {
+		return err
+	}
+	db.gen++
+	return nil
+}
+
+// AttrIndexes lists the registered attribute indexes.
+func (db *Database) AttrIndexes() []AttrSpec {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.engine.AttrIndexes()
+}

@@ -32,6 +32,12 @@ const (
 // NewQuery returns an unrestricted query.
 var NewQuery = query.New
 
+// RunPlan evaluates a query over a view like Query.Run and also returns
+// the executed access plan.
+func RunPlan(q *Query, v View) ([]ID, *Plan, error) {
+	return q.RunPlan(v)
+}
+
 // ParseCompareOp parses the surface spelling of a comparison operator
 // (the inverse of CompareOp.String).
 var ParseCompareOp = query.ParseCompareOp

@@ -161,11 +161,23 @@ func (db *Database) ReplicaAdopt(staging *Database) error {
 	if !ok {
 		return errors.New("seed: adopt source is not a bootstrapped follower")
 	}
+	// Attribute indexes are engine-local acceleration state: carry the
+	// serving follower's registrations across the engine swap so a resync
+	// does not silently drop them. A spec whose class vanished from the
+	// adopted schema is dropped — the error is the registration's, not the
+	// resync's.
+	var specs []AttrSpec
+	if db.engine != nil {
+		specs = db.engine.AttrIndexes()
+	}
 	db.engine = en
 	db.schemas = schemas
 	db.vers = vers
 	db.rep.inBatch = false
 	db.rep.batch = db.rep.batch[:0]
+	for _, spec := range specs {
+		_ = db.engine.CreateAttrIndex(spec)
+	}
 	db.gen++
 	return nil
 }
